@@ -1,0 +1,72 @@
+//! Figure 14: upsert ingestion performance of the maintenance strategies.
+//!
+//! Paper setup: 6-hour upsert runs, plotting total records ingested over
+//! time for Eager, Validation (no repair), Validation, and Mutable-bitmap
+//! under no updates / 50% uniform updates / 50% Zipf updates.
+//!
+//! Expected shape (paper): Eager is the slowest (point lookups per upsert);
+//! Validation without repair is the fastest; Validation with merge repair
+//! adds only a small overhead; Mutable-bitmap sits close to Validation —
+//! all of the lazy strategies are several times faster than Eager.
+
+use lsm_bench::{
+    apply, open_tweet_dataset, row, scaled, table_header, tweet_dataset_config, Env, EnvConfig,
+    Timer,
+};
+use lsm_engine::StrategyKind;
+use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
+
+fn run(
+    strategy: StrategyKind,
+    merge_repair: bool,
+    update_ratio: f64,
+    distribution: UpdateDistribution,
+    n: usize,
+) -> (f64, f64, u64) {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ..Default::default()
+    });
+    let mut cfg = tweet_dataset_config(strategy, dataset_bytes, 1);
+    cfg.merge_repair = merge_repair;
+    let ds = open_tweet_dataset(&env, cfg);
+    let mut workload = UpsertWorkload::new(TweetConfig::default(), update_ratio, distribution);
+    let timer = Timer::start(&env.clock);
+    for _ in 0..n {
+        let op = workload.next_op();
+        apply(&ds, &op);
+    }
+    let (sim, wall) = timer.elapsed();
+    (sim, wall, ds.stats().records_ingested())
+}
+
+fn main() {
+    let n = scaled(60_000);
+    let variants: [(&str, StrategyKind, bool); 4] = [
+        ("eager", StrategyKind::Eager, false),
+        ("validation (no repair)", StrategyKind::Validation, false),
+        ("validation", StrategyKind::Validation, true),
+        ("mutable-bitmap", StrategyKind::MutableBitmap, true),
+    ];
+    let workloads: [(&str, f64, UpdateDistribution); 3] = [
+        ("no updates", 0.0, UpdateDistribution::Uniform),
+        ("50% uniform", 0.5, UpdateDistribution::Uniform),
+        ("50% zipf", 0.5, UpdateDistribution::Zipf),
+    ];
+    for (wname, ratio, dist) in workloads {
+        table_header(
+            "Figure 14",
+            &format!("upsert ingestion, {wname} ({n} ops)"),
+            &["strategy", "sim_minutes", "krec_per_sim_min", "wall_s"],
+        );
+        for (name, strategy, repair) in variants {
+            let (sim, wall, recs) = run(strategy, repair, ratio, dist, n);
+            let sim_min = sim / 60.0;
+            row(
+                name,
+                &[sim_min, recs as f64 / 1000.0 / sim_min.max(1e-9), wall],
+            );
+        }
+    }
+}

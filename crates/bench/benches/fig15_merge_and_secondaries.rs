@@ -1,0 +1,93 @@
+//! Figure 15: impact of merge frequency and of the number of secondary
+//! indexes on upsert ingestion (Section 6.3.2).
+//!
+//! (a) sweeps the maximum mergeable component size (the paper's 1GB–64GB,
+//! scaled): smaller caps mean more merging for everyone, but the relative
+//! ordering of the strategies is unchanged.
+//! (b) sweeps the number of secondary indexes (1–5), adding the deleted-key
+//! B+-tree baseline: more indexes hurt the lazy strategies more (their
+//! bottleneck is flush/merge), and the deleted-key baseline pays much more
+//! than the proposed repair.
+
+use lsm_bench::{
+    apply, open_tweet_dataset, row, scaled, table_header, tweet_dataset_config, Env, EnvConfig,
+    Timer,
+};
+use lsm_engine::StrategyKind;
+use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
+
+fn run(
+    strategy: StrategyKind,
+    merge_repair: bool,
+    n: usize,
+    max_mergeable: u64,
+    num_secondaries: usize,
+) -> f64 {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ..Default::default()
+    });
+    let mut cfg = tweet_dataset_config(strategy, dataset_bytes, num_secondaries);
+    cfg.merge_repair = merge_repair;
+    cfg.merge.max_mergeable_bytes = max_mergeable;
+    let ds = open_tweet_dataset(&env, cfg);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.1, UpdateDistribution::Uniform);
+    let timer = Timer::start(&env.clock);
+    for _ in 0..n {
+        apply(&ds, &workload.next_op());
+    }
+    timer.elapsed().0 / 60.0
+}
+
+fn main() {
+    let n = scaled(40_000);
+    let dataset_bytes = (n as u64) * 550;
+
+    // ---- 15a: max mergeable component size ------------------------------
+    // Scaled analogues of the paper's 1GB / 4GB / 16GB / 64GB.
+    let caps: Vec<(String, u64)> = [50u64, 12, 3, 1]
+        .iter()
+        .map(|div| {
+            let cap = (dataset_bytes / div).max(1024 * 1024);
+            (format!("1/{div} dataset"), cap)
+        })
+        .collect();
+    table_header(
+        "Figure 15a",
+        &format!("upsert sim-minutes vs max mergeable component size ({n} ops, 10% updates)"),
+        &["strategy", &caps[0].0, &caps[1].0, &caps[2].0, &caps[3].0],
+    );
+    for (label, strategy, repair) in [
+        ("eager", StrategyKind::Eager, false),
+        ("validation", StrategyKind::Validation, true),
+        ("validation (no repair)", StrategyKind::Validation, false),
+        ("mutable-bitmap", StrategyKind::MutableBitmap, true),
+    ] {
+        let times: Vec<f64> = caps
+            .iter()
+            .map(|(_, cap)| run(strategy, repair, n, *cap, 1))
+            .collect();
+        row(label, &times);
+    }
+
+    // ---- 15b: number of secondary indexes --------------------------------
+    table_header(
+        "Figure 15b",
+        &format!("upsert sim-minutes vs number of secondary indexes ({n} ops, 10% updates)"),
+        &["strategy", "1", "2", "3", "4", "5"],
+    );
+    let default_cap = dataset_bytes / 20;
+    for (label, strategy, repair) in [
+        ("eager", StrategyKind::Eager, false),
+        ("validation", StrategyKind::Validation, true),
+        ("validation (no repair)", StrategyKind::Validation, false),
+        ("deleted-key B+tree", StrategyKind::DeletedKeyBTree, true),
+    ] {
+        let times: Vec<f64> = (1..=5)
+            .map(|k| run(strategy, repair, n, default_cap, k))
+            .collect();
+        row(label, &times);
+    }
+}

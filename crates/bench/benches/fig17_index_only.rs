@@ -1,0 +1,92 @@
+//! Figure 17: index-only secondary-index query performance (Section 6.4.1).
+//!
+//! Index-only queries return primary keys without fetching records; under
+//! Eager the secondary scan alone suffices, while Timestamp validation adds
+//! the sort + pk-index probing.
+//!
+//! Expected shape (paper, log scale): Eager is 3–5× faster than Timestamp
+//! validation; merge repair helps validation both by raising repaired
+//! timestamps (more pk-index pruning) and by removing obsolete entries.
+
+use lsm_bench::{row, scaled, table_header, Env, EnvConfig, Timer};
+use lsm_common::Value;
+use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::{Dataset, StrategyKind};
+use lsm_workload::{SelectivityQueries, UpdateDistribution};
+
+const SELECTIVITIES: [f64; 5] = [0.00001, 0.00005, 0.0001, 0.001, 0.01];
+const LABELS: [&str; 5] = ["0.001%", "0.005%", "0.01%", "0.1%", "1%"];
+
+fn query_times(ds: &Dataset, validation: ValidationMethod) -> Vec<f64> {
+    SELECTIVITIES
+        .iter()
+        .map(|sel| {
+            let mut q = SelectivityQueries::new((sel * 1e7) as u64);
+            let reps = 3;
+            let timer = Timer::start(ds.storage().clock());
+            for _ in 0..reps {
+                let (lo, hi) = q.user_id_range(*sel);
+                let res = secondary_query(
+                    ds,
+                    "user_id",
+                    Some(&Value::Int(lo)),
+                    Some(&Value::Int(hi)),
+                    &QueryOptions {
+                        validation,
+                        index_only: true,
+                        ..Default::default()
+                    },
+                )
+                .expect("query");
+                std::hint::black_box(res.len());
+            }
+            timer.elapsed().0 / reps as f64
+        })
+        .collect()
+}
+
+fn prepare(strategy: StrategyKind, update_ratio: f64, n: usize, repair: bool) -> (Env, Dataset) {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ..Default::default()
+    });
+    let mut c = lsm_bench::tweet_dataset_config(strategy, dataset_bytes, 1);
+    c.merge_repair = repair;
+    let ds = lsm_bench::open_tweet_dataset(&env, c);
+    let mut workload = lsm_workload::UpsertWorkload::new(
+        lsm_workload::TweetConfig::default(),
+        update_ratio,
+        UpdateDistribution::Uniform,
+    );
+    for _ in 0..n {
+        lsm_bench::apply(&ds, &workload.next_op());
+    }
+    ds.flush_all().expect("flush");
+    (env, ds)
+}
+
+fn main() {
+    let n = scaled(80_000);
+    for update_ratio in [0.0, 0.5] {
+        table_header(
+            "Figure 17",
+            &format!(
+                "index-only query sim-seconds, update ratio {:.0}% ({n} ops)",
+                update_ratio * 100.0
+            ),
+            &["variant", LABELS[0], LABELS[1], LABELS[2], LABELS[3], LABELS[4]],
+        );
+        let (_e1, eager) = prepare(StrategyKind::Eager, update_ratio, n, false);
+        row("eager", &query_times(&eager, ValidationMethod::None));
+        drop(eager);
+        let (_e2, no_repair) = prepare(StrategyKind::Validation, update_ratio, n, false);
+        row(
+            "ts (no repair)",
+            &query_times(&no_repair, ValidationMethod::Timestamp),
+        );
+        drop(no_repair);
+        let (_e3, repaired) = prepare(StrategyKind::Validation, update_ratio, n, true);
+        row("ts", &query_times(&repaired, ValidationMethod::Timestamp));
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 21: repair with large (1KB) records, update ratio 10%
+//! (Section 6.5).
+//!
+//! Expected shape (paper): large records hurt primary repair (it scans full
+//! records) but leave secondary repair untouched (it reads only the
+//! primary key index).
+
+use lsm_bench::{apply, row, scaled, table_header, Env, EnvConfig, Timer};
+use lsm_engine::{full_repair, primary_repair, RepairMode, RepairOptions, StrategyKind};
+use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
+
+fn run(method: &str, n: usize, checkpoints: usize) -> Vec<f64> {
+    let record_bytes = 1000u64;
+    let dataset_bytes = (n as u64) * record_bytes;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ..Default::default()
+    });
+    let mut cfg = lsm_bench::tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    cfg.merge_repair = false;
+    if method == "secondary repair (bf)" {
+        // bf requires correlated merges + repair at every merge (§4.4).
+        cfg.merge.correlated = true;
+        cfg.repair_bloom_opt = true;
+        cfg.merge_repair = true;
+        // Blocked Bloom filters keep the per-key probe cost at one cache
+        // miss, which is what makes the optimization pay off at this scale.
+        cfg.bloom_kind = lsm_bloom::BloomKind::Blocked;
+    }
+    let ds = lsm_bench::open_tweet_dataset(&env, cfg);
+    let mut workload = UpsertWorkload::new(
+        TweetConfig::with_record_bytes(record_bytes as usize),
+        0.1,
+        UpdateDistribution::Uniform,
+    );
+    let step = n / checkpoints;
+    let mut series = Vec::new();
+    for _ in 0..checkpoints {
+        for _ in 0..step {
+            apply(&ds, &workload.next_op());
+        }
+        ds.flush_all().expect("flush");
+        let timer = Timer::start(&env.clock);
+        match method {
+            "primary repair" => {
+                primary_repair(&ds, false).expect("repair");
+            }
+            "secondary repair" => {
+                full_repair(&ds, &RepairOptions::default(), false).expect("repair");
+            }
+            "secondary repair (bf)" => {
+                full_repair(
+                    &ds,
+                    &RepairOptions {
+                        mode: RepairMode::PrimaryKeyIndex { bloom_opt: true },
+                        merge_scan_opt: true,
+                    },
+                    false,
+                )
+                .expect("repair");
+            }
+            _ => unreachable!(),
+        }
+        series.push(timer.elapsed().0);
+    }
+    series
+}
+
+fn main() {
+    let n = scaled(40_000);
+    table_header(
+        "Figure 21",
+        &format!("repair sim-seconds with 1KB records ({n} ops, 10% updates)"),
+        &["method", "20%", "40%", "60%", "80%", "100%"],
+    );
+    for method in ["primary repair", "secondary repair", "secondary repair (bf)"] {
+        row(method, &run(method, n, 5));
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 23: overhead of the Mutable-bitmap concurrency-control methods
+//! (Section 6.6).
+//!
+//! Four components are merged while writers ingest at maximum speed.
+//! Baseline = the same merge with no coordination. Because lock overhead is
+//! real CPU work (not simulated I/O), this figure reports **wall-clock**
+//! merge time.
+//!
+//! Expected shape (paper): the Side-file method is within noise of the
+//! baseline; the Lock method is consistently slower (per-key latching);
+//! the Lock method's gap narrows as records grow (locking is amortized
+//! over larger copies) and it benefits from updates (deleted entries are
+//! skipped during the merge, while the Side-file method applies them in
+//! catch-up).
+
+use lsm_bench::{row, scaled, table_header, Env, EnvConfig};
+use lsm_common::{Record, Value};
+use lsm_engine::cc::{merge_primary_with_cc, CcMethod};
+use lsm_engine::{Dataset, StrategyKind};
+use lsm_tree::MergeRange;
+use lsm_workload::{TweetConfig, TweetGenerator};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Setup {
+    ds: Arc<Dataset>,
+    gen: TweetGenerator,
+    #[allow(dead_code)]
+    env: Env,
+}
+
+/// Loads 4 components of `per_comp` records of ~`record_bytes` each.
+fn load(per_comp: usize, record_bytes: usize) -> Setup {
+    let dataset_bytes = (4 * per_comp * record_bytes) as u64;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ..Default::default()
+    });
+    let mut cfg = lsm_bench::tweet_dataset_config(StrategyKind::MutableBitmap, dataset_bytes, 0);
+    cfg.memory_budget = usize::MAX; // flush manually into exactly 4 components
+    let ds = Dataset::open(env.storage.clone(), None, cfg).expect("dataset");
+    let mut gen = TweetGenerator::new(TweetConfig::with_record_bytes(record_bytes));
+    for _ in 0..4 {
+        for _ in 0..per_comp {
+            ds.insert(&gen.next_new()).expect("insert");
+        }
+        ds.flush_all().expect("flush");
+    }
+    Setup {
+        ds: Arc::new(ds),
+        gen,
+        env,
+    }
+}
+
+/// Runs the merge under `method` with one writer thread upserting at max
+/// speed; `update_ratio` of writer ops target keys in the merging
+/// components. Returns wall seconds for the merge.
+fn run(setup: &mut Setup, method: CcMethod, update_ratio: f64, record_bytes: usize) -> f64 {
+    let ds = setup.ds.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = stop.clone();
+    let existing: Vec<i64> = (0..setup.gen.num_issued())
+        .map(|i| setup.gen.issued_key(i))
+        .collect();
+    let writer_ds = ds.clone();
+    let writer = std::thread::spawn(move || {
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut fresh: i64 = i64::MAX / 2;
+        let msg = "m".repeat(record_bytes.saturating_sub(50).max(1));
+        while !writer_stop.load(Ordering::Relaxed) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
+            let id = if frac < update_ratio && !existing.is_empty() {
+                existing[(x % existing.len() as u64) as usize]
+            } else {
+                fresh += 1;
+                fresh
+            };
+            let r = Record::new(vec![
+                Value::Int(id),
+                Value::Int((x % 100_000) as i64),
+                Value::Str("CA".into()),
+                Value::Int(0),
+                Value::Str(msg.clone()),
+            ]);
+            writer_ds.upsert_no_maintenance(&r).expect("upsert");
+        }
+    });
+
+    let range = MergeRange {
+        start: 0,
+        end: ds.primary().num_disk_components() - 1,
+    };
+    let wall = std::time::Instant::now();
+    merge_primary_with_cc(&ds, range, method).expect("merge");
+    let elapsed = wall.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    elapsed
+}
+
+fn methods() -> [(&'static str, CcMethod); 3] {
+    [
+        ("baseline", CcMethod::Baseline),
+        ("side-file", CcMethod::SideFile),
+        ("lock", CcMethod::Lock),
+    ]
+}
+
+fn main() {
+    let base = scaled(30_000) / 4;
+
+    // ---- 23a: update ratio sweep -------------------------------------------
+    let ratios = [0.0, 0.2, 0.4, 0.8, 1.0];
+    table_header(
+        "Figure 23a",
+        &format!("merge wall-seconds vs update ratio (4 x {base} records of 100B)"),
+        &["method", "0%", "20%", "40%", "80%", "100%"],
+    );
+    for (label, method) in methods() {
+        let times: Vec<f64> = ratios
+            .iter()
+            .map(|r| {
+                let mut setup = load(base, 100);
+                run(&mut setup, method, *r, 100)
+            })
+            .collect();
+        row(label, &times);
+    }
+
+    // ---- 23b: record size sweep ---------------------------------------------
+    let sizes = [20usize, 100, 200, 500, 1000];
+    table_header(
+        "Figure 23b",
+        &format!("merge wall-seconds vs record size (4 x {base} records, 50% updates)"),
+        &["method", "20B", "100B", "200B", "500B", "1000B"],
+    );
+    for (label, method) in methods() {
+        let times: Vec<f64> = sizes
+            .iter()
+            .map(|s| {
+                let mut setup = load(base, *s);
+                run(&mut setup, method, 0.5, *s)
+            })
+            .collect();
+        row(label, &times);
+    }
+
+    // ---- 23c: component size sweep -------------------------------------------
+    let factors = [1usize, 2, 3, 4, 5];
+    table_header(
+        "Figure 23c",
+        &format!("merge wall-seconds vs records per component ({base} x factor, 50% updates)"),
+        &["method", "1x", "2x", "3x", "4x", "5x"],
+    );
+    for (label, method) in methods() {
+        let times: Vec<f64> = factors
+            .iter()
+            .map(|f| {
+                let mut setup = load(base * f, 100);
+                run(&mut setup, method, 0.5, 100)
+            })
+            .collect();
+        row(label, &times);
+    }
+}

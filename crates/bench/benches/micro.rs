@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks for the CPU-level optimizations of Section 3.2
+//! (real wall-clock, not simulated): standard vs blocked Bloom filter
+//! probes, and cold B+-tree search vs the stateful cursor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lsm_bloom::{BlockedBloom, BloomFilter, StandardBloom};
+use lsm_btree::{BTree, BTreeBuilder, StatefulCursor};
+use lsm_storage::{Storage, StorageOptions};
+
+fn bench_bloom(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut standard = StandardBloom::new(n, 0.01);
+    let mut blocked = BlockedBloom::new(n, 0.01);
+    for i in 0..n as u64 {
+        standard.insert(&i.to_le_bytes());
+        blocked.insert(&i.to_le_bytes());
+    }
+    let mut group = c.benchmark_group("bloom_probe");
+    let probe_keys: Vec<[u8; 8]> = (0..1024u64).map(|i| (i * 7919).to_le_bytes()).collect();
+    group.bench_function("standard", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for k in &probe_keys {
+                if standard.may_contain(k) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("blocked", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for k in &probe_keys {
+                if blocked.may_contain(k) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn build_tree(n: u32) -> BTree {
+    let storage = Storage::new(StorageOptions {
+        cache_pages: 1 << 20, // fully cached: measure CPU only
+        ..StorageOptions::test()
+    });
+    let mut b = BTreeBuilder::new(storage);
+    for i in 0..n {
+        b.add(format!("key{i:08}").as_bytes(), b"v").unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn bench_btree_search(c: &mut Criterion) {
+    let tree = build_tree(100_000);
+    // Warm the cache.
+    for i in (0..100_000).step_by(100) {
+        tree.search(format!("key{i:08}").as_bytes()).unwrap();
+    }
+    let probes: Vec<String> = (0..100_000).step_by(10).map(|i| format!("key{i:08}")).collect();
+    let mut group = c.benchmark_group("btree_sorted_probes");
+    group.bench_function("root_to_leaf", |b| {
+        b.iter(|| {
+            let mut found = 0;
+            for p in &probes {
+                if tree.search(p.as_bytes()).unwrap().is_some() {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found)
+        })
+    });
+    group.bench_function("stateful_cursor", |b| {
+        b.iter_batched(
+            || StatefulCursor::new(&tree),
+            |mut cursor| {
+                let mut found = 0;
+                for p in &probes {
+                    if cursor.seek(p.as_bytes()).unwrap().is_some() {
+                        found += 1;
+                    }
+                }
+                std::hint::black_box(found)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bloom, bench_btree_search
+}
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Shared harness for the figure-reproduction benchmarks.
+//!
+//! Every bench target in `benches/` regenerates one figure of Section 6.
+//! The paper's testbed (80M tweets ≈ 30GB on a 7200rpm disk, 2GB buffer
+//! cache, 128MB memory components, 1GB maximum mergeable components) is
+//! scaled down by roughly 200× while preserving the *ratios* that shape the
+//! results:
+//!
+//! | knob                     | paper    | here (default)        |
+//! |--------------------------|----------|-----------------------|
+//! | records                  | 80M      | ~100K (per bench)     |
+//! | record size              | ~500B    | 500B                  |
+//! | buffer cache / dataset   | ~6.7%    | same ratio            |
+//! | memory comps / dataset   | ~0.4%    | ~1% (merge pacing)    |
+//! | max mergeable / dataset  | ~3.3%    | ~5% (≈20 components)  |
+//! | page size                | 128KB    | 128KB (≈260 recs/page)|
+//! | bloom FPR                | 1%       | 1%                    |
+//! | tiering size ratio       | 1.2      | 1.2                   |
+//!
+//! Results are reported in **simulated seconds** (the paper's y-axes) with
+//! wall-clock seconds alongside. `EXPERIMENTS.md` records paper-vs-measured
+//! shapes.
+
+use lsm_common::{Record, Value};
+use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
+use lsm_storage::{SimClock, Storage, StorageOptions};
+use lsm_workload::{Op, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
+use std::sync::Arc;
+
+/// Scale factor for bench sizes; override with `LSM_BENCH_SCALE` (e.g. 0.2
+/// for a quick smoke run, 4.0 for a long run).
+pub fn scale() -> f64 {
+    std::env::var("LSM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled by [`scale`].
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()).max(16.0) as usize
+}
+
+/// A scaled experimental environment.
+pub struct Env {
+    /// Data device.
+    pub storage: Arc<Storage>,
+    /// Log device (separate disk, as in §6.1), sharing the same clock.
+    pub log_storage: Arc<Storage>,
+    /// Shared simulated clock.
+    pub clock: SimClock,
+}
+
+/// Knobs for [`Env::new`].
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Expected dataset size in bytes (sizes the cache).
+    pub dataset_bytes: u64,
+    /// Buffer cache as a fraction of the dataset (paper: 2GB / 30GB).
+    pub cache_fraction: f64,
+    /// Use the SSD profile instead of HDD.
+    pub ssd: bool,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            dataset_bytes: 50 * 1024 * 1024,
+            cache_fraction: 0.067,
+            ssd: false,
+        }
+    }
+}
+
+impl Env {
+    /// Creates a scaled environment.
+    pub fn new(cfg: &EnvConfig) -> Self {
+        let cache_bytes = (cfg.dataset_bytes as f64 * cfg.cache_fraction) as usize;
+        let opts = if cfg.ssd {
+            StorageOptions::ssd(cache_bytes)
+        } else {
+            StorageOptions::hdd(cache_bytes)
+        };
+        let clock = SimClock::new();
+        let storage = Storage::with_clock(opts.clone(), clock.clone());
+        let log_storage = Storage::with_clock(opts, clock.clone());
+        Env {
+            storage,
+            log_storage,
+            clock,
+        }
+    }
+}
+
+/// Builds the tweet dataset configuration of Section 6.1: secondary index
+/// on `user_id`, range filter on `creation_time`.
+pub fn tweet_dataset_config(
+    strategy: StrategyKind,
+    dataset_bytes: u64,
+    num_secondaries: usize,
+) -> DatasetConfig {
+    let mut cfg = DatasetConfig::new(TweetGenerator::schema(), 0);
+    cfg.strategy = strategy;
+    cfg.filter_field = Some(3); // creation_time
+    cfg.secondary_indexes = (0..num_secondaries)
+        .map(|i| SecondaryIndexDef {
+            name: if i == 0 {
+                "user_id".into()
+            } else {
+                format!("user_id_{i}")
+            },
+            field: 1, // all on user_id, as in §6.3 ("adding more indexes")
+        })
+        .collect();
+    cfg.memory_budget = (dataset_bytes / 100).max(256 * 1024) as usize;
+    cfg.merge.max_mergeable_bytes = (dataset_bytes / 20).max(1024 * 1024);
+    cfg
+}
+
+/// Opens a tweet dataset in `env`.
+pub fn open_tweet_dataset(env: &Env, cfg: DatasetConfig) -> Dataset {
+    Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg)
+        .expect("valid bench dataset")
+}
+
+/// Applies one workload op to the dataset.
+pub fn apply(ds: &Dataset, op: &Op) {
+    match op {
+        Op::Insert(r) => {
+            ds.insert(r).expect("insert");
+        }
+        Op::Upsert(r) => ds.upsert(r).expect("upsert"),
+    }
+}
+
+/// Ingests `n` upsert ops, returning `(records, sim_minutes)` checkpoints —
+/// the series plotted in Figures 13/14.
+pub fn ingest_series(
+    ds: &Dataset,
+    workload: &mut UpsertWorkload,
+    n: usize,
+    checkpoints: usize,
+) -> Vec<(u64, f64)> {
+    let clock = ds.storage().clock().clone();
+    let start = clock.now_secs();
+    let mut series = Vec::new();
+    let step = (n / checkpoints.max(1)).max(1);
+    for i in 0..n {
+        let op = workload.next_op();
+        apply(ds, &op);
+        if (i + 1) % step == 0 {
+            series.push(((i + 1) as u64, (clock.now_secs() - start) / 60.0));
+        }
+    }
+    series
+}
+
+/// Prepares a tweet dataset of `n` records with `update_ratio` updates,
+/// returning the dataset and the generator used (for key access).
+pub fn prepare_dataset(
+    env: &Env,
+    strategy: StrategyKind,
+    dataset_bytes: u64,
+    n: usize,
+    update_ratio: f64,
+    distribution: UpdateDistribution,
+) -> (Dataset, UpsertWorkload) {
+    let cfg = tweet_dataset_config(strategy, dataset_bytes, 1);
+    let ds = open_tweet_dataset(env, cfg);
+    let mut workload = UpsertWorkload::new(TweetConfig::default(), update_ratio, distribution);
+    for _ in 0..n {
+        let op = workload.next_op();
+        apply(&ds, &op);
+    }
+    ds.flush_all().expect("flush");
+    (ds, workload)
+}
+
+/// A stopwatch pairing simulated and wall-clock time.
+pub struct Timer {
+    clock: SimClock,
+    sim_start: f64,
+    wall_start: std::time::Instant,
+}
+
+impl Timer {
+    /// Starts timing on `clock`.
+    pub fn start(clock: &SimClock) -> Self {
+        Timer {
+            clock: clock.clone(),
+            sim_start: clock.now_secs(),
+            wall_start: std::time::Instant::now(),
+        }
+    }
+
+    /// `(simulated seconds, wall seconds)` since start.
+    pub fn elapsed(&self) -> (f64, f64) {
+        (
+            self.clock.now_secs() - self.sim_start,
+            self.wall_start.elapsed().as_secs_f64(),
+        )
+    }
+}
+
+/// Prints a table header for a figure.
+pub fn table_header(figure: &str, title: &str, columns: &[&str]) {
+    println!();
+    println!("=== {figure}: {title} ===");
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one row of numbers.
+pub fn row(label: &str, values: &[f64]) {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    println!("{label}\t{}", cells.join("\t"));
+}
+
+/// Builds a `creation_time` range predicate selecting the most recent
+/// `days` out of `total_days` over a dataset whose creation times span
+/// `0..max_time`.
+pub fn recent_time_range(max_time: i64, days: i64, total_days: i64) -> (Option<Value>, Option<Value>) {
+    let lo = max_time - max_time * days / total_days;
+    (Some(Value::Int(lo)), None)
+}
+
+/// Range predicate selecting the OLDEST `days` out of `total_days`.
+pub fn old_time_range(max_time: i64, days: i64, total_days: i64) -> (Option<Value>, Option<Value>) {
+    let hi = max_time * days / total_days;
+    (None, Some(Value::Int(hi)))
+}
+
+/// Convenience: a record's primary key value.
+pub fn pk_of(r: &Record) -> i64 {
+    r.get(0).as_int().expect("int pk")
+}

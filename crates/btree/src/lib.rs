@@ -1,0 +1,26 @@
+//! Immutable B+-trees for LSM disk components, plus the in-leaf search
+//! machinery behind the paper's point-lookup optimizations.
+//!
+//! LSM components are written once (flush or merge) and never updated, so
+//! the tree here is a bulk-loaded, tightly packed structure:
+//!
+//! * [`builder::BTreeBuilder`] — streaming bottom-up bulk loader; leaves are
+//!   written contiguously so scans are sequential;
+//! * [`tree::BTree`] — point search (returning each entry's global ordinal,
+//!   which validity bitmaps index by), range scans, key-range metadata;
+//! * [`cursor::StatefulCursor`] — the "stateful B+-tree lookup" of
+//!   Section 3.2: remembers the last leaf/position and uses exponential
+//!   search for sorted probe streams.
+//!
+//! All page reads go through [`lsm_storage::Storage`], so every search and
+//! scan is charged to the simulated device and CPU cost models.
+
+pub mod builder;
+pub mod cursor;
+pub mod encoding;
+pub mod page;
+pub mod tree;
+
+pub use builder::BTreeBuilder;
+pub use cursor::StatefulCursor;
+pub use tree::{BTree, BTreeScan};

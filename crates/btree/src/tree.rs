@@ -1,0 +1,410 @@
+//! Read-side of the immutable B+-tree.
+//!
+//! A [`BTree`] is a handle over a finished component file: it knows the root,
+//! height, leaf count, and key range, and provides point search (returning
+//! the entry's global ordinal, which bitmaps index by), leaf location for
+//! cursors, and range/full scans that read leaves sequentially.
+
+use crate::encoding::get_slice;
+use crate::page::{InternalPage, LeafPage};
+use lsm_common::{Error, Result};
+use lsm_storage::{FileId, PageNo, Storage};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Magic number identifying a tree metadata page.
+pub const META_MAGIC: u32 = 0x4C53_4D42; // "LSMB"
+
+/// Decoded tree metadata.
+#[derive(Debug, Clone)]
+pub struct TreeMeta {
+    /// Root page (leaf 0 for single-leaf trees; `u32::MAX` when empty).
+    pub root: u32,
+    /// Levels including the leaf level; 0 for an empty tree.
+    pub height: u32,
+    /// Number of leaf pages (pages `0..num_leaves`).
+    pub num_leaves: u32,
+    /// Total entries.
+    pub num_entries: u64,
+    /// Smallest key, if any.
+    pub min_key: Option<Vec<u8>>,
+    /// Largest key, if any.
+    pub max_key: Option<Vec<u8>>,
+}
+
+/// An immutable B+-tree stored in one simulated file.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    storage: Arc<Storage>,
+    file: FileId,
+    meta: TreeMeta,
+}
+
+impl BTree {
+    pub(crate) fn from_parts(storage: Arc<Storage>, file: FileId, meta: TreeMeta) -> Self {
+        BTree {
+            storage,
+            file,
+            meta,
+        }
+    }
+
+    /// Opens a tree previously built in `file` (reads the metadata page).
+    pub fn open(storage: Arc<Storage>, file: FileId) -> Result<Self> {
+        let pages = storage.file_pages(file)?;
+        if pages == 0 {
+            return Err(Error::corruption("btree file has no pages"));
+        }
+        let data = storage.read_page(file, pages - 1)?;
+        if data.len() < 24 {
+            return Err(Error::corruption("metadata page too short"));
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        if magic != META_MAGIC {
+            return Err(Error::corruption("bad btree magic"));
+        }
+        let root = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        let height = u32::from_le_bytes(data[8..12].try_into().unwrap());
+        let num_leaves = u32::from_le_bytes(data[12..16].try_into().unwrap());
+        let num_entries = u64::from_le_bytes(data[16..24].try_into().unwrap());
+        let (min_raw, n) = get_slice(&data[24..])?;
+        let (max_raw, _) = get_slice(&data[24 + n..])?;
+        let (min_key, max_key) = if num_entries == 0 {
+            (None, None)
+        } else {
+            (Some(min_raw.to_vec()), Some(max_raw.to_vec()))
+        };
+        Ok(BTree {
+            storage,
+            file,
+            meta: TreeMeta {
+                root,
+                height,
+                num_leaves,
+                num_entries,
+                min_key,
+                max_key,
+            },
+        })
+    }
+
+    /// The backing file.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The storage device this tree lives on.
+    pub fn storage(&self) -> &Arc<Storage> {
+        &self.storage
+    }
+
+    /// Total number of entries.
+    pub fn num_entries(&self) -> u64 {
+        self.meta.num_entries
+    }
+
+    /// Number of leaf pages.
+    pub fn num_leaves(&self) -> u32 {
+        self.meta.num_leaves
+    }
+
+    /// Tree height (leaf level included); 0 when empty.
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// Smallest stored key.
+    pub fn min_key(&self) -> Option<&[u8]> {
+        self.meta.min_key.as_deref()
+    }
+
+    /// Largest stored key.
+    pub fn max_key(&self) -> Option<&[u8]> {
+        self.meta.max_key.as_deref()
+    }
+
+    /// Approximate on-disk size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.storage.file_pages(self.file).unwrap_or(0) as u64 * self.storage.page_size() as u64
+    }
+
+    fn charge_node(&self, cmps: u32) {
+        let cpu = self.storage.cpu();
+        self.storage
+            .charge_cpu(cpu.btree_node_visit_ns + u64::from(cmps) * cpu.key_cmp_ns);
+    }
+
+    /// Descends to the leaf page that would contain `key`.
+    /// Returns `None` on an empty tree.
+    pub fn locate_leaf(&self, key: &[u8]) -> Result<Option<PageNo>> {
+        if self.meta.height == 0 {
+            return Ok(None);
+        }
+        let mut page_no = self.meta.root;
+        for _ in 1..self.meta.height {
+            let data = self.storage.read_page(self.file, page_no)?;
+            let page = InternalPage::parse(&data)?;
+            let (_, child, cmps) = page.route(key)?;
+            self.charge_node(cmps);
+            page_no = child;
+        }
+        Ok(Some(page_no))
+    }
+
+    /// Point lookup. Returns `(value, global ordinal)` if the key exists.
+    pub fn search(&self, key: &[u8]) -> Result<Option<(Vec<u8>, u64)>> {
+        let Some(leaf_no) = self.locate_leaf(key)? else {
+            return Ok(None);
+        };
+        let data = self.storage.read_page(self.file, leaf_no)?;
+        let leaf = LeafPage::parse(&data)?;
+        let (found, cmps) = leaf.search(key)?;
+        self.charge_node(cmps);
+        match found {
+            Ok(idx) => {
+                let (_, v) = leaf.entry(idx)?;
+                Ok(Some((v.to_vec(), leaf.base_ordinal() + idx as u64)))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Reads and parses leaf page `leaf_no`, returning the raw page bytes.
+    /// Callers re-parse with [`LeafPage::parse`]; pages are cheap to parse
+    /// (header + slot directory only).
+    pub fn read_leaf(&self, leaf_no: PageNo) -> Result<Arc<[u8]>> {
+        debug_assert!(leaf_no < self.meta.num_leaves);
+        self.storage.read_page(self.file, leaf_no)
+    }
+
+    /// Creates a scan over entries in `[lo, hi]` (bounds on encoded keys).
+    pub fn scan(&self, lo: Bound<&[u8]>, hi: Bound<Vec<u8>>) -> Result<BTreeScan> {
+        let (start_leaf, start_idx) = match &lo {
+            Bound::Unbounded => (0, 0),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                match self.locate_leaf(k)? {
+                    None => (0, 0),
+                    Some(leaf_no) => {
+                        let data = self.read_leaf(leaf_no)?;
+                        let leaf = LeafPage::parse(&data)?;
+                        let (found, cmps) = leaf.search(k)?;
+                        self.charge_node(cmps);
+                        let idx = match (found, &lo) {
+                            (Ok(i), Bound::Included(_)) => i,
+                            (Ok(i), _) => i + 1,
+                            (Err(i), _) => i,
+                        };
+                        (leaf_no, idx)
+                    }
+                }
+            }
+        };
+        Ok(BTreeScan {
+            tree: self.clone(),
+            leaf_no: start_leaf,
+            idx: start_idx,
+            hi,
+            done: self.meta.num_leaves == 0,
+            next_readahead: start_leaf,
+            buffer_start: 0,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// Scans the whole tree in key order.
+    pub fn scan_all(&self) -> Result<BTreeScan> {
+        self.scan(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Deletes the backing file (after the component is dropped by a merge).
+    pub fn destroy(&self) -> Result<()> {
+        self.storage.delete_file(self.file)
+    }
+}
+
+/// Streaming scan over a key range. Leaves are contiguous pages, so the
+/// underlying reads are sequential.
+pub struct BTreeScan {
+    tree: BTree,
+    leaf_no: PageNo,
+    idx: usize,
+    hi: Bound<Vec<u8>>,
+    done: bool,
+    /// First leaf not yet covered by a read-ahead burst.
+    next_readahead: PageNo,
+    /// Private scan buffer holding the current burst, so interleaved scans
+    /// (k-way merges over many components) do not thrash the shared cache.
+    buffer_start: PageNo,
+    buffer: Vec<Arc<[u8]>>,
+}
+
+impl BTreeScan {
+    /// Returns the next `(key, value, ordinal)`, or `None` at end of range.
+    #[allow(clippy::type_complexity)]
+    pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>, u64)>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.leaf_no >= self.tree.meta.num_leaves {
+                self.done = true;
+                return Ok(None);
+            }
+            // Issue a read-ahead burst so the sequential leaf reads are
+            // amortized over one seek (the paper's 4MB read-ahead), and keep
+            // the burst in a private buffer so interleaved scans don't
+            // re-pay for pages evicted from the shared cache.
+            if self.leaf_no >= self.next_readahead {
+                let ra = self.tree.storage.readahead_pages();
+                let count = ra.min(self.tree.meta.num_leaves - self.leaf_no);
+                self.tree
+                    .storage
+                    .read_pages(self.tree.file, self.leaf_no, count)?;
+                self.buffer_start = self.leaf_no;
+                self.buffer.clear();
+                for p in self.leaf_no..self.leaf_no + count {
+                    self.buffer.push(self.tree.storage.page_data(self.tree.file, p)?);
+                }
+                self.next_readahead = self.leaf_no + count;
+            }
+            let data = if self.leaf_no >= self.buffer_start
+                && ((self.leaf_no - self.buffer_start) as usize) < self.buffer.len()
+            {
+                self.buffer[(self.leaf_no - self.buffer_start) as usize].clone()
+            } else {
+                self.tree.read_leaf(self.leaf_no)?
+            };
+            let leaf = LeafPage::parse(&data)?;
+            if self.idx >= leaf.count() {
+                self.leaf_no += 1;
+                self.idx = 0;
+                continue;
+            }
+            let (k, v) = leaf.entry(self.idx)?;
+            let within = match &self.hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => k <= h.as_slice(),
+                Bound::Excluded(h) => k < h.as_slice(),
+            };
+            if !within {
+                self.done = true;
+                return Ok(None);
+            }
+            let ordinal = leaf.base_ordinal() + self.idx as u64;
+            self.idx += 1;
+            // Streaming cost: one comparison-equivalent per entry.
+            self.tree
+                .storage
+                .charge_cpu(self.tree.storage.cpu().key_cmp_ns);
+            return Ok(Some((k.to_vec(), v.to_vec(), ordinal)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BTreeBuilder;
+    use lsm_storage::StorageOptions;
+
+    fn storage() -> Arc<Storage> {
+        Storage::new(StorageOptions::test())
+    }
+
+    fn build(n: u32) -> BTree {
+        let mut b = BTreeBuilder::new(storage());
+        for i in 0..n {
+            b.add(
+                format!("key{i:08}").as_bytes(),
+                format!("v{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn scan_all_returns_everything_in_order() {
+        let t = build(3000);
+        let mut scan = t.scan_all().unwrap();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0u64;
+        while let Some((k, _, ord)) = scan.next_entry().unwrap() {
+            if let Some(p) = &prev {
+                assert!(&k > p);
+            }
+            assert_eq!(ord, count);
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, 3000);
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let t = build(100);
+        let lo = b"key00000010".to_vec();
+        let hi = b"key00000019".to_vec();
+        let mut scan = t
+            .scan(Bound::Included(&lo), Bound::Included(hi))
+            .unwrap();
+        let mut keys = Vec::new();
+        while let Some((k, _, _)) = scan.next_entry().unwrap() {
+            keys.push(String::from_utf8(k).unwrap());
+        }
+        assert_eq!(keys.len(), 10);
+        assert_eq!(keys[0], "key00000010");
+        assert_eq!(keys[9], "key00000019");
+    }
+
+    #[test]
+    fn range_scan_exclusive_and_missing_bounds() {
+        let t = build(100);
+        let lo = b"key00000010x".to_vec(); // between 10 and 11
+        let hi = b"key00000012".to_vec();
+        let mut scan = t
+            .scan(Bound::Included(&lo), Bound::Excluded(hi))
+            .unwrap();
+        let mut keys = Vec::new();
+        while let Some((k, _, _)) = scan.next_entry().unwrap() {
+            keys.push(String::from_utf8(k).unwrap());
+        }
+        assert_eq!(keys, vec!["key00000011"]);
+    }
+
+    #[test]
+    fn scan_empty_tree() {
+        let t = build(0);
+        let mut scan = t.scan_all().unwrap();
+        assert!(scan.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_reads_leaves_sequentially() {
+        let t = build(3000);
+        t.storage().clear_cache();
+        let before = t.storage().stats();
+        let mut scan = t.scan_all().unwrap();
+        while scan.next_entry().unwrap().is_some() {}
+        let after = t.storage().stats().since(&before);
+        // All leaf reads but the first should be sequential continuations.
+        assert!(after.seq_reads >= after.rand_reads * 3,
+            "seq {} rand {}", after.seq_reads, after.rand_reads);
+    }
+
+    #[test]
+    fn destroy_frees_file() {
+        let t = build(10);
+        let file = t.file();
+        t.destroy().unwrap();
+        assert!(t.storage().read_page(file, 0).is_err());
+    }
+
+    #[test]
+    fn open_rejects_garbage_file() {
+        let s = storage();
+        let f = s.create_file();
+        s.append_page(f, b"not a btree").unwrap();
+        assert!(BTree::open(s, f).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: the bulk-loaded B+-tree agrees with a BTreeMap model for
+//! search, scans, cursors, and ordinals.
+
+use lsm_btree::{BTree, BTreeBuilder, StatefulCursor};
+use lsm_storage::{Storage, StorageOptions};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+fn build(model: &BTreeMap<Vec<u8>, Vec<u8>>) -> BTree {
+    let storage = Storage::new(StorageOptions::test());
+    let mut b = BTreeBuilder::new(storage);
+    for (k, v) in model {
+        b.add(k, v).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn arb_model() -> impl Strategy<Value = BTreeMap<Vec<u8>, Vec<u8>>> {
+    proptest::collection::btree_map(
+        proptest::collection::vec(any::<u8>(), 1..12),
+        proptest::collection::vec(any::<u8>(), 0..20),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn search_matches_model(model in arb_model(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 0..32)) {
+        let tree = build(&model);
+        // Present keys.
+        for (k, v) in &model {
+            let (got, _) = tree.search(k).unwrap().expect("present key");
+            prop_assert_eq!(&got, v);
+        }
+        // Arbitrary probes.
+        for p in &probes {
+            prop_assert_eq!(tree.search(p).unwrap().map(|(v, _)| v), model.get(p).cloned());
+        }
+    }
+
+    #[test]
+    fn scan_matches_model_range(model in arb_model(), lo in proptest::collection::vec(any::<u8>(), 1..8), hi in proptest::collection::vec(any::<u8>(), 1..8)) {
+        let tree = build(&model);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut scan = tree.scan(Bound::Included(&lo), Bound::Included(hi.clone())).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, v, _)) = scan.next_entry().unwrap() {
+            got.push((k, v));
+        }
+        let want: Vec<_> = model
+            .range::<Vec<u8>, _>((Bound::Included(&lo), Bound::Included(&hi)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ordinals_are_rank(model in arb_model()) {
+        let tree = build(&model);
+        for (rank, (k, _)) in model.iter().enumerate() {
+            let (_, ordinal) = tree.search(k).unwrap().unwrap();
+            prop_assert_eq!(ordinal, rank as u64);
+        }
+    }
+
+    #[test]
+    fn stateful_cursor_matches_search(model in arb_model()) {
+        let tree = build(&model);
+        let mut cursor = StatefulCursor::new(&tree);
+        // Ascending probes over every model key plus misses between them.
+        for k in model.keys() {
+            let via_cursor = cursor.seek(k).unwrap().map(|(v, _)| v);
+            prop_assert_eq!(via_cursor, model.get(k).cloned());
+        }
+    }
+}

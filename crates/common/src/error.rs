@@ -1,0 +1,75 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the storage engine.
+///
+/// The engine is an embedded library, so errors are deliberately coarse:
+/// callers either recover by retrying a transaction ([`Error::TxnAborted`])
+/// or they have hit a programming/corruption error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A key was not found where one was required.
+    KeyNotFound,
+    /// An encoded page, record, or key failed to decode.
+    Corruption(String),
+    /// The operation conflicts with the schema or dataset configuration.
+    InvalidArgument(String),
+    /// The transaction was aborted (deadlock avoidance or explicit abort).
+    TxnAborted(String),
+    /// An index with the given name does not exist.
+    NoSuchIndex(String),
+    /// The simulated storage layer rejected the request.
+    Storage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::KeyNotFound => write!(f, "key not found"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::NoSuchIndex(m) => write!(f, "no such index: {m}"),
+            Error::Storage(m) => write!(f, "storage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for invalid-argument errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Error::KeyNotFound.to_string(), "key not found");
+        assert_eq!(
+            Error::corruption("bad page").to_string(),
+            "corruption: bad page"
+        );
+        assert_eq!(Error::invalid("x").to_string(), "invalid argument: x");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::KeyNotFound, Error::KeyNotFound);
+        assert_ne!(Error::KeyNotFound, Error::corruption("x"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal row model: schemas and records.
+//!
+//! The engine stores *records* in a primary LSM index, keyed by a primary-key
+//! field, with secondary indexes defined over other fields (Section 3 of the
+//! paper). The paper's experiments use a synthetic tweet schema
+//! `(id, user_id, location, creation_time, message)`; this module provides
+//! the small general row model those records are expressed in.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// The type of a record field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+}
+
+impl FieldType {
+    fn matches(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (FieldType::Int, Value::Int(_)) | (FieldType::Str, Value::Str(_)) | (_, Value::Null)
+        )
+    }
+}
+
+/// A named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (unique within a schema).
+    pub name: String,
+    /// Field type.
+    pub ty: FieldType,
+}
+
+/// An ordered collection of fields. Field 0 conventions are decided by the
+/// dataset configuration (the engine requires the primary key to be one of
+/// the fields, not necessarily the first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<FieldDef>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidArgument`] on duplicate field names or an
+    /// empty field list.
+    pub fn new(fields: Vec<(&str, FieldType)>) -> Result<Self> {
+        if fields.is_empty() {
+            return Err(Error::invalid("schema must have at least one field"));
+        }
+        let mut defs = Vec::with_capacity(fields.len());
+        for (name, ty) in fields {
+            if defs.iter().any(|d: &FieldDef| d.name == name) {
+                return Err(Error::invalid(format!("duplicate field name {name:?}")));
+            }
+            defs.push(FieldDef {
+                name: name.to_owned(),
+                ty,
+            });
+        }
+        Ok(Schema { fields: defs })
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Resolves a field name to its position.
+    pub fn field_index(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::invalid(format!("no field named {name:?}")))
+    }
+
+    /// Validates that `record` conforms to this schema.
+    pub fn check(&self, record: &Record) -> Result<()> {
+        if record.values.len() != self.fields.len() {
+            return Err(Error::invalid(format!(
+                "record arity {} != schema arity {}",
+                record.values.len(),
+                self.fields.len()
+            )));
+        }
+        for (f, v) in self.fields.iter().zip(&record.values) {
+            if !f.ty.matches(v) {
+                return Err(Error::invalid(format!(
+                    "field {:?} expects {:?}, got {v}",
+                    f.name, f.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A record (row): one value per schema field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Field values, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// Returns the value at `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Serializes the record to bytes (length-prefixed memcomparable values;
+    /// the encoding is self-delimiting so no schema is needed to decode).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for v in &self.values {
+            v.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes a record produced by [`Record::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Record> {
+        Ok(Record {
+            values: crate::value::decode_composite(buf)?,
+        })
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet_schema() -> Schema {
+        Schema::new(vec![
+            ("id", FieldType::Int),
+            ("user_id", FieldType::Int),
+            ("location", FieldType::Str),
+            ("creation_time", FieldType::Int),
+            ("message", FieldType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_construction_and_lookup() {
+        let s = tweet_schema();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.field_index("location").unwrap(), 2);
+        assert!(s.field_index("nope").is_err());
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(Schema::new(vec![]).is_err());
+        assert!(Schema::new(vec![("a", FieldType::Int), ("a", FieldType::Str)]).is_err());
+    }
+
+    #[test]
+    fn record_check() {
+        let s = tweet_schema();
+        let good = Record::new(vec![
+            Value::Int(1),
+            Value::Int(42),
+            Value::Str("CA".into()),
+            Value::Int(2015),
+            Value::Str("hello".into()),
+        ]);
+        assert!(s.check(&good).is_ok());
+
+        let wrong_arity = Record::new(vec![Value::Int(1)]);
+        assert!(s.check(&wrong_arity).is_err());
+
+        let wrong_type = Record::new(vec![
+            Value::Str("x".into()),
+            Value::Int(42),
+            Value::Str("CA".into()),
+            Value::Int(2015),
+            Value::Str("hello".into()),
+        ]);
+        assert!(s.check(&wrong_type).is_err());
+
+        // Nulls are allowed in any field.
+        let with_null = Record::new(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Str("CA".into()),
+            Value::Int(2015),
+            Value::Str("hello".into()),
+        ]);
+        assert!(s.check(&with_null).is_ok());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new(vec![
+            Value::Int(-5),
+            Value::Str("with\0nul".into()),
+            Value::Null,
+        ]);
+        assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+    }
+}

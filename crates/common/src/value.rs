@@ -1,0 +1,270 @@
+//! Typed values and their order-preserving byte encoding.
+//!
+//! Index keys in the engine are raw byte strings compared with `memcmp`
+//! (that is what the B+-tree and LSM layers sort by). To support typed keys —
+//! and in particular the paper's composite secondary-index keys
+//! `(secondary key, primary key)` — every [`Value`] has a *memcomparable*
+//! encoding: for any two values `a`, `b` of the same type,
+//! `a < b  ⇔  encode(a) < encode(b)` bytewise, and no encoding is a strict
+//! prefix of another encoding of the same type, so concatenated (composite)
+//! encodings also compare correctly.
+//!
+//! Encodings:
+//! * `Int(i64)`   → tag `0x01` + 8 bytes big-endian with the sign bit flipped;
+//! * `Str(String)`→ tag `0x02` + bytes with `0x00` escaped as `0x00 0xFF`,
+//!   terminated by `0x00 0x00` (the standard escape/terminator scheme);
+//! * `Null`       → tag `0x00` (sorts before everything).
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A typed value stored in a record or used as an index key part.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Absent value; sorts before all other values.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_INT: u8 = 0x01;
+const TAG_STR: u8 = 0x02;
+
+impl Value {
+    /// Appends the memcomparable encoding of `self` to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                // Flip the sign bit so that negative numbers sort first.
+                out.extend_from_slice(&((*i as u64) ^ (1 << 63)).to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                for &b in s.as_bytes() {
+                    if b == 0x00 {
+                        out.extend_from_slice(&[0x00, 0xFF]);
+                    } else {
+                        out.push(b);
+                    }
+                }
+                out.extend_from_slice(&[0x00, 0x00]);
+            }
+        }
+    }
+
+    /// Returns the memcomparable encoding of `self`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Exact length of the encoding produced by [`Value::encode_into`].
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 9,
+            Value::Str(s) => 1 + s.bytes().filter(|&b| b == 0).count() + s.len() + 2,
+        }
+    }
+
+    /// Decodes one value from the front of `buf`, returning it and the number
+    /// of bytes consumed.
+    pub fn decode_from(buf: &[u8]) -> Result<(Value, usize)> {
+        let tag = *buf.first().ok_or_else(|| Error::corruption("empty value"))?;
+        match tag {
+            TAG_NULL => Ok((Value::Null, 1)),
+            TAG_INT => {
+                if buf.len() < 9 {
+                    return Err(Error::corruption("short int encoding"));
+                }
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&buf[1..9]);
+                let v = (u64::from_be_bytes(raw) ^ (1 << 63)) as i64;
+                Ok((Value::Int(v), 9))
+            }
+            TAG_STR => {
+                let mut bytes = Vec::new();
+                let mut i = 1;
+                loop {
+                    match buf.get(i) {
+                        None => return Err(Error::corruption("unterminated string")),
+                        Some(0x00) => match buf.get(i + 1) {
+                            Some(0x00) => {
+                                let s = String::from_utf8(bytes)
+                                    .map_err(|_| Error::corruption("invalid utf8"))?;
+                                return Ok((Value::Str(s), i + 2));
+                            }
+                            Some(0xFF) => {
+                                bytes.push(0x00);
+                                i += 2;
+                            }
+                            _ => return Err(Error::corruption("bad string escape")),
+                        },
+                        Some(&b) => {
+                            bytes.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            t => Err(Error::corruption(format!("unknown value tag {t:#x}"))),
+        }
+    }
+
+    /// Decodes a value that must occupy the whole buffer.
+    pub fn decode_exact(buf: &[u8]) -> Result<Value> {
+        let (v, n) = Value::decode_from(buf)?;
+        if n != buf.len() {
+            return Err(Error::corruption("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Encodes a composite key from value parts (e.g. `(secondary, primary)`).
+pub fn encode_composite(parts: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(parts.iter().map(Value::encoded_len).sum());
+    for p in parts {
+        p.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decodes all value parts of a composite key.
+pub fn decode_composite(mut buf: &[u8]) -> Result<Vec<Value>> {
+    let mut parts = Vec::new();
+    while !buf.is_empty() {
+        let (v, n) = Value::decode_from(buf)?;
+        parts.push(v);
+        buf = &buf[n..];
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let enc = v.encode();
+        assert_eq!(enc.len(), v.encoded_len());
+        assert_eq!(Value::decode_exact(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Int(0));
+        roundtrip(Value::Int(i64::MIN));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Int(-1));
+        roundtrip(Value::Str(String::new()));
+        roundtrip(Value::Str("hello".into()));
+        roundtrip(Value::Str("with\0nul\0bytes".into()));
+    }
+
+    #[test]
+    fn int_encoding_preserves_order() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, 1_000_000, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(Value::Int(w[0]).encode() < Value::Int(w[1]).encode());
+        }
+    }
+
+    #[test]
+    fn str_encoding_preserves_order() {
+        let vals = ["", "a", "a\0", "a\0b", "aa", "ab", "b"];
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                let (a, b) = (Value::Str(vals[i].into()), Value::Str(vals[j].into()));
+                assert_eq!(a.encode().cmp(&b.encode()), vals[i].cmp(vals[j]), "{i} {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_keys_compare_lexicographically() {
+        // (a, 2) < (b, 1) even though 2 > 1.
+        let k1 = encode_composite(&[Value::Str("a".into()), Value::Int(2)]);
+        let k2 = encode_composite(&[Value::Str("b".into()), Value::Int(1)]);
+        assert!(k1 < k2);
+        // Same first part: falls through to the second part.
+        let k3 = encode_composite(&[Value::Str("a".into()), Value::Int(3)]);
+        assert!(k1 < k3);
+    }
+
+    #[test]
+    fn composite_roundtrip() {
+        let parts = vec![Value::Int(7), Value::Str("x\0y".into()), Value::Null];
+        let enc = encode_composite(&parts);
+        assert_eq!(decode_composite(&enc).unwrap(), parts);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null.encode() < Value::Int(i64::MIN).encode());
+        assert!(Value::Int(i64::MAX).encode() < Value::Str(String::new()).encode());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Value::decode_exact(&[]).is_err());
+        assert!(Value::decode_exact(&[0xEE]).is_err());
+        assert!(Value::decode_exact(&[TAG_INT, 1, 2]).is_err());
+        assert!(Value::decode_exact(&[TAG_STR, b'a']).is_err());
+        // Trailing bytes.
+        let mut enc = Value::Int(1).encode();
+        enc.push(0);
+        assert!(Value::decode_exact(&enc).is_err());
+    }
+}

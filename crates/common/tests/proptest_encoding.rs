@@ -1,0 +1,55 @@
+//! Property tests: the memcomparable encoding is order-preserving and
+//! round-trips, including in composite keys.
+
+use lsm_common::value::{decode_composite, encode_composite};
+use lsm_common::Value;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        ".{0,24}".prop_map(Value::Str),
+        // Strings with embedded NULs exercise the escaping.
+        proptest::collection::vec(prop_oneof![Just(0u8), 1..=255u8], 0..16)
+            .prop_map(|b| Value::Str(String::from_utf8_lossy(&b).into_owned())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(v in arb_value()) {
+        let enc = v.encode();
+        prop_assert_eq!(enc.len(), v.encoded_len());
+        prop_assert_eq!(Value::decode_exact(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn order_preserved(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+    }
+
+    #[test]
+    fn composite_roundtrip(parts in proptest::collection::vec(arb_value(), 0..4)) {
+        let enc = encode_composite(&parts);
+        prop_assert_eq!(decode_composite(&enc).unwrap(), parts);
+    }
+
+    #[test]
+    fn composite_order_preserved(
+        a in proptest::collection::vec(arb_value(), 1..3),
+        b in proptest::collection::vec(arb_value(), 1..3),
+    ) {
+        // Lexicographic on parts ⇔ bytewise on encodings, when no vector is
+        // a strict prefix of the other (prefix pairs compare by length).
+        if a.len() == b.len() {
+            prop_assert_eq!(encode_composite(&a).cmp(&encode_composite(&b)), a.cmp(&b));
+        }
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Value::decode_exact(&bytes); // must return Err, not panic
+        let _ = decode_composite(&bytes);
+    }
+}

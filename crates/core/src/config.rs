@@ -1,0 +1,263 @@
+//! Dataset configuration.
+//!
+//! A dataset (Section 3, Figure 1) has a primary index, an optional primary
+//! key index, and a set of secondary indexes, all LSM-trees sharing one
+//! memory budget so they flush together. The maintenance strategy decides
+//! how auxiliary structures are kept consistent under deletes and upserts.
+
+use lsm_common::{Error, Result, Schema};
+use lsm_tree::TieringPolicy;
+
+/// How auxiliary structures (secondary indexes, filters) are maintained
+/// during ingestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Point lookup before every write; anti-matter for old versions; always
+    /// up-to-date indexes (Section 3.1 — AsterixDB/MyRocks/Phoenix default).
+    Eager,
+    /// Lazy: inserts only, obsolete entries cleaned by background repair;
+    /// queries validate via the primary key index (Section 4).
+    Validation,
+    /// Deletes applied in place to disk components through mutable bitmaps,
+    /// located via the primary key index (Section 5). Secondary indexes are
+    /// maintained with the Validation strategy.
+    MutableBitmap,
+    /// AsterixDB's deleted-key B+-tree baseline: lazy inserts like
+    /// Validation, but merge-time cleanup validates against the full primary
+    /// key index (no repaired-timestamp pruning) and writes a per-component
+    /// deleted-key B+-tree for each secondary index (Section 4.1).
+    DeletedKeyBTree,
+}
+
+impl StrategyKind {
+    /// True if index entries carry ingestion timestamps.
+    pub fn stores_timestamps(self) -> bool {
+        !matches!(self, StrategyKind::Eager)
+    }
+}
+
+/// Definition of one secondary index.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndexDef {
+    /// Index name (unique within the dataset).
+    pub name: String,
+    /// The schema field this index is built on.
+    pub field: usize,
+}
+
+/// Merge configuration.
+#[derive(Debug, Clone)]
+pub struct MergeConfig {
+    /// Tiering size ratio (1.2 in Section 6.1).
+    pub size_ratio: f64,
+    /// Maximum mergeable component size (1GB in the paper, scaled here).
+    pub max_mergeable_bytes: u64,
+    /// Merge all of the dataset's indexes in lockstep (the correlated merge
+    /// policy of Sections 4.4/5.1). Forced on for Mutable-bitmap datasets.
+    pub correlated: bool,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            size_ratio: 1.2,
+            max_mergeable_bytes: 64 * 1024 * 1024,
+            correlated: false,
+        }
+    }
+}
+
+impl MergeConfig {
+    pub(crate) fn policy(&self) -> TieringPolicy {
+        TieringPolicy {
+            size_ratio: self.size_ratio,
+            max_mergeable_bytes: self.max_mergeable_bytes,
+            min_merge_components: 2,
+        }
+    }
+}
+
+/// Full dataset configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Record schema.
+    pub schema: Schema,
+    /// Which field is the primary key.
+    pub pk_field: usize,
+    /// Secondary indexes.
+    pub secondary_indexes: Vec<SecondaryIndexDef>,
+    /// Field carrying the component range filters on the primary index
+    /// (the paper's `creation_time`), if any.
+    pub filter_field: Option<usize>,
+    /// Maintenance strategy.
+    pub strategy: StrategyKind,
+    /// Build a primary key index (Section 3; the paper evaluates inserts
+    /// with and without it). Forced on for Validation/Mutable-bitmap.
+    pub with_pk_index: bool,
+    /// Shared memory-component budget in bytes (128MB in Section 6.1,
+    /// scaled here). When the combined memory components exceed it, all
+    /// indexes flush together.
+    pub memory_budget: usize,
+    /// Merge configuration.
+    pub merge: MergeConfig,
+    /// Bloom filter variant for primary / primary-key components.
+    pub bloom_kind: lsm_bloom::BloomKind,
+    /// Bloom filter false-positive rate (1% in Section 6.1).
+    pub bloom_fpr: f64,
+    /// Repair secondary indexes during merges (Validation strategy).
+    pub merge_repair: bool,
+    /// Use Bloom filters of the primary key index to skip validation during
+    /// repair (Section 4.4; requires correlated merges).
+    pub repair_bloom_opt: bool,
+}
+
+impl DatasetConfig {
+    /// A reasonable default configuration over `schema`.
+    pub fn new(schema: Schema, pk_field: usize) -> Self {
+        DatasetConfig {
+            schema,
+            pk_field,
+            secondary_indexes: Vec::new(),
+            filter_field: None,
+            strategy: StrategyKind::Eager,
+            with_pk_index: true,
+            memory_budget: 4 * 1024 * 1024,
+            merge: MergeConfig::default(),
+            bloom_kind: lsm_bloom::BloomKind::Standard,
+            bloom_fpr: 0.01,
+            merge_repair: true,
+            repair_bloom_opt: false,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.pk_field >= self.schema.arity() {
+            return Err(Error::invalid("pk_field out of range"));
+        }
+        if let Some(f) = self.filter_field {
+            if f >= self.schema.arity() {
+                return Err(Error::invalid("filter_field out of range"));
+            }
+        }
+        let mut names = std::collections::HashSet::new();
+        for def in &self.secondary_indexes {
+            if def.field >= self.schema.arity() {
+                return Err(Error::invalid(format!(
+                    "secondary index {:?} field out of range",
+                    def.name
+                )));
+            }
+            if def.field == self.pk_field {
+                return Err(Error::invalid("secondary index on the primary key"));
+            }
+            if !names.insert(def.name.clone()) {
+                return Err(Error::invalid(format!(
+                    "duplicate secondary index name {:?}",
+                    def.name
+                )));
+            }
+        }
+        if matches!(
+            self.strategy,
+            StrategyKind::Validation | StrategyKind::MutableBitmap | StrategyKind::DeletedKeyBTree
+        ) && !self.with_pk_index
+        {
+            return Err(Error::invalid(
+                "this maintenance strategy requires the primary key index",
+            ));
+        }
+        if self.repair_bloom_opt && !self.merge.correlated {
+            return Err(Error::invalid(
+                "the repair Bloom-filter optimization requires correlated merges",
+            ));
+        }
+        Ok(())
+    }
+
+    /// True if the dataset needs correlated merges regardless of the merge
+    /// config (Mutable-bitmap pairs primary and primary-key components).
+    pub fn requires_correlated_merges(&self) -> bool {
+        matches!(self.strategy, StrategyKind::MutableBitmap) || self.merge.correlated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_common::FieldType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", FieldType::Int),
+            ("user_id", FieldType::Int),
+            ("time", FieldType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        c.secondary_indexes.push(SecondaryIndexDef {
+            name: "user_id".into(),
+            field: 1,
+        });
+        c.filter_field = Some(2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        let mut c = DatasetConfig::new(schema(), 5);
+        assert!(c.validate().is_err());
+        c.pk_field = 0;
+        c.filter_field = Some(9);
+        assert!(c.validate().is_err());
+        c.filter_field = None;
+        c.secondary_indexes.push(SecondaryIndexDef {
+            name: "pk".into(),
+            field: 0,
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_index_names() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        for _ in 0..2 {
+            c.secondary_indexes.push(SecondaryIndexDef {
+                name: "x".into(),
+                field: 1,
+            });
+        }
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lazy_strategies_require_pk_index() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        c.strategy = StrategyKind::Validation;
+        c.with_pk_index = false;
+        assert!(c.validate().is_err());
+        c.with_pk_index = true;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bloom_opt_requires_correlated() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        c.repair_bloom_opt = true;
+        assert!(c.validate().is_err());
+        c.merge.correlated = true;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn strategy_timestamps() {
+        assert!(!StrategyKind::Eager.stores_timestamps());
+        assert!(StrategyKind::Validation.stores_timestamps());
+        assert!(StrategyKind::MutableBitmap.stores_timestamps());
+        assert!(StrategyKind::DeletedKeyBTree.stores_timestamps());
+    }
+}

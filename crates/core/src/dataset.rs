@@ -1,0 +1,943 @@
+//! Datasets: the paper's storage architecture (Section 3, Figure 1) and the
+//! ingestion paths of the Eager (Section 3.1), Validation (Section 4.2) and
+//! Mutable-bitmap (Section 5.2) maintenance strategies.
+//!
+//! A dataset bundles a primary index (pk → record), an optional primary key
+//! index (pk only), and N secondary indexes ((sk, pk) → ()), all LSM-trees
+//! sharing one memory budget so they always flush together. Component IDs
+//! are `(minTS, maxTS)` intervals over a per-dataset logical clock.
+
+use crate::config::{DatasetConfig, StrategyKind};
+use crate::keys::{encode_pk, encode_sk_pk};
+use crate::stats::EngineStats;
+use crate::txn::{LockManager, LogOp, LogRecord, Wal};
+use lsm_common::{Error, LogicalClock, Record, Result, Timestamp, Value};
+use lsm_storage::Storage;
+use lsm_tree::{
+    locate_valid, point_lookup, LsmEntry, LsmOptions, LsmTree, MergeRange,
+};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One secondary index: definition + LSM-tree.
+pub struct SecondaryIndex {
+    /// The index definition.
+    pub name: String,
+    /// The schema field indexed.
+    pub field: usize,
+    /// The underlying LSM-tree (no Bloom filter, per the paper).
+    pub tree: LsmTree,
+}
+
+/// A dataset: primary index, primary key index, secondary indexes.
+pub struct Dataset {
+    cfg: DatasetConfig,
+    storage: Arc<Storage>,
+    clock: LogicalClock,
+    primary: LsmTree,
+    pk_index: Option<LsmTree>,
+    secondaries: Vec<SecondaryIndex>,
+    stats: EngineStats,
+    wal: Option<Wal>,
+    /// Record-level key locks (Section 5.2).
+    locks: LockManager,
+    /// Set during recovery replay (suppresses re-logging to the WAL).
+    recovering: std::sync::atomic::AtomicBool,
+    /// Dataset-level lock used by the Side-file method to drain ongoing
+    /// operations (Figure 11a): writers hold it shared per operation, the
+    /// component builder takes it exclusively at phase boundaries.
+    dataset_lock: RwLock<()>,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("strategy", &self.cfg.strategy)
+            .field("secondaries", &self.secondaries.len())
+            .finish()
+    }
+}
+
+impl Dataset {
+    /// Opens an empty dataset on `storage`, logging to `log_storage` if
+    /// given (the paper dedicates a second disk to the WAL).
+    pub fn open(
+        storage: Arc<Storage>,
+        log_storage: Option<Arc<Storage>>,
+        cfg: DatasetConfig,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        let primary = LsmTree::new(
+            storage.clone(),
+            LsmOptions {
+                name: "primary".into(),
+                with_bloom: true,
+                bloom_kind: cfg.bloom_kind,
+                bloom_fpr: cfg.bloom_fpr,
+                mutable_bitmaps: cfg.strategy == StrategyKind::MutableBitmap,
+            },
+        );
+        let pk_index = cfg.with_pk_index.then(|| {
+            LsmTree::new(
+                storage.clone(),
+                LsmOptions {
+                    name: "pk_index".into(),
+                    with_bloom: true,
+                    bloom_kind: cfg.bloom_kind,
+                    bloom_fpr: cfg.bloom_fpr,
+                    // The pk-index component SHARES the primary component's
+                    // bitmap; it does not create its own.
+                    mutable_bitmaps: false,
+                },
+            )
+        });
+        let secondaries = cfg
+            .secondary_indexes
+            .iter()
+            .map(|def| SecondaryIndex {
+                name: def.name.clone(),
+                field: def.field,
+                tree: LsmTree::new(
+                    storage.clone(),
+                    LsmOptions {
+                        name: format!("secondary:{}", def.name),
+                        with_bloom: false,
+                        bloom_kind: cfg.bloom_kind,
+                        bloom_fpr: cfg.bloom_fpr,
+                        mutable_bitmaps: false,
+                    },
+                ),
+            })
+            .collect();
+        Ok(Dataset {
+            primary,
+            pk_index,
+            secondaries,
+            clock: LogicalClock::new(),
+            stats: EngineStats::new(),
+            wal: log_storage.map(Wal::new),
+            locks: LockManager::new(),
+            recovering: std::sync::atomic::AtomicBool::new(false),
+            dataset_lock: RwLock::new(()),
+            storage,
+            cfg,
+        })
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// The configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.cfg
+    }
+
+    /// The data storage device.
+    pub fn storage(&self) -> &Arc<Storage> {
+        &self.storage
+    }
+
+    /// The dataset's logical clock.
+    pub fn clock(&self) -> &LogicalClock {
+        &self.clock
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The primary index.
+    pub fn primary(&self) -> &LsmTree {
+        &self.primary
+    }
+
+    /// The primary key index, if configured.
+    pub fn pk_index(&self) -> Option<&LsmTree> {
+        self.pk_index.as_ref()
+    }
+
+    /// The secondary indexes.
+    pub fn secondaries(&self) -> &[SecondaryIndex] {
+        &self.secondaries
+    }
+
+    /// Finds a secondary index by name.
+    pub fn secondary(&self, name: &str) -> Result<&SecondaryIndex> {
+        self.secondaries
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| Error::NoSuchIndex(name.into()))
+    }
+
+    /// The write-ahead log, if configured.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// The record-level lock manager.
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// The dataset-level drain lock (Side-file method).
+    pub fn dataset_lock(&self) -> &RwLock<()> {
+        &self.dataset_lock
+    }
+
+    fn ts_for_entries(&self, ts: Timestamp) -> Timestamp {
+        if self.cfg.strategy.stores_timestamps() {
+            ts
+        } else {
+            lsm_common::clock::NO_TIMESTAMP
+        }
+    }
+
+    fn pk_of(&self, record: &Record) -> Value {
+        record.get(self.cfg.pk_field).clone()
+    }
+
+    fn filter_value(&self, record: &Record) -> Option<Value> {
+        self.cfg.filter_field.map(|f| record.get(f).clone())
+    }
+
+    /// Marks the dataset as replaying the log (operations are not re-logged).
+    pub(crate) fn set_recovering(&self, on: bool) {
+        self.recovering
+            .store(on, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Re-executes the bitmap mutation of a logged delete/upsert whose entry
+    /// effects are already durable (recovery redo path).
+    pub(crate) fn redo_bitmap_mark(&self, pk_key: &[u8]) -> Result<()> {
+        if self.cfg.strategy == StrategyKind::MutableBitmap {
+            self.mark_old_version_deleted(pk_key)?;
+        }
+        Ok(())
+    }
+
+    fn log(&self, op: LogOp, key: &[u8], value: &[u8], ts: Timestamp, update_bit: bool) -> Result<()> {
+        if self.recovering.load(std::sync::atomic::Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord {
+                lsn: ts,
+                op,
+                key: key.to_vec(),
+                value: value.to_vec(),
+                update_bit,
+            })?;
+        }
+        Ok(())
+    }
+
+    // ---- ingestion ----------------------------------------------------------
+
+    /// Inserts a record; returns `false` if the primary key already exists
+    /// (the key-uniqueness check of Section 3.1).
+    pub fn insert(&self, record: &Record) -> Result<bool> {
+        self.cfg.schema.check(record)?;
+        let _ds = self.dataset_lock.read();
+        let pk = self.pk_of(record);
+        let pk_key = encode_pk(&pk);
+        self.locks.lock_exclusive(&pk_key);
+        let out = self.insert_locked(record, &pk, &pk_key);
+        self.locks.unlock_exclusive(&pk_key);
+        let out = out?;
+        drop(_ds);
+        self.maybe_flush_and_merge()?;
+        Ok(out)
+    }
+
+    fn insert_locked(&self, record: &Record, pk: &Value, pk_key: &[u8]) -> Result<bool> {
+        // Key-uniqueness check: the primary key index can be searched
+        // instead of the primary index for efficiency (Section 3.1);
+        // Figure 13 evaluates exactly this choice.
+        self.stats.bump(&self.stats.maintenance_lookups);
+        let existing = match &self.pk_index {
+            Some(pk_tree) => point_lookup(pk_tree, pk_key)?,
+            None => point_lookup(&self.primary, pk_key)?,
+        };
+        if existing.is_some_and(|e| !e.anti_matter) {
+            self.stats.bump(&self.stats.inserts_rejected);
+            return Ok(false);
+        }
+
+        let ts = self.clock.tick();
+        let record_bytes = record.encode();
+        self.log(LogOp::Insert, pk_key, &record_bytes, ts, false)?;
+        let ets = self.ts_for_entries(ts);
+        self.primary
+            .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
+        if let Some(pk_tree) = &self.pk_index {
+            pk_tree.put(pk_key.to_vec(), LsmEntry::put_ts(Vec::new(), ets), ts);
+        }
+        for sec in &self.secondaries {
+            let sk = record.get(sec.field);
+            sec.tree.put(
+                encode_sk_pk(sk, pk),
+                LsmEntry::put_ts(Vec::new(), ets),
+                ts,
+            );
+        }
+        if let Some(v) = self.filter_value(record) {
+            self.primary.widen_mem_filter(&v);
+        }
+        self.stats.bump(&self.stats.inserts);
+        Ok(true)
+    }
+
+    /// Deletes by primary key. Returns `true` if the strategy knows a record
+    /// was removed (the lazy strategies apply deletes blindly and return
+    /// `true` unconditionally).
+    pub fn delete(&self, pk: &Value) -> Result<bool> {
+        let _ds = self.dataset_lock.read();
+        let pk_key = encode_pk(pk);
+        self.locks.lock_exclusive(&pk_key);
+        let out = self.delete_locked(pk, &pk_key);
+        self.locks.unlock_exclusive(&pk_key);
+        let out = out?;
+        drop(_ds);
+        self.maybe_flush_and_merge()?;
+        Ok(out)
+    }
+
+    fn delete_locked(&self, pk: &Value, pk_key: &[u8]) -> Result<bool> {
+        let ts = self.clock.tick();
+        let ets = self.ts_for_entries(ts);
+        match self.cfg.strategy {
+            StrategyKind::Eager => {
+                // Fetch the old record to produce secondary anti-matter and
+                // maintain filters (Section 3.1).
+                self.stats.bump(&self.stats.maintenance_lookups);
+                let old = point_lookup(&self.primary, pk_key)?;
+                let Some(old) = old.filter(|e| !e.anti_matter) else {
+                    return Ok(false); // key absent: ignored
+                };
+                let old_record = Record::decode(&old.value)?;
+                self.log(LogOp::Delete, pk_key, &[], ts, false)?;
+                self.primary
+                    .put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
+                if let Some(pk_tree) = &self.pk_index {
+                    pk_tree.put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
+                }
+                for sec in &self.secondaries {
+                    let sk = old_record.get(sec.field);
+                    sec.tree
+                        .put(encode_sk_pk(sk, pk), LsmEntry::anti_matter_ts(ets), ts);
+                }
+                if let Some(v) = self.filter_value(&old_record) {
+                    self.primary.widen_mem_filter(&v);
+                }
+            }
+            StrategyKind::Validation | StrategyKind::DeletedKeyBTree => {
+                // Anti-matter into the primary index and the primary key
+                // index only (Section 4.2); secondaries are cleaned lazily.
+                self.log(LogOp::Delete, pk_key, &[], ts, false)?;
+                let old = self
+                    .primary
+                    .put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
+                if let Some(pk_tree) = &self.pk_index {
+                    pk_tree.put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
+                }
+                // Memory-component optimization (Section 4.2): an old record
+                // still in memory yields free secondary anti-matter.
+                self.local_secondary_cleanup(pk, old, None, ets, ts)?;
+            }
+            StrategyKind::MutableBitmap => {
+                // Mark the old version deleted in place through the shared
+                // bitmap, located via the primary key index (Section 5.2).
+                let update_bit = self.mark_old_version_deleted(pk_key)?;
+                self.log(LogOp::Delete, pk_key, &[], ts, update_bit)?;
+                let old = self
+                    .primary
+                    .put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
+                if let Some(pk_tree) = &self.pk_index {
+                    pk_tree.put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
+                }
+                self.local_secondary_cleanup(pk, old, None, ets, ts)?;
+            }
+        }
+        self.stats.bump(&self.stats.deletes);
+        Ok(true)
+    }
+
+    /// Upserts a record (insert-or-replace).
+    pub fn upsert(&self, record: &Record) -> Result<()> {
+        self.cfg.schema.check(record)?;
+        let _ds = self.dataset_lock.read();
+        let pk = self.pk_of(record);
+        let pk_key = encode_pk(&pk);
+        self.locks.lock_exclusive(&pk_key);
+        let out = self.upsert_locked(record, &pk, &pk_key);
+        self.locks.unlock_exclusive(&pk_key);
+        out?;
+        drop(_ds);
+        self.maybe_flush_and_merge()
+    }
+
+    /// Upsert without the flush/merge check (used by concurrent-writer
+    /// benchmarks that must not trigger reentrant structural operations).
+    pub fn upsert_no_maintenance(&self, record: &Record) -> Result<()> {
+        self.cfg.schema.check(record)?;
+        let _ds = self.dataset_lock.read();
+        let pk = self.pk_of(record);
+        let pk_key = encode_pk(&pk);
+        self.locks.lock_exclusive(&pk_key);
+        let out = self.upsert_locked(record, &pk, &pk_key);
+        self.locks.unlock_exclusive(&pk_key);
+        out
+    }
+
+    fn upsert_locked(&self, record: &Record, pk: &Value, pk_key: &[u8]) -> Result<()> {
+        let ts = self.clock.tick();
+        let ets = self.ts_for_entries(ts);
+        let record_bytes = record.encode();
+        match self.cfg.strategy {
+            StrategyKind::Eager => {
+                // Point lookup to fetch the old record (Section 3.1).
+                self.stats.bump(&self.stats.maintenance_lookups);
+                let old = point_lookup(&self.primary, pk_key)?.filter(|e| !e.anti_matter);
+                let old_record = old.map(|e| Record::decode(&e.value)).transpose()?;
+                self.log(LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
+                self.primary
+                    .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
+                if let Some(pk_tree) = &self.pk_index {
+                    pk_tree.put(pk_key.to_vec(), LsmEntry::put_ts(Vec::new(), ets), ts);
+                }
+                for sec in &self.secondaries {
+                    let new_sk = record.get(sec.field);
+                    match &old_record {
+                        Some(old_rec) => {
+                            let old_sk = old_rec.get(sec.field);
+                            if old_sk == new_sk {
+                                // Unchanged secondary key: skip maintenance
+                                // (the Section 3.1 optimization).
+                                continue;
+                            }
+                            sec.tree.put(
+                                encode_sk_pk(old_sk, pk),
+                                LsmEntry::anti_matter_ts(ets),
+                                ts,
+                            );
+                            sec.tree.put(
+                                encode_sk_pk(new_sk, pk),
+                                LsmEntry::put_ts(Vec::new(), ets),
+                                ts,
+                            );
+                        }
+                        None => {
+                            sec.tree.put(
+                                encode_sk_pk(new_sk, pk),
+                                LsmEntry::put_ts(Vec::new(), ets),
+                                ts,
+                            );
+                        }
+                    }
+                }
+                // Filters maintained on BOTH the old and new record
+                // (Figure 3).
+                if let Some(v) = self.filter_value(record) {
+                    self.primary.widen_mem_filter(&v);
+                }
+                if let Some(old_rec) = &old_record {
+                    if let Some(v) = self.filter_value(old_rec) {
+                        self.primary.widen_mem_filter(&v);
+                    }
+                }
+            }
+            StrategyKind::Validation | StrategyKind::DeletedKeyBTree => {
+                self.log(LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
+                let old = self
+                    .primary
+                    .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
+                if let Some(pk_tree) = &self.pk_index {
+                    pk_tree.put(pk_key.to_vec(), LsmEntry::put_ts(Vec::new(), ets), ts);
+                }
+                for sec in &self.secondaries {
+                    sec.tree.put(
+                        encode_sk_pk(record.get(sec.field), pk),
+                        LsmEntry::put_ts(Vec::new(), ets),
+                        ts,
+                    );
+                }
+                self.local_secondary_cleanup(pk, old, Some(record), ets, ts)?;
+                // Filters maintained on the new record only (Figure 4).
+                if let Some(v) = self.filter_value(record) {
+                    self.primary.widen_mem_filter(&v);
+                }
+            }
+            StrategyKind::MutableBitmap => {
+                let update_bit = self.mark_old_version_deleted(pk_key)?;
+                self.log(LogOp::Upsert, pk_key, &record_bytes, ts, update_bit)?;
+                let old = self
+                    .primary
+                    .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
+                if let Some(pk_tree) = &self.pk_index {
+                    pk_tree.put(pk_key.to_vec(), LsmEntry::put_ts(Vec::new(), ets), ts);
+                }
+                // Secondary indexes are maintained with the Validation
+                // strategy (Section 5.2 / 6.3.2).
+                for sec in &self.secondaries {
+                    sec.tree.put(
+                        encode_sk_pk(record.get(sec.field), pk),
+                        LsmEntry::put_ts(Vec::new(), ets),
+                        ts,
+                    );
+                }
+                self.local_secondary_cleanup(pk, old, Some(record), ets, ts)?;
+                // Filters maintained on the new record only (Figure 9).
+                if let Some(v) = self.filter_value(record) {
+                    self.primary.widen_mem_filter(&v);
+                }
+            }
+        }
+        self.stats.bump(&self.stats.upserts);
+        Ok(())
+    }
+
+    /// The Section 4.2 memory-component optimization: when the replaced
+    /// primary memory entry held the old record, emit local anti-matter for
+    /// the secondary indexes without any I/O.
+    fn local_secondary_cleanup(
+        &self,
+        pk: &Value,
+        old_mem_entry: Option<LsmEntry>,
+        new_record: Option<&Record>,
+        ets: Timestamp,
+        ts: Timestamp,
+    ) -> Result<()> {
+        let Some(old) = old_mem_entry.filter(|e| !e.anti_matter) else {
+            return Ok(());
+        };
+        let old_record = Record::decode(&old.value)?;
+        for sec in &self.secondaries {
+            let old_sk = old_record.get(sec.field);
+            if let Some(new_rec) = new_record {
+                if new_rec.get(sec.field) == old_sk {
+                    continue; // the new entry replaced it under the same key
+                }
+            }
+            sec.tree
+                .put(encode_sk_pk(old_sk, pk), LsmEntry::anti_matter_ts(ets), ts);
+        }
+        Ok(())
+    }
+
+    /// Mutable-bitmap delete/upsert probe (Section 5.2): search the primary
+    /// key index for the old version's position and set its bitmap bit.
+    /// Returns the update bit for the log record. If a flush/merge is
+    /// rebuilding the containing component, the delete is also routed to the
+    /// successor (Section 5.3).
+    fn mark_old_version_deleted(&self, pk_key: &[u8]) -> Result<bool> {
+        // An old version still in the memory component needs no bitmap work:
+        // the new memory entry replaces it outright.
+        if self
+            .primary
+            .mem_get(pk_key)
+            .is_some_and(|e| !e.anti_matter)
+        {
+            return Ok(false);
+        }
+        let pk_tree = self
+            .pk_index
+            .as_ref()
+            .expect("mutable-bitmap requires the pk index");
+        let Some((comp, ordinal, _)) = locate_valid(pk_tree, pk_key)? else {
+            return Ok(false);
+        };
+        let bitmap = comp
+            .bitmap()
+            .expect("mutable-bitmap components carry bitmaps");
+        bitmap.set(ordinal);
+        // Concurrency control for an in-progress flush/merge (Section 5.3):
+        // the delete must also reach the successor component.
+        if let Some(link) = comp.successor() {
+            if let Some(new_comp) = link.new_component() {
+                // Build finished: mark the key deleted in the new component
+                // directly (Figure 11b lines 8-9 / Figure 10b lines 6-7).
+                if let Some((_, ord)) = new_comp.search(pk_key)? {
+                    if let Some(bm) = new_comp.bitmap() {
+                        bm.set(ord);
+                    }
+                }
+            } else if !link.try_append_side_file(pk_key.to_vec()) {
+                // Lock method (side-file born closed): register against the
+                // scanned prefix of the new component.
+                link.try_direct_delete(pk_key);
+            }
+        }
+        Ok(true)
+    }
+
+    // ---- structural maintenance ---------------------------------------------
+
+    /// Combined memory-component usage across all indexes.
+    pub fn mem_total_bytes(&self) -> usize {
+        let mut total = self.primary.mem_bytes();
+        if let Some(pk_tree) = &self.pk_index {
+            total += pk_tree.mem_bytes();
+        }
+        for sec in &self.secondaries {
+            total += sec.tree.mem_bytes();
+        }
+        total
+    }
+
+    fn maybe_flush_and_merge(&self) -> Result<()> {
+        if self.mem_total_bytes() > self.cfg.memory_budget {
+            self.flush_all()?;
+            self.run_merges()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes all memory components together (they share the budget, as in
+    /// AsterixDB). Returns `true` if anything was flushed.
+    pub fn flush_all(&self) -> Result<bool> {
+        let primary_comp = self.primary.flush()?;
+        let pk_comp = match &self.pk_index {
+            Some(t) => t.flush()?,
+            None => None,
+        };
+        for sec in &self.secondaries {
+            sec.tree.flush()?;
+        }
+        // Mutable-bitmap: the primary and pk-index components formed by one
+        // flush share a single bitmap (Section 5.1) — entries of both are
+        // pk-ordered, so ordinals coincide.
+        if self.cfg.strategy == StrategyKind::MutableBitmap {
+            if let (Some(p), Some(k)) = (&primary_comp, &pk_comp) {
+                assert_eq!(p.num_entries(), k.num_entries());
+                k.set_bitmap(p.bitmap().expect("primary flush makes a bitmap"));
+            }
+        }
+        if primary_comp.is_some() {
+            self.stats.bump(&self.stats.flushes);
+            if let Some(wal) = &self.wal {
+                wal.force()?;
+            }
+        }
+        Ok(primary_comp.is_some())
+    }
+
+    /// Runs policy-driven merges until quiescent.
+    pub fn run_merges(&self) -> Result<()> {
+        let policy = self.cfg.merge.policy();
+        if self.cfg.requires_correlated_merges() {
+            while let Some(range) = self.primary.select_merge(&policy) {
+                self.merge_correlated(range)?;
+            }
+        } else {
+            while let Some(range) = self.primary.select_merge(&policy) {
+                self.primary.merge_range(range)?;
+                self.stats.bump(&self.stats.merges);
+            }
+            if let Some(pk_tree) = &self.pk_index {
+                while let Some(range) = pk_tree.select_merge(&policy) {
+                    pk_tree.merge_range(range)?;
+                    self.stats.bump(&self.stats.merges);
+                }
+            }
+            for sec in &self.secondaries {
+                while let Some(range) = sec.tree.select_merge(&policy) {
+                    self.merge_secondary(sec, range)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges all of the dataset's indexes over the same component range
+    /// (the correlated merge policy of Sections 4.4/5.1).
+    pub fn merge_correlated(&self, range: MergeRange) -> Result<()> {
+        let new_primary = self.primary.merge_range(range)?;
+        self.stats.bump(&self.stats.merges);
+        if let Some(pk_tree) = &self.pk_index {
+            if pk_tree.num_disk_components() > range.end {
+                let new_pk = pk_tree.merge_range(range)?;
+                self.stats.bump(&self.stats.merges);
+                if self.cfg.strategy == StrategyKind::MutableBitmap {
+                    assert_eq!(new_primary.num_entries(), new_pk.num_entries());
+                    new_pk.set_bitmap(
+                        new_primary.bitmap().expect("merged primary has a bitmap"),
+                    );
+                }
+            }
+        }
+        for sec in &self.secondaries {
+            if sec.tree.num_disk_components() > range.end {
+                self.merge_secondary(sec, range)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges one secondary index range, repairing it when the strategy
+    /// calls for it.
+    fn merge_secondary(&self, sec: &SecondaryIndex, range: MergeRange) -> Result<()> {
+        use crate::repair::{merge_repair_secondary, RepairMode, RepairOptions};
+        let repair = match self.cfg.strategy {
+            StrategyKind::Validation | StrategyKind::MutableBitmap => self.cfg.merge_repair,
+            StrategyKind::DeletedKeyBTree => true,
+            StrategyKind::Eager => false,
+        };
+        if repair {
+            let mode = if self.cfg.strategy == StrategyKind::DeletedKeyBTree {
+                RepairMode::DeletedKeyBTree
+            } else {
+                RepairMode::PrimaryKeyIndex {
+                    bloom_opt: self.cfg.repair_bloom_opt,
+                }
+            };
+            let pk_tree = self.pk_index.as_ref().expect("repair needs the pk index");
+            merge_repair_secondary(
+                &sec.tree,
+                pk_tree,
+                range,
+                &RepairOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )?;
+            self.stats.bump(&self.stats.merges);
+            self.stats.bump(&self.stats.repairs);
+        } else {
+            sec.tree.merge_range(range)?;
+            self.stats.bump(&self.stats.merges);
+        }
+        Ok(())
+    }
+
+    // ---- simple reads ---------------------------------------------------------
+
+    /// Fetches a record by primary key (newest live version).
+    pub fn get(&self, pk: &Value) -> Result<Option<Record>> {
+        let pk_key = encode_pk(pk);
+        match point_lookup(&self.primary, &pk_key)? {
+            Some(e) if !e.anti_matter => Ok(Some(Record::decode(&e.value)?)),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SecondaryIndexDef;
+    use lsm_common::{FieldType, Schema};
+    use lsm_storage::StorageOptions;
+
+    fn tweet_schema() -> Schema {
+        Schema::new(vec![
+            ("id", FieldType::Int),
+            ("location", FieldType::Str),
+            ("time", FieldType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn config(strategy: StrategyKind) -> DatasetConfig {
+        let mut cfg = DatasetConfig::new(tweet_schema(), 0);
+        cfg.strategy = strategy;
+        cfg.secondary_indexes = vec![SecondaryIndexDef {
+            name: "location".into(),
+            field: 1,
+        }];
+        cfg.filter_field = Some(2);
+        cfg.memory_budget = 64 * 1024;
+        cfg
+    }
+
+    fn dataset(strategy: StrategyKind) -> Dataset {
+        Dataset::open(Storage::new(StorageOptions::test()), None, config(strategy)).unwrap()
+    }
+
+    fn rec(id: i64, loc: &str, time: i64) -> Record {
+        Record::new(vec![
+            Value::Int(id),
+            Value::Str(loc.into()),
+            Value::Int(time),
+        ])
+    }
+
+    fn all_strategies() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::Eager,
+            StrategyKind::Validation,
+            StrategyKind::MutableBitmap,
+            StrategyKind::DeletedKeyBTree,
+        ]
+    }
+
+    #[test]
+    fn insert_get_roundtrip_all_strategies() {
+        for s in all_strategies() {
+            let ds = dataset(s);
+            assert!(ds.insert(&rec(101, "CA", 2015)).unwrap());
+            assert!(ds.insert(&rec(102, "CA", 2016)).unwrap());
+            assert_eq!(ds.get(&Value::Int(101)).unwrap().unwrap(), rec(101, "CA", 2015));
+            assert!(ds.get(&Value::Int(999)).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_all_strategies() {
+        for s in all_strategies() {
+            let ds = dataset(s);
+            assert!(ds.insert(&rec(101, "CA", 2015)).unwrap());
+            assert!(!ds.insert(&rec(101, "NY", 2018)).unwrap(), "{s:?}");
+            // The original record remains.
+            assert_eq!(ds.get(&Value::Int(101)).unwrap().unwrap(), rec(101, "CA", 2015));
+            assert_eq!(ds.stats().snapshot().inserts_rejected, 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_check_works_across_flush() {
+        for s in all_strategies() {
+            let ds = dataset(s);
+            ds.insert(&rec(1, "CA", 1)).unwrap();
+            ds.flush_all().unwrap();
+            assert!(!ds.insert(&rec(1, "NY", 2)).unwrap(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_all_strategies() {
+        for s in all_strategies() {
+            let ds = dataset(s);
+            ds.insert(&rec(101, "CA", 2015)).unwrap();
+            ds.flush_all().unwrap(); // old version on disk
+            ds.upsert(&rec(101, "NY", 2018)).unwrap();
+            assert_eq!(
+                ds.get(&Value::Int(101)).unwrap().unwrap(),
+                rec(101, "NY", 2018),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_removes_all_strategies() {
+        for s in all_strategies() {
+            let ds = dataset(s);
+            ds.insert(&rec(101, "CA", 2015)).unwrap();
+            ds.flush_all().unwrap();
+            ds.delete(&Value::Int(101)).unwrap();
+            assert!(ds.get(&Value::Int(101)).unwrap().is_none(), "{s:?}");
+            // Deleted keys can be re-inserted.
+            assert!(ds.insert(&rec(101, "UT", 2019)).unwrap(), "{s:?}");
+            assert!(ds.get(&Value::Int(101)).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn eager_delete_of_absent_key_is_noop() {
+        let ds = dataset(StrategyKind::Eager);
+        assert!(!ds.delete(&Value::Int(5)).unwrap());
+    }
+
+    #[test]
+    fn mutable_bitmap_marks_disk_version() {
+        let ds = dataset(StrategyKind::MutableBitmap);
+        ds.insert(&rec(101, "CA", 2015)).unwrap();
+        ds.insert(&rec(102, "CA", 2016)).unwrap();
+        ds.flush_all().unwrap();
+        let comp = &ds.primary().disk_components()[0];
+        assert_eq!(comp.bitmap().unwrap().count_set(), 0);
+        ds.upsert(&rec(101, "NY", 2018)).unwrap();
+        // The old version of 101 is marked deleted in place (Figure 9).
+        assert_eq!(comp.bitmap().unwrap().count_set(), 1);
+        // The pk-index component shares the same bitmap.
+        let pk_comp = &ds.pk_index().unwrap().disk_components()[0];
+        assert_eq!(pk_comp.bitmap().unwrap().count_set(), 1);
+        assert_eq!(ds.get(&Value::Int(101)).unwrap().unwrap(), rec(101, "NY", 2018));
+    }
+
+    #[test]
+    fn flush_when_budget_exceeded() {
+        let ds = dataset(StrategyKind::Eager);
+        for i in 0..2000 {
+            ds.insert(&rec(i, "CA", i)).unwrap();
+        }
+        assert!(
+            ds.stats().snapshot().flushes > 0,
+            "memory budget should trigger flushes"
+        );
+        assert!(ds.primary().num_disk_components() >= 1);
+        // All data still reachable.
+        assert!(ds.get(&Value::Int(0)).unwrap().is_some());
+        assert!(ds.get(&Value::Int(1999)).unwrap().is_some());
+    }
+
+    #[test]
+    fn merges_run_under_policy() {
+        let mut cfg = config(StrategyKind::Validation);
+        cfg.memory_budget = 32 * 1024;
+        cfg.merge.max_mergeable_bytes = u64::MAX;
+        let ds = Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap();
+        for i in 0..4000 {
+            ds.insert(&rec(i, "CA", i)).unwrap();
+        }
+        let snap = ds.stats().snapshot();
+        assert!(snap.flushes >= 3, "flushes {}", snap.flushes);
+        assert!(snap.merges > 0, "merges {}", snap.merges);
+        // Tiering with unlimited cap keeps the component count low.
+        assert!(ds.primary().num_disk_components() <= 4);
+        assert!(ds.get(&Value::Int(3999)).unwrap().is_some());
+    }
+
+    #[test]
+    fn correlated_merges_keep_indexes_aligned() {
+        let mut cfg = config(StrategyKind::MutableBitmap);
+        cfg.memory_budget = 32 * 1024;
+        cfg.merge.max_mergeable_bytes = u64::MAX;
+        let ds = Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap();
+        for i in 0..3000 {
+            ds.upsert(&rec(i % 1000, "CA", i)).unwrap();
+        }
+        let p = ds.primary().num_disk_components();
+        let k = ds.pk_index().unwrap().num_disk_components();
+        assert_eq!(p, k, "correlated merges must keep components aligned");
+        // Components pair up with shared bitmaps.
+        for (pc, kc) in ds
+            .primary()
+            .disk_components()
+            .iter()
+            .zip(ds.pk_index().unwrap().disk_components())
+        {
+            assert_eq!(pc.num_entries(), kc.num_entries());
+            assert!(Arc::ptr_eq(
+                &pc.bitmap().unwrap(),
+                &kc.bitmap().unwrap()
+            ));
+        }
+    }
+
+    #[test]
+    fn eager_counts_maintenance_lookups() {
+        let ds = dataset(StrategyKind::Eager);
+        ds.insert(&rec(1, "CA", 1)).unwrap();
+        ds.upsert(&rec(1, "NY", 2)).unwrap();
+        ds.delete(&Value::Int(1)).unwrap();
+        // insert (uniqueness) + upsert (old record) + delete (old record).
+        assert_eq!(ds.stats().snapshot().maintenance_lookups, 3);
+    }
+
+    #[test]
+    fn wal_records_ingestion() {
+        let storage = Storage::new(StorageOptions::test());
+        let log = Storage::new(StorageOptions::test());
+        let ds = Dataset::open(storage, Some(log), config(StrategyKind::Validation)).unwrap();
+        ds.insert(&rec(1, "CA", 1)).unwrap();
+        ds.upsert(&rec(1, "NY", 2)).unwrap();
+        ds.delete(&Value::Int(1)).unwrap();
+        let recs = ds.wal().unwrap().replay(0, true).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].op, LogOp::Insert);
+        assert_eq!(recs[1].op, LogOp::Upsert);
+        assert_eq!(recs[2].op, LogOp::Delete);
+        assert!(recs.windows(2).all(|w| w[0].lsn < w[1].lsn));
+    }
+}

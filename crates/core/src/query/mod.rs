@@ -1,0 +1,540 @@
+//! Query processing: secondary-index queries with index-to-index navigation
+//! (Section 3.2) and query validation (Section 4.3).
+//!
+//! A secondary-index query proceeds as in Figure 5:
+//!
+//! 1. scan the secondary index for matching `(sk, pk)` entries;
+//! 2. sort the primary keys (and deduplicate);
+//! 3. under the Validation strategy, validate the candidates — either by
+//!    fetching records and re-checking the predicate (**Direct**), or by
+//!    probing the primary key index for a newer timestamp (**Timestamp**);
+//! 4. fetch records from the primary index, using the batched point-lookup
+//!    machinery with the stateful-cursor / blocked-Bloom / component-ID
+//!    optimizations of Section 3.2.
+
+pub mod filter_scan;
+
+pub use filter_scan::{filter_scan_count, FilterScanReport};
+
+use crate::dataset::Dataset;
+use crate::keys::sk_range;
+use lsm_common::{Error, Key, Record, Result, Timestamp, Value};
+use lsm_tree::{
+    lookup_sorted, newest_version_after, ComponentId, LookupOptions, LsmScan, ScanOptions,
+};
+use std::ops::Bound;
+
+/// How candidates from a possibly-stale secondary index are validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMethod {
+    /// No validation: the secondary index is always accurate (Eager).
+    #[default]
+    None,
+    /// Fetch candidate records and re-check the predicate (Figure 5a).
+    Direct,
+    /// Probe the primary key index for newer timestamps (Figure 5b).
+    Timestamp,
+}
+
+/// Query options (Section 3.2 / 6.2 knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Return primary keys only (index-only query).
+    pub index_only: bool,
+    /// Candidate validation method.
+    pub validation: ValidationMethod,
+    /// Use the batched point-lookup algorithm.
+    pub batched: bool,
+    /// Batching memory (16MB in Section 6.2); determines keys per batch
+    /// from the average record size.
+    pub batch_bytes: usize,
+    /// Use stateful B+-tree cursors with exponential search.
+    pub stateful: bool,
+    /// Propagate secondary-component IDs to prune primary components
+    /// (Jia's "pID" optimization).
+    pub propagate_component_ids: bool,
+    /// Re-sort fetched records into primary-key order (batching destroys
+    /// the order; Figure 12d measures this).
+    pub sort_output: bool,
+    /// Query-driven maintenance (the paper's future-work direction inspired
+    /// by database cracking, Section 7): when Timestamp validation proves a
+    /// candidate obsolete, mark it in its source component's bitmap so
+    /// later queries and merges skip it.
+    pub query_driven_repair: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            index_only: false,
+            validation: ValidationMethod::None,
+            batched: true,
+            batch_bytes: 16 * 1024 * 1024,
+            stateful: true,
+            propagate_component_ids: false,
+            sort_output: false,
+            query_driven_repair: false,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// The naive configuration of Section 6.2: sorted keys, per-key probing.
+    pub fn naive() -> Self {
+        QueryOptions {
+            batched: false,
+            stateful: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Query output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Full records (non-index-only queries).
+    Records(Vec<Record>),
+    /// Primary keys (index-only queries).
+    Keys(Vec<Value>),
+}
+
+impl QueryResult {
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Records(r) => r.len(),
+            QueryResult::Keys(k) => k.len(),
+        }
+    }
+
+    /// True if no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The records, if this is a record result.
+    pub fn records(&self) -> &[Record] {
+        match self {
+            QueryResult::Records(r) => r,
+            QueryResult::Keys(_) => panic!("index-only result has no records"),
+        }
+    }
+
+    /// The keys, if this is a key result.
+    pub fn keys(&self) -> &[Value] {
+        match self {
+            QueryResult::Keys(k) => k,
+            QueryResult::Records(_) => panic!("record result holds records, not keys"),
+        }
+    }
+}
+
+/// One candidate produced by the secondary-index scan.
+#[derive(Debug, Clone)]
+struct Candidate {
+    pk_key: Key,
+    ts: Timestamp,
+    /// Repaired timestamp of the source component (0 for memory).
+    repaired_ts: Timestamp,
+    /// Component ID of the source (for pID pruning).
+    source_id: ComponentId,
+    /// Source disk component index and entry ordinal (None for memory),
+    /// for query-driven repair.
+    source: Option<(usize, u64)>,
+}
+
+/// Runs a secondary-index range query `sk ∈ [lo, hi]` against `index`.
+pub fn secondary_query(
+    ds: &Dataset,
+    index: &str,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    opts: &QueryOptions,
+) -> Result<QueryResult> {
+    let sec = ds.secondary(index)?;
+    let storage = ds.storage();
+
+    // Step 1: secondary index scan.
+    let (lo_b, hi_b) = sk_range(lo, hi);
+    let lo_ref = match &lo_b {
+        Bound::Included(k) => Bound::Included(k.as_slice()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    let hi_ref = match &hi_b {
+        Bound::Included(k) => Bound::Included(k.as_slice()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    let mem = sec.tree.mem_snapshot_range(lo_ref, hi_ref);
+    let has_mem = !mem.is_empty();
+    let comps = sec.tree.disk_components();
+    let mut scan = LsmScan::new(
+        storage.clone(),
+        has_mem.then_some(mem),
+        &comps,
+        lo_ref,
+        hi_ref,
+        ScanOptions::default(),
+    )?;
+    let now = ds.clock().now();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    while let Some((key, entry, rank, ordinal)) = scan.next_reconciled()? {
+        if entry.anti_matter {
+            continue;
+        }
+        let (repaired_ts, source_id, source) = if has_mem && rank == 0 {
+            (now, ComponentId::new(entry.ts.max(1), now.max(1)), None)
+        } else {
+            let idx = rank - usize::from(has_mem);
+            let comp = &comps[idx];
+            (comp.repaired_ts(), comp.id(), Some((idx, ordinal)))
+        };
+        let (_, pk) = crate::keys::decode_sk_pk(&key)?;
+        candidates.push(Candidate {
+            pk_key: pk.encode(),
+            ts: entry.ts,
+            repaired_ts,
+            source_id,
+            source,
+        });
+    }
+
+    // Step 2: sort by primary key and deduplicate.
+    charge_sort(ds, candidates.len() as u64);
+    candidates.sort_by(|a, b| (&a.pk_key, b.ts).cmp(&(&b.pk_key, a.ts)));
+    candidates.dedup_by(|a, b| a.pk_key == b.pk_key && a.ts == b.ts);
+    if opts.validation == ValidationMethod::None
+        || opts.validation == ValidationMethod::Direct
+    {
+        // Distinct on pk (keep the newest candidate).
+        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
+    }
+
+    // Step 3: Timestamp validation (Figure 5b).
+    if opts.validation == ValidationMethod::Timestamp {
+        let pk_tree = ds
+            .pk_index()
+            .ok_or_else(|| Error::invalid("timestamp validation requires the pk index"))?;
+        let mut valid = Vec::with_capacity(candidates.len());
+        for cand in candidates {
+            let prune = cand.ts.max(cand.repaired_ts);
+            let invalid = match newest_version_after(pk_tree, &cand.pk_key, prune)? {
+                Some(found) => found.ts > cand.ts,
+                None => false,
+            };
+            if !invalid {
+                valid.push(cand);
+            } else if opts.query_driven_repair {
+                // Query-driven maintenance: record the proof of obsolescence
+                // so future queries skip this entry without re-validating.
+                if let Some((idx, ordinal)) = cand.source {
+                    comps[idx].bitmap_or_create().set(ordinal);
+                }
+            }
+        }
+        candidates = valid;
+        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
+    }
+
+    // Index-only fast path: no record fetch needed.
+    if opts.index_only && opts.validation != ValidationMethod::Direct {
+        let keys = candidates
+            .iter()
+            .map(|c| crate::keys::decode_pk(&c.pk_key))
+            .collect::<Result<Vec<_>>>()?;
+        return Ok(QueryResult::Keys(keys));
+    }
+
+    // Step 4: fetch records from the primary index.
+    let keys: Vec<Key> = candidates.iter().map(|c| c.pk_key.clone()).collect();
+    let hints: Vec<ComponentId> = candidates.iter().map(|c| c.source_id).collect();
+    let keys_per_batch = keys_per_batch(ds, opts.batch_bytes);
+    let lopts = LookupOptions {
+        batched: opts.batched,
+        keys_per_batch,
+        stateful: opts.stateful,
+        id_hints: opts.propagate_component_ids.then_some(hints.as_slice()),
+    };
+    let found = lookup_sorted(ds.primary(), &keys, &lopts)?;
+
+    // Direct validation (Figure 5a): re-check the predicate on the record.
+    let mut records = Vec::with_capacity(found.len());
+    for (idx, entry) in found {
+        let record = Record::decode(&entry.value)?;
+        if opts.validation == ValidationMethod::Direct {
+            let sk = record.get(sec.field);
+            let ok = lo.is_none_or(|l| sk >= l) && hi.is_none_or(|h| sk <= h);
+            if !ok {
+                continue;
+            }
+        }
+        let _ = idx;
+        records.push(record);
+    }
+
+    if opts.index_only {
+        // Direct validation + index-only still had to fetch records.
+        let keys = records
+            .iter()
+            .map(|r| r.get(ds.config().pk_field).clone())
+            .collect();
+        return Ok(QueryResult::Keys(keys));
+    }
+
+    if opts.sort_output {
+        charge_sort(ds, records.len() as u64);
+        let pk_field = ds.config().pk_field;
+        records.sort_by(|a, b| a.get(pk_field).cmp(b.get(pk_field)));
+    }
+    Ok(QueryResult::Records(records))
+}
+
+fn charge_sort(ds: &Dataset, n: u64) {
+    if n > 1 {
+        let log_n = u64::from(64 - n.leading_zeros());
+        ds.storage()
+            .charge_cpu(n * log_n * ds.storage().cpu().sort_entry_ns);
+    }
+}
+
+/// Derives the per-batch key count from the batching memory and the average
+/// record size of the primary index.
+fn keys_per_batch(ds: &Dataset, batch_bytes: usize) -> usize {
+    let entries = ds.primary().disk_entries().max(1);
+    let avg = (ds.primary().disk_bytes() / entries).max(64) as usize;
+    (batch_bytes / avg).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetConfig, SecondaryIndexDef, StrategyKind};
+    use lsm_common::{FieldType, Schema};
+    use lsm_storage::{Storage, StorageOptions};
+
+    fn dataset(strategy: StrategyKind) -> Dataset {
+        let schema = Schema::new(vec![
+            ("id", FieldType::Int),
+            ("user_id", FieldType::Int),
+        ])
+        .unwrap();
+        let mut cfg = DatasetConfig::new(schema, 0);
+        cfg.strategy = strategy;
+        cfg.merge_repair = false;
+        cfg.memory_budget = usize::MAX;
+        cfg.secondary_indexes = vec![SecondaryIndexDef {
+            name: "user_id".into(),
+            field: 1,
+        }];
+        Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap()
+    }
+
+    fn rec(id: i64, uid: i64) -> Record {
+        Record::new(vec![Value::Int(id), Value::Int(uid)])
+    }
+
+    fn opts_for(strategy: StrategyKind, direct: bool) -> QueryOptions {
+        QueryOptions {
+            validation: match (strategy, direct) {
+                (StrategyKind::Eager, _) => ValidationMethod::None,
+                (_, true) => ValidationMethod::Direct,
+                (_, false) => ValidationMethod::Timestamp,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Ingest records with updates; query must see exactly the live state.
+    fn check_query_correctness(strategy: StrategyKind, direct: bool) {
+        let ds = dataset(strategy);
+        // uid = id % 10 initially.
+        for i in 0..200 {
+            ds.insert(&rec(i, i % 10)).unwrap();
+        }
+        ds.flush_all().unwrap();
+        // Move ids 0..50 to uid 50 + id%5.
+        for i in 0..50 {
+            ds.upsert(&rec(i, 50 + i % 5)).unwrap();
+        }
+        ds.flush_all().unwrap();
+        // Delete ids 100..120.
+        for i in 100..120 {
+            ds.delete(&Value::Int(i)).unwrap();
+        }
+
+        let opts = opts_for(strategy, direct);
+        // Query uid ∈ [0, 9]: ids 50..200 except deleted, with id%10.
+        let res = secondary_query(&ds, "user_id", Some(&Value::Int(0)), Some(&Value::Int(9)), &opts)
+            .unwrap();
+        let mut got: Vec<i64> = res
+            .records()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        let want: Vec<i64> = (50..200).filter(|i| !(100..120).contains(i)).collect();
+        assert_eq!(got, want, "{strategy:?} direct={direct}");
+
+        // Query uid ∈ [50, 54]: updated ids 0..50.
+        let res = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(50)),
+            Some(&Value::Int(54)),
+            &opts,
+        )
+        .unwrap();
+        let mut got: Vec<i64> = res
+            .records()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>(), "{strategy:?} direct={direct}");
+    }
+
+    #[test]
+    fn eager_queries_accurate() {
+        check_query_correctness(StrategyKind::Eager, false);
+    }
+
+    #[test]
+    fn validation_direct_queries_accurate() {
+        check_query_correctness(StrategyKind::Validation, true);
+    }
+
+    #[test]
+    fn validation_timestamp_queries_accurate() {
+        check_query_correctness(StrategyKind::Validation, false);
+    }
+
+    #[test]
+    fn mutable_bitmap_queries_accurate() {
+        check_query_correctness(StrategyKind::MutableBitmap, false);
+        check_query_correctness(StrategyKind::MutableBitmap, true);
+    }
+
+    #[test]
+    fn index_only_queries() {
+        for strategy in [StrategyKind::Eager, StrategyKind::Validation] {
+            let ds = dataset(strategy);
+            for i in 0..100 {
+                ds.insert(&rec(i, i % 10)).unwrap();
+            }
+            ds.flush_all().unwrap();
+            for i in 0..20 {
+                ds.upsert(&rec(i, 90)).unwrap(); // move out of [0,9]... uid 90
+            }
+            ds.flush_all().unwrap();
+            let opts = QueryOptions {
+                index_only: true,
+                validation: if strategy == StrategyKind::Eager {
+                    ValidationMethod::None
+                } else {
+                    ValidationMethod::Timestamp
+                },
+                ..Default::default()
+            };
+            let res = secondary_query(
+                &ds,
+                "user_id",
+                Some(&Value::Int(0)),
+                Some(&Value::Int(9)),
+                &opts,
+            )
+            .unwrap();
+            let mut got: Vec<i64> = res.keys().iter().map(|k| k.as_int().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (20..100).collect::<Vec<_>>(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn all_lookup_modes_agree() {
+        let ds = dataset(StrategyKind::Validation);
+        for i in 0..300 {
+            ds.insert(&rec(i, i % 7)).unwrap();
+            if i % 3 == 0 {
+                ds.flush_all().unwrap();
+            }
+        }
+        let base = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(2)),
+            Some(&Value::Int(3)),
+            &QueryOptions {
+                validation: ValidationMethod::Timestamp,
+                sort_output: true,
+                ..QueryOptions::naive()
+            },
+        )
+        .unwrap();
+        for (batched, stateful, pid) in
+            [(true, false, false), (true, true, false), (true, true, true)]
+        {
+            let res = secondary_query(
+                &ds,
+                "user_id",
+                Some(&Value::Int(2)),
+                Some(&Value::Int(3)),
+                &QueryOptions {
+                    validation: ValidationMethod::Timestamp,
+                    batched,
+                    stateful,
+                    propagate_component_ids: pid,
+                    sort_output: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(res, base, "batched={batched} stateful={stateful} pid={pid}");
+        }
+    }
+
+    #[test]
+    fn sort_output_restores_pk_order() {
+        let ds = dataset(StrategyKind::Eager);
+        for i in 0..500 {
+            ds.insert(&rec(i, i % 3)).unwrap();
+            if i % 100 == 0 {
+                ds.flush_all().unwrap();
+            }
+        }
+        let res = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(0)),
+            Some(&Value::Int(0)),
+            &QueryOptions {
+                sort_output: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ids: Vec<i64> = res
+            .records()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids.len(), 167);
+    }
+
+    #[test]
+    fn empty_range_returns_nothing() {
+        let ds = dataset(StrategyKind::Eager);
+        ds.insert(&rec(1, 5)).unwrap();
+        let res = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(100)),
+            Some(&Value::Int(200)),
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        assert!(res.is_empty());
+        assert!(secondary_query(&ds, "nope", None, None, &QueryOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Crash recovery (Sections 2.2 and 5.2).
+//!
+//! The engine is no-steal/no-force: disk components only ever contain
+//! committed operations, so recovery performs no undo. A crash loses the
+//! memory components and any bitmap mutations after the last checkpoint;
+//! recovery replays committed log records "beyond the maximum component
+//! LSN" — with our LSN = operation timestamp, that is every record whose
+//! timestamp exceeds the newest timestamp found in any flushed component.
+//! Replayed deletes/upserts re-execute their bitmap mutations (guided by
+//! the update bit in the log record).
+
+use crate::dataset::Dataset;
+use crate::txn::LogOp;
+use lsm_common::{Error, Record, Result, Timestamp};
+use lsm_tree::BitmapSnapshot;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+
+/// Checkpointed bitmap state, keyed by component ID interval (component
+/// files are immutable, so the ID identifies the component).
+#[derive(Debug, Default)]
+pub struct CheckpointState {
+    bitmaps: Mutex<HashMap<(Timestamp, Timestamp), BitmapSnapshot>>,
+    lsn: Mutex<Timestamp>,
+}
+
+impl CheckpointState {
+    /// Creates empty checkpoint state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// What recovery did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Log records replayed.
+    pub replayed: u64,
+    /// Log records skipped because their effects were already in components.
+    pub skipped: u64,
+}
+
+/// Takes a checkpoint: forces the log and snapshots every primary-component
+/// bitmap (the paper's "regular checkpointing ... to flush dirty pages of
+/// bitmaps", Section 5.2).
+pub fn checkpoint(ds: &Dataset, state: &CheckpointState) -> Result<()> {
+    let lsn = ds.clock().now();
+    if let Some(wal) = ds.wal() {
+        wal.checkpoint(lsn)?;
+    }
+    let mut bitmaps = state.bitmaps.lock();
+    bitmaps.clear();
+    for comp in ds.primary().disk_components() {
+        if let Some(b) = comp.bitmap() {
+            bitmaps.insert((comp.id().min_ts, comp.id().max_ts), b.snapshot());
+        }
+    }
+    *state.lsn.lock() = lsn;
+    Ok(())
+}
+
+/// Simulates a crash: memory components vanish, unforced log records are
+/// lost, and bitmaps revert to their last checkpointed state.
+pub fn simulate_crash(ds: &Dataset, state: &CheckpointState) -> Result<()> {
+    ds.primary().clear_mem();
+    if let Some(pk) = ds.pk_index() {
+        pk.clear_mem();
+    }
+    for sec in ds.secondaries() {
+        sec.tree.clear_mem();
+    }
+    if let Some(wal) = ds.wal() {
+        wal.drop_unforced();
+    }
+    // Bitmaps: reset to checkpointed snapshots (zeroes when none).
+    let bitmaps = state.bitmaps.lock();
+    for comp in ds.primary().disk_components() {
+        if let Some(live) = comp.bitmap() {
+            let fresh = lsm_tree::AtomicBitmap::new(live.len());
+            if let Some(snap) = bitmaps.get(&(comp.id().min_ts, comp.id().max_ts)) {
+                for i in 0..snap.len() {
+                    if snap.get(i) {
+                        fresh.set(i);
+                    }
+                }
+            }
+            let fresh = std::sync::Arc::new(fresh);
+            comp.set_bitmap(fresh.clone());
+            // Keep the paired pk-index component on the shared bitmap.
+            if let Some(pk) = ds.pk_index() {
+                for kc in pk.disk_components() {
+                    if kc.id() == comp.id() {
+                        kc.set_bitmap(fresh.clone());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recovers after [`simulate_crash`]: replays committed (forced) log
+/// records newer than the maximum component timestamp.
+pub fn recover(ds: &Dataset, state: &CheckpointState) -> Result<RecoveryReport> {
+    let wal = ds
+        .wal()
+        .ok_or_else(|| Error::invalid("recovery requires a write-ahead log"))?;
+
+    // Maximum component LSN: the newest timestamp durable in any component.
+    let max_component_ts = ds
+        .primary()
+        .disk_components()
+        .iter()
+        .map(|c| c.id().max_ts)
+        .max()
+        .unwrap_or(0);
+
+    // Bitmap mutations since the checkpoint were lost, so bitmap-bearing
+    // records must be replayed from the checkpoint LSN even if their entry
+    // landed in a component already.
+    let checkpoint_lsn = *state.lsn.lock();
+    let from = checkpoint_lsn.min(max_component_ts);
+
+    let records = wal.replay(from, false)?;
+    let mut report = RecoveryReport::default();
+    ds.set_recovering(true);
+    let result = (|| -> Result<()> {
+        for rec in records {
+            let needs_entry_replay = rec.lsn > max_component_ts;
+            let needs_bitmap_replay = rec.update_bit && rec.lsn > checkpoint_lsn;
+            if !needs_entry_replay && !needs_bitmap_replay {
+                report.skipped += 1;
+                continue;
+            }
+            // Position the clock so the replayed operation re-acquires its
+            // original timestamp.
+            ds.clock().advance_to(rec.lsn - 1);
+            let pk = crate::keys::decode_pk(&rec.key)?;
+            match rec.op {
+                LogOp::Insert | LogOp::Upsert => {
+                    let record = Record::decode(&rec.value)?;
+                    if needs_entry_replay {
+                        ds.upsert(&record)?;
+                    } else {
+                        // Only the bitmap mutation was lost: redo it by
+                        // re-marking the old version (idempotent).
+                        ds.redo_bitmap_mark(&rec.key)?;
+                    }
+                }
+                LogOp::Delete => {
+                    if needs_entry_replay {
+                        ds.delete(&pk)?;
+                    } else {
+                        ds.redo_bitmap_mark(&rec.key)?;
+                    }
+                }
+                LogOp::Checkpoint => continue,
+            }
+            let _ = pk;
+            report.replayed += 1;
+        }
+        Ok(())
+    })();
+    ds.set_recovering(false);
+    result?;
+    // New timestamps must stay above everything replayed.
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetConfig, StrategyKind};
+    use lsm_common::{FieldType, Schema, Value};
+    use lsm_storage::{Storage, StorageOptions};
+
+    fn dataset(strategy: StrategyKind) -> Dataset {
+        let schema = Schema::new(vec![
+            ("id", FieldType::Int),
+            ("v", FieldType::Int),
+        ])
+        .unwrap();
+        let mut cfg = DatasetConfig::new(schema, 0);
+        cfg.strategy = strategy;
+        cfg.memory_budget = usize::MAX;
+        Dataset::open(
+            Storage::new(StorageOptions::test()),
+            Some(Storage::new(StorageOptions::test())),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    fn rec(id: i64, v: i64) -> Record {
+        Record::new(vec![Value::Int(id), Value::Int(v)])
+    }
+
+    #[test]
+    fn crash_loses_memory_then_recovery_restores() {
+        let ds = dataset(StrategyKind::Validation);
+        let state = CheckpointState::new();
+        for i in 0..50 {
+            ds.insert(&rec(i, i)).unwrap();
+        }
+        ds.flush_all().unwrap(); // durable (and forces the WAL)
+        for i in 50..80 {
+            ds.insert(&rec(i, i)).unwrap();
+        }
+        ds.wal().unwrap().force().unwrap(); // commit point
+
+        simulate_crash(&ds, &state).unwrap();
+        assert!(ds.get(&Value::Int(60)).unwrap().is_none(), "mem lost");
+        assert!(ds.get(&Value::Int(10)).unwrap().is_some(), "disk survives");
+
+        let report = recover(&ds, &state).unwrap();
+        assert_eq!(report.replayed, 30);
+        for i in 0..80 {
+            assert!(ds.get(&Value::Int(i)).unwrap().is_some(), "id {i}");
+        }
+        // Post-recovery ingestion keeps working with fresh timestamps.
+        ds.insert(&rec(1000, 1)).unwrap();
+        assert!(ds.get(&Value::Int(1000)).unwrap().is_some());
+    }
+
+    #[test]
+    fn unforced_operations_are_lost_for_good() {
+        let ds = dataset(StrategyKind::Validation);
+        let state = CheckpointState::new();
+        ds.insert(&rec(1, 1)).unwrap();
+        ds.flush_all().unwrap();
+        ds.insert(&rec(2, 2)).unwrap(); // in mem, WAL not forced
+        simulate_crash(&ds, &state).unwrap();
+        let report = recover(&ds, &state).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert!(ds.get(&Value::Int(2)).unwrap().is_none());
+        assert!(ds.get(&Value::Int(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn bitmap_mutations_replayed_after_crash() {
+        let ds = dataset(StrategyKind::MutableBitmap);
+        let state = CheckpointState::new();
+        for i in 0..20 {
+            ds.insert(&rec(i, i)).unwrap();
+        }
+        ds.flush_all().unwrap();
+        checkpoint(&ds, &state).unwrap();
+        // These upserts set bits in the flushed component's bitmap...
+        for i in 0..5 {
+            ds.upsert(&rec(i, 100 + i)).unwrap();
+        }
+        ds.wal().unwrap().force().unwrap();
+        let comp = &ds.primary().disk_components()[0];
+        assert_eq!(comp.bitmap().unwrap().count_set(), 5);
+
+        // ...which the crash wipes...
+        simulate_crash(&ds, &state).unwrap();
+        let comp = &ds.primary().disk_components()[0];
+        assert_eq!(comp.bitmap().unwrap().count_set(), 0);
+
+        // ...and recovery redoes (update-bit records), restoring both the
+        // entries and the bitmap.
+        let report = recover(&ds, &state).unwrap();
+        assert_eq!(report.replayed, 5);
+        assert_eq!(comp.bitmap().unwrap().count_set(), 5);
+        for i in 0..5 {
+            assert_eq!(
+                ds.get(&Value::Int(i)).unwrap().unwrap().get(1),
+                &Value::Int(100 + i)
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_without_wal_fails() {
+        let schema = Schema::new(vec![("id", FieldType::Int)]).unwrap();
+        let cfg = DatasetConfig::new(schema, 0);
+        let ds = Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap();
+        assert!(recover(&ds, &CheckpointState::new()).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Engine-level operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for dataset operations.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Records successfully inserted.
+    pub inserts: AtomicU64,
+    /// Inserts rejected by the key-uniqueness check.
+    pub inserts_rejected: AtomicU64,
+    /// Upserts applied.
+    pub upserts: AtomicU64,
+    /// Deletes applied (including no-op deletes of absent keys).
+    pub deletes: AtomicU64,
+    /// Flush operations.
+    pub flushes: AtomicU64,
+    /// Merge operations.
+    pub merges: AtomicU64,
+    /// Secondary-index repair operations.
+    pub repairs: AtomicU64,
+    /// Point lookups performed for maintenance (the Eager strategy's cost).
+    pub maintenance_lookups: AtomicU64,
+}
+
+impl EngineStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total records that entered the dataset (inserts + upserts).
+    pub fn records_ingested(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed) + self.upserts.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            inserts_rejected: self.inserts_rejected.load(Ordering::Relaxed),
+            upserts: self.upserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            maintenance_lookups: self.maintenance_lookups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of [`EngineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct EngineStatsSnapshot {
+    pub inserts: u64,
+    pub inserts_rejected: u64,
+    pub upserts: u64,
+    pub deletes: u64,
+    pub flushes: u64,
+    pub merges: u64,
+    pub repairs: u64,
+    pub maintenance_lookups: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = EngineStats::new();
+        s.bump(&s.inserts);
+        s.bump(&s.inserts);
+        s.bump(&s.upserts);
+        assert_eq!(s.records_ingested(), 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.upserts, 1);
+        assert_eq!(snap.deletes, 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Transactions, locking, logging, and recovery (Sections 2.2 and 5.2).
+
+pub mod locks;
+pub mod wal;
+
+pub use locks::LockManager;
+pub use wal::{LogOp, LogRecord, Wal};

@@ -1,0 +1,331 @@
+//! Write-ahead log.
+//!
+//! AsterixDB uses index-level logical logging with a no-steal/no-force
+//! buffer policy (Section 2.2); log records carry an **update bit** telling
+//! recovery whether a delete/upsert mutated a disk component's bitmap
+//! (Section 5.2). We log one logical record per dataset operation — enough
+//! to replay every index of the dataset — and use the operation timestamp
+//! as the LSN, which makes "committed transactions beyond the maximum
+//! component LSN" directly computable from component IDs.
+//!
+//! Records are packed into pages with group commit: a page is written when
+//! it fills (or on [`Wal::force`]), charging the log device sequentially.
+
+use lsm_common::{Bytes, Error, Key, Result, Timestamp};
+use lsm_storage::{FileId, Storage};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Logical operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogOp {
+    /// Insert of a new record.
+    Insert = 1,
+    /// Upsert (blind write).
+    Upsert = 2,
+    /// Delete by key.
+    Delete = 3,
+    /// Checkpoint marker: everything at or below this LSN is durable in
+    /// components and checkpointed bitmap pages.
+    Checkpoint = 4,
+}
+
+impl LogOp {
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => LogOp::Insert,
+            2 => LogOp::Upsert,
+            3 => LogOp::Delete,
+            4 => LogOp::Checkpoint,
+            _ => return Err(Error::corruption(format!("bad log op {v}"))),
+        })
+    }
+}
+
+/// One logical log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// LSN = operation timestamp.
+    pub lsn: Timestamp,
+    /// Operation kind.
+    pub op: LogOp,
+    /// Encoded primary key (empty for checkpoints).
+    pub key: Key,
+    /// Encoded record for inserts/upserts (empty otherwise).
+    pub value: Bytes,
+    /// True if the operation mutated a disk component's bitmap
+    /// (Mutable-bitmap strategy's update bit).
+    pub update_bit: bool,
+}
+
+impl LogRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(18 + self.key.len() + self.value.len());
+        body.extend_from_slice(&self.lsn.to_le_bytes());
+        body.push(self.op as u8);
+        body.push(u8::from(self.update_bit));
+        body.extend_from_slice(&(self.key.len() as u32).to_le_bytes());
+        body.extend_from_slice(&self.key);
+        body.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        body.extend_from_slice(&self.value);
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<(LogRecord, usize)> {
+        if buf.len() < 4 {
+            return Err(Error::corruption("truncated log length"));
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let body = buf
+            .get(4..4 + len)
+            .ok_or_else(|| Error::corruption("truncated log body"))?;
+        if body.len() < 18 {
+            return Err(Error::corruption("log body too short"));
+        }
+        let lsn = u64::from_le_bytes(body[0..8].try_into().unwrap());
+        let op = LogOp::from_u8(body[8])?;
+        let update_bit = body[9] != 0;
+        let klen = u32::from_le_bytes(body[10..14].try_into().unwrap()) as usize;
+        let key = body
+            .get(14..14 + klen)
+            .ok_or_else(|| Error::corruption("truncated log key"))?
+            .to_vec();
+        let voff = 14 + klen;
+        let vlen = u32::from_le_bytes(
+            body.get(voff..voff + 4)
+                .ok_or_else(|| Error::corruption("truncated log vlen"))?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let value = body
+            .get(voff + 4..voff + 4 + vlen)
+            .ok_or_else(|| Error::corruption("truncated log value"))?
+            .to_vec();
+        Ok((
+            LogRecord {
+                lsn,
+                op,
+                key,
+                value,
+                update_bit,
+            },
+            4 + len,
+        ))
+    }
+}
+
+/// The write-ahead log, on its own storage device (the paper dedicates one
+/// of the two disks to transactional logging).
+#[derive(Debug)]
+pub struct Wal {
+    storage: Arc<Storage>,
+    file: FileId,
+    inner: Mutex<WalBuf>,
+}
+
+#[derive(Debug, Default)]
+struct WalBuf {
+    page: Vec<u8>,
+    last_checkpoint: Timestamp,
+}
+
+impl Wal {
+    /// Creates a log in a fresh file of `storage`.
+    pub fn new(storage: Arc<Storage>) -> Self {
+        let file = storage.create_file();
+        Wal {
+            storage,
+            file,
+            inner: Mutex::new(WalBuf::default()),
+        }
+    }
+
+    /// The log device.
+    pub fn storage(&self) -> &Arc<Storage> {
+        &self.storage
+    }
+
+    /// Appends a record; the page is written out when full (group commit).
+    pub fn append(&self, rec: &LogRecord) -> Result<()> {
+        let bytes = rec.encode();
+        if bytes.len() > self.storage.page_size() {
+            return Err(Error::Storage("log record larger than page".into()));
+        }
+        let mut inner = self.inner.lock();
+        if inner.page.len() + bytes.len() > self.storage.page_size() {
+            let page = std::mem::take(&mut inner.page);
+            self.storage.append_page(self.file, &page)?;
+        }
+        inner.page.extend_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Forces buffered records to the device.
+    pub fn force(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.page.is_empty() {
+            let page = std::mem::take(&mut inner.page);
+            self.storage.append_page(self.file, &page)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint record at `lsn` and forces the log.
+    pub fn checkpoint(&self, lsn: Timestamp) -> Result<()> {
+        self.append(&LogRecord {
+            lsn,
+            op: LogOp::Checkpoint,
+            key: Vec::new(),
+            value: Vec::new(),
+            update_bit: false,
+        })?;
+        self.force()?;
+        self.inner.lock().last_checkpoint = lsn;
+        Ok(())
+    }
+
+    /// LSN of the last checkpoint (0 if none).
+    pub fn last_checkpoint(&self) -> Timestamp {
+        self.inner.lock().last_checkpoint
+    }
+
+    /// Reads back all records with `lsn > after_lsn`, in order. Includes
+    /// buffered (unforced) records only if `include_unforced` — a crash
+    /// loses those, which is what recovery tests exercise.
+    pub fn replay(&self, after_lsn: Timestamp, include_unforced: bool) -> Result<Vec<LogRecord>> {
+        let mut out = Vec::new();
+        let pages = self.storage.file_pages(self.file)?;
+        for p in 0..pages {
+            let data = self.storage.read_page(self.file, p)?;
+            let mut off = 0;
+            while off + 4 <= data.len() {
+                let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                if len == 0 {
+                    break;
+                }
+                let (rec, used) = LogRecord::decode(&data[off..])?;
+                if rec.lsn > after_lsn {
+                    out.push(rec);
+                }
+                off += used;
+            }
+        }
+        if include_unforced {
+            let inner = self.inner.lock();
+            let mut off = 0;
+            while off + 4 <= inner.page.len() {
+                let (rec, used) = LogRecord::decode(&inner.page[off..])?;
+                if rec.lsn > after_lsn {
+                    out.push(rec);
+                }
+                off += used;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drops buffered, unforced records (simulates losing them in a crash).
+    pub fn drop_unforced(&self) {
+        self.inner.lock().page.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_storage::StorageOptions;
+
+    fn wal() -> Wal {
+        Wal::new(Storage::new(StorageOptions::test()))
+    }
+
+    fn rec(lsn: u64, op: LogOp) -> LogRecord {
+        LogRecord {
+            lsn,
+            op,
+            key: vec![1, 2, 3],
+            value: vec![9; 10],
+            update_bit: lsn % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = rec(7, LogOp::Upsert);
+        let enc = r.encode();
+        let (back, used) = LogRecord::decode(&enc).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn append_replay_in_order() {
+        let w = wal();
+        for i in 1..=100u64 {
+            w.append(&rec(i, LogOp::Insert)).unwrap();
+        }
+        w.force().unwrap();
+        let all = w.replay(0, false).unwrap();
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|p| p[0].lsn < p[1].lsn));
+        let tail = w.replay(90, false).unwrap();
+        assert_eq!(tail.len(), 10);
+        assert_eq!(tail[0].lsn, 91);
+    }
+
+    #[test]
+    fn unforced_records_lost_on_crash() {
+        let w = wal();
+        w.append(&rec(1, LogOp::Insert)).unwrap();
+        w.force().unwrap();
+        w.append(&rec(2, LogOp::Insert)).unwrap();
+        // Not forced: visible only when asked for unforced.
+        assert_eq!(w.replay(0, true).unwrap().len(), 2);
+        w.drop_unforced();
+        assert_eq!(w.replay(0, true).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pages_fill_and_rotate() {
+        let w = wal();
+        let page_size = w.storage().page_size();
+        let before = w.storage().stats().pages_written;
+        // Each record ~40 bytes; write enough to fill several pages.
+        let n = (page_size / 30) * 3;
+        for i in 1..=n as u64 {
+            w.append(&rec(i, LogOp::Upsert)).unwrap();
+        }
+        let written = w.storage().stats().pages_written - before;
+        assert!(written >= 2, "expected multiple page writes, got {written}");
+        w.force().unwrap();
+        assert_eq!(w.replay(0, false).unwrap().len(), n);
+    }
+
+    #[test]
+    fn checkpoint_tracks_lsn() {
+        let w = wal();
+        assert_eq!(w.last_checkpoint(), 0);
+        w.append(&rec(5, LogOp::Insert)).unwrap();
+        w.checkpoint(5).unwrap();
+        assert_eq!(w.last_checkpoint(), 5);
+        // Replay after the checkpoint LSN skips the old record but sees the
+        // checkpoint marker? No: markers carry lsn=5 too, filtered out.
+        assert!(w.replay(5, false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let w = wal();
+        let r = LogRecord {
+            lsn: 1,
+            op: LogOp::Insert,
+            key: vec![0; 10],
+            value: vec![0; w.storage().page_size()],
+            update_bit: false,
+        };
+        assert!(w.append(&r).is_err());
+    }
+}

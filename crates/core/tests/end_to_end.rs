@@ -1,0 +1,242 @@
+//! Cross-crate end-to-end tests: the full tweet workload of Section 6
+//! against every maintenance strategy, checking query answers against an
+//! oracle and exercising flushes, merges, repair, and filter scans together.
+
+use lsm_common::Value;
+use lsm_engine::query::{
+    filter_scan_count, secondary_query, QueryOptions, ValidationMethod,
+};
+use lsm_engine::{
+    full_repair, Dataset, DatasetConfig, RepairOptions, SecondaryIndexDef, StrategyKind,
+};
+use lsm_storage::{Storage, StorageOptions};
+use lsm_workload::{TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
+use std::collections::BTreeMap;
+
+fn dataset(strategy: StrategyKind) -> Dataset {
+    let mut cfg = DatasetConfig::new(TweetGenerator::schema(), 0);
+    cfg.strategy = strategy;
+    cfg.secondary_indexes = vec![SecondaryIndexDef {
+        name: "user_id".into(),
+        field: 1,
+    }];
+    cfg.filter_field = Some(3);
+    cfg.memory_budget = 256 * 1024;
+    cfg.merge.max_mergeable_bytes = 2 * 1024 * 1024;
+    Dataset::open(
+        Storage::new(StorageOptions::test()),
+        Some(Storage::new(StorageOptions::test())),
+        cfg,
+    )
+    .unwrap()
+}
+
+/// Oracle: latest record per primary key.
+type Oracle = BTreeMap<i64, (i64, i64)>; // pk -> (user_id, creation_time)
+
+fn ingest(ds: &Dataset, n: usize, update_ratio: f64) -> Oracle {
+    let mut oracle = Oracle::new();
+    let mut w = UpsertWorkload::new(
+        TweetConfig {
+            msg_min: 40,
+            msg_max: 60,
+            seed: 99,
+        },
+        update_ratio,
+        UpdateDistribution::Uniform,
+    );
+    for _ in 0..n {
+        let op = w.next_op();
+        let r = op.record().clone();
+        let pk = r.get(0).as_int().unwrap();
+        let uid = r.get(1).as_int().unwrap();
+        let t = r.get(3).as_int().unwrap();
+        ds.upsert(&r).unwrap();
+        oracle.insert(pk, (uid, t));
+    }
+    ds.flush_all().unwrap();
+    oracle
+}
+
+fn strategies() -> [StrategyKind; 4] {
+    [
+        StrategyKind::Eager,
+        StrategyKind::Validation,
+        StrategyKind::MutableBitmap,
+        StrategyKind::DeletedKeyBTree,
+    ]
+}
+
+fn validation_for(s: StrategyKind) -> ValidationMethod {
+    match s {
+        StrategyKind::Eager => ValidationMethod::None,
+        _ => ValidationMethod::Timestamp,
+    }
+}
+
+#[test]
+fn tweet_workload_queries_match_oracle() {
+    for strategy in strategies() {
+        let ds = dataset(strategy);
+        let oracle = ingest(&ds, 4000, 0.3);
+
+        // Secondary range queries across several ranges.
+        for (lo, hi) in [(0, 999), (50_000, 54_999), (99_000, 99_999)] {
+            let want: Vec<i64> = oracle
+                .iter()
+                .filter(|(_, (uid, _))| (lo..=hi).contains(uid))
+                .map(|(pk, _)| *pk)
+                .collect();
+            let res = secondary_query(
+                &ds,
+                "user_id",
+                Some(&Value::Int(lo)),
+                Some(&Value::Int(hi)),
+                &QueryOptions {
+                    validation: validation_for(strategy),
+                    sort_output: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let got: Vec<i64> = res
+                .records()
+                .iter()
+                .map(|r| r.get(0).as_int().unwrap())
+                .collect();
+            assert_eq!(got, want, "{strategy:?} uid in [{lo},{hi}]");
+        }
+
+        // Filter scans over time windows.
+        for (lo, hi) in [(None, Some(500)), (Some(3500), None), (Some(1000), Some(2000))] {
+            let want = oracle
+                .values()
+                .filter(|(_, t)| lo.is_none_or(|l| *t >= l) && hi.is_none_or(|h| *t <= h))
+                .count() as u64;
+            let lo_v = lo.map(Value::Int);
+            let hi_v = hi.map(Value::Int);
+            let got = filter_scan_count(&ds, lo_v.as_ref(), hi_v.as_ref())
+                .unwrap()
+                .matches;
+            assert_eq!(got, want, "{strategy:?} time in [{lo:?},{hi:?}]");
+        }
+    }
+}
+
+#[test]
+fn repair_then_queries_still_match() {
+    for strategy in [StrategyKind::Validation, StrategyKind::MutableBitmap] {
+        let ds = dataset(strategy);
+        let oracle = ingest(&ds, 3000, 0.5);
+        full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        // Run merges after repair too; bitmapped entries get dropped.
+        ds.run_merges().unwrap();
+        let res = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(0)),
+            Some(&Value::Int(9_999)),
+            &QueryOptions {
+                validation: ValidationMethod::Timestamp,
+                sort_output: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let want = oracle
+            .values()
+            .filter(|(uid, _)| (0..10_000).contains(uid))
+            .count();
+        assert_eq!(res.len(), want, "{strategy:?}");
+    }
+}
+
+#[test]
+fn index_only_matches_non_index_only() {
+    for strategy in strategies() {
+        let ds = dataset(strategy);
+        ingest(&ds, 2000, 0.4);
+        let opts = QueryOptions {
+            validation: validation_for(strategy),
+            sort_output: true,
+            ..Default::default()
+        };
+        let records = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(0)),
+            Some(&Value::Int(29_999)),
+            &opts,
+        )
+        .unwrap();
+        let keys = secondary_query(
+            &ds,
+            "user_id",
+            Some(&Value::Int(0)),
+            Some(&Value::Int(29_999)),
+            &QueryOptions {
+                index_only: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        let mut from_records: Vec<i64> = records
+            .records()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        let mut from_keys: Vec<i64> = keys.keys().iter().map(|k| k.as_int().unwrap()).collect();
+        from_records.sort_unstable();
+        from_keys.sort_unstable();
+        assert_eq!(from_records, from_keys, "{strategy:?}");
+    }
+}
+
+#[test]
+fn deletes_heavy_workload() {
+    for strategy in strategies() {
+        let ds = dataset(strategy);
+        let mut oracle = ingest(&ds, 2000, 0.0);
+        // Delete every third key.
+        let keys: Vec<i64> = oracle.keys().copied().collect();
+        for (i, pk) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                ds.delete(&Value::Int(*pk)).unwrap();
+                oracle.remove(pk);
+            }
+        }
+        ds.flush_all().unwrap();
+        ds.run_merges().unwrap();
+        for (i, pk) in keys.iter().enumerate() {
+            let present = ds.get(&Value::Int(*pk)).unwrap().is_some();
+            assert_eq!(present, i % 3 != 0, "{strategy:?} pk {pk}");
+        }
+        // Full-range secondary query sees exactly the survivors.
+        let res = secondary_query(
+            &ds,
+            "user_id",
+            None,
+            None,
+            &QueryOptions {
+                validation: validation_for(strategy),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.len(), oracle.len(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn stats_reflect_strategy_costs() {
+    // Eager performs maintenance lookups for every upsert of an existing
+    // key; Validation performs none beyond insert uniqueness checks.
+    let eager = dataset(StrategyKind::Eager);
+    ingest(&eager, 1000, 0.5);
+    let lazy = dataset(StrategyKind::Validation);
+    ingest(&lazy, 1000, 0.5);
+    let e = eager.stats().snapshot();
+    let l = lazy.stats().snapshot();
+    assert!(e.maintenance_lookups > l.maintenance_lookups);
+    assert_eq!(l.maintenance_lookups, 0, "upserts do no lookups under lazy");
+}

@@ -1,0 +1,168 @@
+//! Property test: all four maintenance strategies are observationally
+//! equivalent — same workload, same query answers — even though their
+//! internal maintenance differs completely. This is the paper's implicit
+//! correctness claim for the Validation and Mutable-bitmap strategies.
+
+use lsm_common::{FieldType, Record, Schema, Value};
+use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::{
+    full_repair, Dataset, DatasetConfig, RepairOptions, SecondaryIndexDef, StrategyKind,
+};
+use lsm_storage::{Storage, StorageOptions};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum WOp {
+    Insert(u8, u8),
+    Upsert(u8, u8),
+    Delete(u8),
+    Flush,
+}
+
+fn arb_workload() -> impl Strategy<Value = Vec<WOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (any::<u8>(), 0..16u8).prop_map(|(k, s)| WOp::Insert(k, s)),
+            3 => (any::<u8>(), 0..16u8).prop_map(|(k, s)| WOp::Upsert(k, s)),
+            2 => any::<u8>().prop_map(WOp::Delete),
+            1 => Just(WOp::Flush),
+        ],
+        0..80,
+    )
+}
+
+fn dataset(strategy: StrategyKind) -> Dataset {
+    let schema = Schema::new(vec![
+        ("id", FieldType::Int),
+        ("group", FieldType::Int),
+    ])
+    .unwrap();
+    let mut cfg = DatasetConfig::new(schema, 0);
+    cfg.strategy = strategy;
+    cfg.memory_budget = 8 * 1024; // force frequent flushes + merges
+    cfg.merge.max_mergeable_bytes = u64::MAX;
+    cfg.secondary_indexes = vec![SecondaryIndexDef {
+        name: "group".into(),
+        field: 1,
+    }];
+    Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap()
+}
+
+fn rec(id: u8, group: u8) -> Record {
+    Record::new(vec![Value::Int(i64::from(id)), Value::Int(i64::from(group))])
+}
+
+fn apply(ds: &Dataset, ops: &[WOp]) {
+    for op in ops {
+        match op {
+            WOp::Insert(k, g) => {
+                ds.insert(&rec(*k, *g)).unwrap();
+            }
+            WOp::Upsert(k, g) => ds.upsert(&rec(*k, *g)).unwrap(),
+            WOp::Delete(k) => {
+                ds.delete(&Value::Int(i64::from(*k))).unwrap();
+            }
+            WOp::Flush => {
+                ds.flush_all().unwrap();
+            }
+        }
+    }
+}
+
+fn model_of(ops: &[WOp]) -> BTreeMap<u8, u8> {
+    let mut m = BTreeMap::new();
+    for op in ops {
+        match op {
+            WOp::Insert(k, g) => {
+                m.entry(*k).or_insert(*g);
+            }
+            WOp::Upsert(k, g) => {
+                m.insert(*k, *g);
+            }
+            WOp::Delete(k) => {
+                m.remove(k);
+            }
+            WOp::Flush => {}
+        }
+    }
+    m
+}
+
+/// Live ids in `group`, via a secondary query.
+fn group_query(ds: &Dataset, group: u8, validation: ValidationMethod) -> Vec<i64> {
+    let res = secondary_query(
+        ds,
+        "group",
+        Some(&Value::Int(i64::from(group))),
+        Some(&Value::Int(i64::from(group))),
+        &QueryOptions {
+            validation,
+            sort_output: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    res.records()
+        .iter()
+        .map(|r| r.get(0).as_int().unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strategies_are_observationally_equivalent(ops in arb_workload()) {
+        let model = model_of(&ops);
+        for strategy in [
+            StrategyKind::Eager,
+            StrategyKind::Validation,
+            StrategyKind::MutableBitmap,
+            StrategyKind::DeletedKeyBTree,
+        ] {
+            let ds = dataset(strategy);
+            apply(&ds, &ops);
+
+            // Primary reads match the model.
+            for k in 0..=255u8 {
+                let got = ds.get(&Value::Int(i64::from(k))).unwrap()
+                    .map(|r| r.get(1).as_int().unwrap() as u8);
+                prop_assert_eq!(got, model.get(&k).copied(), "{:?} key {}", strategy, k);
+            }
+
+            // Secondary queries match the model, with the appropriate
+            // validation method(s).
+            let methods: &[ValidationMethod] = match strategy {
+                StrategyKind::Eager => &[ValidationMethod::None],
+                _ => &[ValidationMethod::Direct, ValidationMethod::Timestamp],
+            };
+            for &vm in methods {
+                for g in 0..16u8 {
+                    let got = group_query(&ds, g, vm);
+                    let want: Vec<i64> = model
+                        .iter()
+                        .filter(|(_, grp)| **grp == g)
+                        .map(|(k, _)| i64::from(*k))
+                        .collect();
+                    prop_assert_eq!(&got, &want, "{:?}/{:?} group {}", strategy, vm, g);
+                }
+            }
+
+            // Repair must not change answers (lazy strategies only).
+            if strategy != StrategyKind::Eager {
+                ds.flush_all().unwrap();
+                full_repair(&ds, &RepairOptions::default(), false).unwrap();
+                for g in 0..16u8 {
+                    let got = group_query(&ds, g, ValidationMethod::Timestamp);
+                    let want: Vec<i64> = model
+                        .iter()
+                        .filter(|(_, grp)| **grp == g)
+                        .map(|(k, _)| i64::from(*k))
+                        .collect();
+                    prop_assert_eq!(&got, &want, "{:?} post-repair group {}", strategy, g);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Tests for query-driven maintenance — the paper's Section 7 future-work
+//! direction ("let queries drive the maintenance of auxiliary structures,
+//! as suggested by database cracking"): Timestamp validation records proven
+//! obsolete entries in the source component's bitmap, so later queries skip
+//! them and the next merge removes them physically.
+
+use lsm_common::{FieldType, Record, Schema, Value};
+use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
+use lsm_storage::{Storage, StorageOptions};
+use lsm_tree::MergeRange;
+
+fn dataset() -> Dataset {
+    let schema = Schema::new(vec![
+        ("id", FieldType::Int),
+        ("group", FieldType::Int),
+    ])
+    .unwrap();
+    let mut cfg = DatasetConfig::new(schema, 0);
+    cfg.strategy = StrategyKind::Validation;
+    cfg.merge_repair = false;
+    cfg.memory_budget = usize::MAX;
+    cfg.secondary_indexes = vec![SecondaryIndexDef {
+        name: "group".into(),
+        field: 1,
+    }];
+    Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap()
+}
+
+fn rec(id: i64, group: i64) -> Record {
+    Record::new(vec![Value::Int(id), Value::Int(group)])
+}
+
+fn opts(query_driven: bool) -> QueryOptions {
+    QueryOptions {
+        validation: ValidationMethod::Timestamp,
+        query_driven_repair: query_driven,
+        sort_output: true,
+        ..Default::default()
+    }
+}
+
+/// 100 records in group 1, then 40 of them moved to group 2 — the group-1
+/// index entries for those 40 are obsolete.
+fn setup() -> Dataset {
+    let ds = dataset();
+    for i in 0..100 {
+        ds.insert(&rec(i, 1)).unwrap();
+    }
+    ds.flush_all().unwrap();
+    for i in 0..40 {
+        ds.upsert(&rec(i, 2)).unwrap();
+    }
+    ds.flush_all().unwrap();
+    ds
+}
+
+fn group1(ds: &Dataset, o: &QueryOptions) -> Vec<i64> {
+    secondary_query(ds, "group", Some(&Value::Int(1)), Some(&Value::Int(1)), o)
+        .unwrap()
+        .records()
+        .iter()
+        .map(|r| r.get(0).as_int().unwrap())
+        .collect()
+}
+
+#[test]
+fn queries_mark_obsolete_entries() {
+    let ds = setup();
+    let sec = &ds.secondaries()[0].tree;
+    let before: u64 = sec
+        .disk_components()
+        .iter()
+        .filter_map(|c| c.bitmap().map(|b| b.count_set()))
+        .sum();
+    assert_eq!(before, 0);
+
+    let res = group1(&ds, &opts(true));
+    assert_eq!(res, (40..100).collect::<Vec<_>>());
+
+    // The 40 obsolete group-1 entries are now bitmap-marked.
+    let after: u64 = sec
+        .disk_components()
+        .iter()
+        .filter_map(|c| c.bitmap().map(|b| b.count_set()))
+        .sum();
+    assert_eq!(after, 40);
+}
+
+#[test]
+fn second_query_validates_nothing_extra() {
+    let ds = setup();
+    // First query pays the validation; the second skips marked entries —
+    // measured through the pk-index bloom checks it no longer performs.
+    group1(&ds, &opts(true));
+    let before = ds.storage().stats().bloom_checks;
+    let res = group1(&ds, &opts(true));
+    assert_eq!(res.len(), 60);
+    let validation_checks = ds.storage().stats().bloom_checks - before;
+    // Without query-driven repair the same query re-validates all 100
+    // candidates every time.
+    let ds2 = setup();
+    group1(&ds2, &opts(false));
+    let before2 = ds2.storage().stats().bloom_checks;
+    group1(&ds2, &opts(false));
+    let validation_checks_plain = ds2.storage().stats().bloom_checks - before2;
+    assert!(
+        validation_checks < validation_checks_plain,
+        "{validation_checks} !< {validation_checks_plain}"
+    );
+}
+
+#[test]
+fn answers_identical_with_and_without() {
+    let ds_a = setup();
+    let ds_b = setup();
+    for g in [1i64, 2] {
+        let a = secondary_query(
+            &ds_a,
+            "group",
+            Some(&Value::Int(g)),
+            Some(&Value::Int(g)),
+            &opts(true),
+        )
+        .unwrap();
+        let b = secondary_query(
+            &ds_b,
+            "group",
+            Some(&Value::Int(g)),
+            Some(&Value::Int(g)),
+            &opts(false),
+        )
+        .unwrap();
+        assert_eq!(a, b, "group {g}");
+    }
+}
+
+#[test]
+fn merge_physically_removes_query_marked_entries() {
+    let ds = setup();
+    group1(&ds, &opts(true));
+    let sec = &ds.secondaries()[0].tree;
+    let n = sec.num_disk_components();
+    sec.merge_range(MergeRange { start: 0, end: n - 1 }).unwrap();
+    // 100 original + 40 re-inserts = 140 entries; 40 marked obsolete are
+    // dropped by the merge: 100 live entries remain.
+    assert_eq!(sec.disk_entries(), 100);
+    assert_eq!(group1(&ds, &opts(true)), (40..100).collect::<Vec<_>>());
+}
+
+#[test]
+fn memory_entries_are_never_marked() {
+    let ds = dataset();
+    for i in 0..10 {
+        ds.insert(&rec(i, 1)).unwrap();
+    }
+    // Updates stay in memory; query-driven repair must not touch anything.
+    for i in 0..5 {
+        ds.upsert(&rec(i, 2)).unwrap();
+    }
+    let res = group1(&ds, &opts(true));
+    assert_eq!(res, (5..10).collect::<Vec<_>>());
+}

@@ -1,0 +1,165 @@
+//! LSM entries: values plus LSM bookkeeping.
+//!
+//! An LSM write never updates in place; it inserts a new entry that
+//! overrides older entries with the same key. Deletes insert an
+//! **anti-matter** entry (Section 2.1). Under the Validation strategy
+//! (Section 4), entries additionally carry the ingestion **timestamp** used
+//! by Timestamp Validation and index repair.
+//!
+//! Entries are serialized into the value slot of the component B+-trees:
+//! `[flags u8][ts u64 BE, iff flags.HAS_TS][payload...]`.
+
+use lsm_common::clock::NO_TIMESTAMP;
+use lsm_common::{Bytes, Error, Result, Timestamp};
+
+const FLAG_ANTI_MATTER: u8 = 0b01;
+const FLAG_HAS_TS: u8 = 0b10;
+
+/// One LSM entry: a payload or an anti-matter tombstone, optionally
+/// timestamped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsmEntry {
+    /// True if this entry deletes the key.
+    pub anti_matter: bool,
+    /// Ingestion timestamp ([`NO_TIMESTAMP`] when the maintenance strategy
+    /// does not store timestamps).
+    pub ts: Timestamp,
+    /// The stored value (empty for anti-matter entries and key-only indexes).
+    pub value: Bytes,
+}
+
+impl LsmEntry {
+    /// A regular entry without a timestamp.
+    pub fn put(value: Bytes) -> Self {
+        LsmEntry {
+            anti_matter: false,
+            ts: NO_TIMESTAMP,
+            value,
+        }
+    }
+
+    /// A regular entry with a timestamp (Validation strategy).
+    pub fn put_ts(value: Bytes, ts: Timestamp) -> Self {
+        LsmEntry {
+            anti_matter: false,
+            ts,
+            value,
+        }
+    }
+
+    /// An anti-matter (delete) entry.
+    pub fn anti_matter() -> Self {
+        LsmEntry {
+            anti_matter: true,
+            ts: NO_TIMESTAMP,
+            value: Vec::new(),
+        }
+    }
+
+    /// A timestamped anti-matter entry.
+    pub fn anti_matter_ts(ts: Timestamp) -> Self {
+        LsmEntry {
+            anti_matter: true,
+            ts,
+            value: Vec::new(),
+        }
+    }
+
+    /// The same entry with the payload stripped — what the primary key
+    /// index stores for a primary-index entry.
+    pub fn key_only(&self) -> LsmEntry {
+        LsmEntry {
+            anti_matter: self.anti_matter,
+            ts: self.ts,
+            value: Vec::new(),
+        }
+    }
+
+    /// Serializes the entry.
+    pub fn encode(&self) -> Bytes {
+        let has_ts = self.ts != NO_TIMESTAMP;
+        let mut out = Vec::with_capacity(1 + if has_ts { 8 } else { 0 } + self.value.len());
+        let mut flags = 0u8;
+        if self.anti_matter {
+            flags |= FLAG_ANTI_MATTER;
+        }
+        if has_ts {
+            flags |= FLAG_HAS_TS;
+        }
+        out.push(flags);
+        if has_ts {
+            out.extend_from_slice(&self.ts.to_be_bytes());
+        }
+        out.extend_from_slice(&self.value);
+        out
+    }
+
+    /// Deserializes an entry produced by [`LsmEntry::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let flags = *buf
+            .first()
+            .ok_or_else(|| Error::corruption("empty lsm entry"))?;
+        if flags & !(FLAG_ANTI_MATTER | FLAG_HAS_TS) != 0 {
+            return Err(Error::corruption(format!("bad entry flags {flags:#x}")));
+        }
+        let anti_matter = flags & FLAG_ANTI_MATTER != 0;
+        let (ts, off) = if flags & FLAG_HAS_TS != 0 {
+            if buf.len() < 9 {
+                return Err(Error::corruption("truncated entry timestamp"));
+            }
+            (Timestamp::from_be_bytes(buf[1..9].try_into().unwrap()), 9)
+        } else {
+            (NO_TIMESTAMP, 1)
+        };
+        Ok(LsmEntry {
+            anti_matter,
+            ts,
+            value: buf[off..].to_vec(),
+        })
+    }
+
+    /// Approximate in-memory footprint, for memory-budget accounting.
+    pub fn mem_size(&self) -> usize {
+        std::mem::size_of::<LsmEntry>() + self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_put() {
+        for e in [
+            LsmEntry::put(b"record bytes".to_vec()),
+            LsmEntry::put(Vec::new()),
+            LsmEntry::put_ts(b"v".to_vec(), 42),
+            LsmEntry::anti_matter(),
+            LsmEntry::anti_matter_ts(7),
+        ] {
+            assert_eq!(LsmEntry::decode(&e.encode()).unwrap(), e, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn untimestamped_entries_are_compact() {
+        let e = LsmEntry::put(b"x".to_vec());
+        assert_eq!(e.encode().len(), 2); // flags + payload
+        let t = LsmEntry::put_ts(b"x".to_vec(), 1);
+        assert_eq!(t.encode().len(), 10); // flags + ts + payload
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(LsmEntry::decode(&[]).is_err());
+        assert!(LsmEntry::decode(&[0xF0]).is_err());
+        assert!(LsmEntry::decode(&[FLAG_HAS_TS, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn mem_size_tracks_value() {
+        let small = LsmEntry::put(vec![0; 10]);
+        let big = LsmEntry::put(vec![0; 1000]);
+        assert_eq!(big.mem_size() - small.mem_size(), 990);
+    }
+}

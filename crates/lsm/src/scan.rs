@@ -1,0 +1,483 @@
+//! Range scans over LSM trees.
+//!
+//! A query over LSM data must reconcile entries with identical keys across
+//! components: newer components override older ones and anti-matter entries
+//! suppress deleted keys (Section 2.1). [`LsmScan`] is the reconciling
+//! k-way merge used by queries and by component merges.
+//!
+//! The Mutable-bitmap strategy lets filter scans skip reconciliation
+//! entirely (Section 6.4.2): because deletions are applied in place through
+//! bitmaps, each surviving entry is the unique valid version of its key, so
+//! components can be scanned one at a time — see
+//! [`scan_components_sequential`].
+
+use crate::bitmap::BitmapSnapshot;
+use crate::component::DiskComponent;
+use crate::entry::LsmEntry;
+use lsm_btree::BTreeScan;
+use lsm_common::{Key, Result};
+use lsm_storage::Storage;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Options controlling scan semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Emit anti-matter entries (merges need them; queries do not).
+    pub emit_anti_matter: bool,
+    /// Skip entries whose validity-bitmap bit is set.
+    pub respect_bitmaps: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            emit_anti_matter: false,
+            respect_bitmaps: true,
+        }
+    }
+}
+
+enum Source {
+    /// Snapshot of the memory component's range (newest; rank 0).
+    Mem {
+        entries: std::vec::IntoIter<(Key, LsmEntry)>,
+    },
+    /// One disk component.
+    Disk {
+        scan: BTreeScan,
+        /// Frozen bitmap for this scan (Side-file method scans snapshots).
+        bitmap: Option<BitmapSnapshot>,
+    },
+}
+
+impl Source {
+    fn next(&mut self, respect_bitmaps: bool) -> Result<Option<(Key, LsmEntry, u64)>> {
+        match self {
+            Source::Mem { entries } => Ok(entries.next().map(|(k, e)| (k, e, 0))),
+            Source::Disk { scan, bitmap, .. } => loop {
+                let Some((k, raw, ordinal)) = scan.next_entry()? else {
+                    return Ok(None);
+                };
+                if respect_bitmaps {
+                    if let Some(bm) = bitmap {
+                        if bm.get(ordinal) {
+                            continue; // invalidated entry
+                        }
+                    }
+                }
+                return Ok(Some((k, LsmEntry::decode(&raw)?, ordinal)));
+            },
+        }
+    }
+}
+
+/// Head entry of one source, tagged with the source's recency rank
+/// (0 = newest).
+struct Head {
+    key: Key,
+    entry: LsmEntry,
+    ordinal: u64,
+    rank: usize,
+}
+
+/// Reconciling k-way merge scan.
+pub struct LsmScan {
+    storage: Arc<Storage>,
+    sources: Vec<Source>,
+    heads: Vec<Option<Head>>,
+    opts: ScanOptions,
+    started: bool,
+    num_sources: usize,
+}
+
+impl LsmScan {
+    /// Creates a scan over an explicit set of sources: an optional memory
+    /// snapshot (treated as newest) plus disk components ordered
+    /// newest-first, over key range `[lo, hi]`.
+    pub fn new(
+        storage: Arc<Storage>,
+        mem_snapshot: Option<Vec<(Key, LsmEntry)>>,
+        components: &[Arc<DiskComponent>],
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        opts: ScanOptions,
+    ) -> Result<Self> {
+        let mut sources = Vec::with_capacity(components.len() + 1);
+        if let Some(entries) = mem_snapshot {
+            sources.push(Source::Mem {
+                entries: entries.into_iter(),
+            });
+        }
+        for comp in components {
+            let scan = comp.btree().scan(lo, clone_bound(&hi))?;
+            let bitmap = if opts.respect_bitmaps {
+                comp.bitmap().map(|b| b.snapshot())
+            } else {
+                None
+            };
+            sources.push(Source::Disk { scan, bitmap });
+        }
+        let n = sources.len();
+        Ok(LsmScan {
+            storage,
+            sources,
+            heads: Vec::new(),
+            opts,
+            started: false,
+            num_sources: n,
+        })
+    }
+
+    /// Creates a scan with explicit bitmap snapshots per component (the
+    /// Side-file method freezes bitmaps before scanning; Figure 11a line 3).
+    pub fn with_bitmap_snapshots(
+        storage: Arc<Storage>,
+        components: &[(Arc<DiskComponent>, Option<BitmapSnapshot>)],
+        opts: ScanOptions,
+    ) -> Result<Self> {
+        let mut sources = Vec::with_capacity(components.len());
+        for (comp, snap) in components {
+            let scan = comp.btree().scan_all()?;
+            sources.push(Source::Disk {
+                scan,
+                bitmap: snap.clone(),
+            });
+        }
+        let n = sources.len();
+        Ok(LsmScan {
+            storage,
+            sources,
+            heads: Vec::new(),
+            opts,
+            started: false,
+            num_sources: n,
+        })
+    }
+
+    fn prime(&mut self) -> Result<()> {
+        self.heads = Vec::with_capacity(self.sources.len());
+        for i in 0..self.sources.len() {
+            let h = self.sources[i].next(self.opts.respect_bitmaps)?;
+            self.heads.push(h.map(|(key, entry, ordinal)| Head {
+                key,
+                entry,
+                ordinal,
+                rank: i,
+            }));
+        }
+        self.started = true;
+        Ok(())
+    }
+
+    /// Returns the next reconciled entry: `(key, entry)` where `entry` is
+    /// the newest version of `key`. Anti-matter entries are suppressed
+    /// unless `emit_anti_matter` is set.
+    pub fn next_entry(&mut self) -> Result<Option<(Key, LsmEntry)>> {
+        loop {
+            let Some((key, entry, _, _)) = self.next_reconciled()? else {
+                return Ok(None);
+            };
+            if entry.anti_matter && !self.opts.emit_anti_matter {
+                continue;
+            }
+            return Ok(Some((key, entry)));
+        }
+    }
+
+    /// Like [`LsmScan::next_entry`] but also reports the winning source's
+    /// rank (0 = newest source) and the entry's ordinal in that source —
+    /// used by merges and repairs.
+    pub fn next_reconciled(&mut self) -> Result<Option<(Key, LsmEntry, usize, u64)>> {
+        if !self.started {
+            self.prime()?;
+        }
+        // Find the smallest key; among ties the smallest rank (newest) wins.
+        let mut winner: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            let Some(h) = head else { continue };
+            match winner {
+                None => winner = Some(i),
+                Some(w) => {
+                    let wh = self.heads[w].as_ref().unwrap();
+                    if h.key < wh.key || (h.key == wh.key && h.rank < wh.rank) {
+                        winner = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(w) = winner else { return Ok(None) };
+        let win_key = self.heads[w].as_ref().unwrap().key.clone();
+
+        // Charge the reconciliation cost: one heap round over the sources.
+        let log_k = (usize::BITS - self.num_sources.leading_zeros()) as u64;
+        self.storage
+            .charge_cpu(self.storage.cpu().key_cmp_ns * log_k.max(1));
+
+        // Advance every source sitting on the winning key; keep the winner.
+        let mut result: Option<(Key, LsmEntry, usize, u64)> = None;
+        for i in 0..self.heads.len() {
+            let matches = self.heads[i]
+                .as_ref()
+                .is_some_and(|h| h.key == win_key);
+            if !matches {
+                continue;
+            }
+            let head = self.heads[i].take().unwrap();
+            if i == w {
+                result = Some((head.key, head.entry, head.rank, head.ordinal));
+            }
+            let next = self.sources[i].next(self.opts.respect_bitmaps)?;
+            self.heads[i] = next.map(|(key, entry, ordinal)| Head {
+                key,
+                entry,
+                ordinal,
+                rank: i,
+            });
+        }
+        Ok(result)
+    }
+}
+
+fn clone_bound(b: &Bound<&[u8]>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(k) => Bound::Included(k.to_vec()),
+        Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+    }
+}
+
+/// Scans components one at a time with **no reconciliation** — the
+/// Mutable-bitmap strategy's scan mode (Section 6.4.2). Entries arrive
+/// grouped by component, not in global key order. `visit` receives
+/// `(key, entry)` for every valid, non-anti-matter entry.
+pub fn scan_components_sequential(
+    mem_snapshot: Option<Vec<(Key, LsmEntry)>>,
+    components: &[Arc<DiskComponent>],
+    mut visit: impl FnMut(Key, LsmEntry),
+) -> Result<()> {
+    if let Some(entries) = mem_snapshot {
+        for (k, e) in entries {
+            if !e.anti_matter {
+                visit(k, e);
+            }
+        }
+    }
+    for comp in components {
+        let bitmap = comp.bitmap().map(|b| b.snapshot());
+        let mut scan = comp.btree().scan_all()?;
+        while let Some((k, raw, ordinal)) = scan.next_entry()? {
+            if let Some(bm) = &bitmap {
+                if bm.get(ordinal) {
+                    continue;
+                }
+            }
+            let entry = LsmEntry::decode(&raw)?;
+            if !entry.anti_matter {
+                visit(k, entry);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::AtomicBitmap;
+    use crate::component_id::ComponentId;
+    use crate::tree::ComponentBuilder;
+    use lsm_storage::StorageOptions;
+
+    fn storage() -> Arc<Storage> {
+        Storage::new(StorageOptions::test())
+    }
+
+    fn build(
+        storage: &Arc<Storage>,
+        id: ComponentId,
+        entries: &[(&str, LsmEntry)],
+    ) -> Arc<DiskComponent> {
+        let mut b = ComponentBuilder::new(storage.clone(), id, Default::default()).unwrap();
+        for (k, e) in entries {
+            b.add(k.as_bytes(), e).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn newest_component_wins() {
+        let s = storage();
+        let old = build(
+            &s,
+            ComponentId::new(1, 5),
+            &[
+                ("a", LsmEntry::put(b"old-a".to_vec())),
+                ("b", LsmEntry::put(b"old-b".to_vec())),
+            ],
+        );
+        let new = build(
+            &s,
+            ComponentId::new(6, 9),
+            &[("a", LsmEntry::put(b"new-a".to_vec()))],
+        );
+        // newest first
+        let mut scan = LsmScan::new(
+            s.clone(),
+            None,
+            &[new, old],
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions::default(),
+        )
+        .unwrap();
+        let (k1, e1) = scan.next_entry().unwrap().unwrap();
+        assert_eq!((k1.as_slice(), e1.value.as_slice()), (&b"a"[..], &b"new-a"[..]));
+        let (k2, e2) = scan.next_entry().unwrap().unwrap();
+        assert_eq!((k2.as_slice(), e2.value.as_slice()), (&b"b"[..], &b"old-b"[..]));
+        assert!(scan.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn anti_matter_suppresses_and_can_be_emitted() {
+        let s = storage();
+        let old = build(
+            &s,
+            ComponentId::new(1, 5),
+            &[("a", LsmEntry::put(b"v".to_vec()))],
+        );
+        let mem = vec![(b"a".to_vec(), LsmEntry::anti_matter())];
+
+        let mut scan = LsmScan::new(
+            s.clone(),
+            Some(mem.clone()),
+            &[old.clone()],
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions::default(),
+        )
+        .unwrap();
+        assert!(scan.next_entry().unwrap().is_none());
+
+        let mut scan = LsmScan::new(
+            s.clone(),
+            Some(mem),
+            &[old],
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions {
+                emit_anti_matter: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (_, e) = scan.next_entry().unwrap().unwrap();
+        assert!(e.anti_matter);
+        assert!(scan.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn bitmap_invalidated_entries_skipped() {
+        let s = storage();
+        let comp = build(
+            &s,
+            ComponentId::new(1, 5),
+            &[
+                ("a", LsmEntry::put(b"1".to_vec())),
+                ("b", LsmEntry::put(b"2".to_vec())),
+                ("c", LsmEntry::put(b"3".to_vec())),
+            ],
+        );
+        let bm = Arc::new(AtomicBitmap::new(3));
+        bm.set(1); // invalidate "b"
+        comp.set_bitmap(bm);
+        let mut scan = LsmScan::new(
+            s.clone(),
+            None,
+            &[comp.clone()],
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions::default(),
+        )
+        .unwrap();
+        let mut keys = Vec::new();
+        while let Some((k, _)) = scan.next_entry().unwrap() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![b"a".to_vec(), b"c".to_vec()]);
+
+        // respect_bitmaps=false sees everything (repair scans raw entries).
+        let mut scan = LsmScan::new(
+            s,
+            None,
+            &[comp],
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions {
+                respect_bitmaps: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut n = 0;
+        while scan.next_entry().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let s = storage();
+        let comp = build(
+            &s,
+            ComponentId::new(1, 5),
+            &[
+                ("a", LsmEntry::put(vec![])),
+                ("b", LsmEntry::put(vec![])),
+                ("c", LsmEntry::put(vec![])),
+                ("d", LsmEntry::put(vec![])),
+            ],
+        );
+        let mut scan = LsmScan::new(
+            s,
+            None,
+            &[comp],
+            Bound::Included(b"b"),
+            Bound::Excluded(b"d"),
+            ScanOptions::default(),
+        )
+        .unwrap();
+        let mut keys = Vec::new();
+        while let Some((k, _)) = scan.next_entry().unwrap() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn sequential_scan_visits_all_valid_entries() {
+        let s = storage();
+        let c1 = build(
+            &s,
+            ComponentId::new(1, 5),
+            &[("a", LsmEntry::put(b"1".to_vec())), ("b", LsmEntry::put(b"2".to_vec()))],
+        );
+        let c2 = build(
+            &s,
+            ComponentId::new(6, 9),
+            &[("c", LsmEntry::put(b"3".to_vec()))],
+        );
+        let bm = Arc::new(AtomicBitmap::new(2));
+        bm.set(0); // "a" deleted in place
+        c1.set_bitmap(bm);
+        let mem = vec![
+            (b"d".to_vec(), LsmEntry::put(b"4".to_vec())),
+            (b"e".to_vec(), LsmEntry::anti_matter()),
+        ];
+        let mut seen = Vec::new();
+        scan_components_sequential(Some(mem), &[c2, c1], |k, _| seen.push(k)).unwrap();
+        seen.sort();
+        assert_eq!(seen, vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+}

@@ -1,0 +1,607 @@
+//! The LSM-tree: a memory component plus an ordered list of immutable disk
+//! components, with flush and merge machinery.
+//!
+//! This is the per-index structure of Figure 1; the engine crate composes
+//! one primary index, one primary key index, and N secondary indexes over
+//! these trees and layers the maintenance strategies on top.
+
+use crate::component::DiskComponent;
+use crate::component_id::ComponentId;
+use crate::entry::LsmEntry;
+use crate::memtable::MemComponent;
+use crate::merge_policy::{MergePolicy, MergeRange};
+use crate::range_filter::RangeFilter;
+use crate::scan::{LsmScan, ScanOptions};
+use lsm_bloom::{build_filter, BloomFilter, BloomKind};
+use lsm_btree::BTreeBuilder;
+use lsm_common::{Error, Key, Result, Timestamp, Value};
+use lsm_storage::Storage;
+use parking_lot::{Mutex, RwLock};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Per-index configuration.
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    /// Index name (diagnostics only).
+    pub name: String,
+    /// Build a Bloom filter per disk component (primary / primary key
+    /// indexes in the paper; secondary indexes have none).
+    pub with_bloom: bool,
+    /// Which Bloom filter variant to build.
+    pub bloom_kind: BloomKind,
+    /// Bloom filter false-positive rate (1% in §6.1).
+    pub bloom_fpr: f64,
+    /// Attach a zeroed mutable bitmap to every new disk component
+    /// (Mutable-bitmap strategy).
+    pub mutable_bitmaps: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        LsmOptions {
+            name: "lsm".into(),
+            with_bloom: true,
+            bloom_kind: BloomKind::Standard,
+            bloom_fpr: 0.01,
+            mutable_bitmaps: false,
+        }
+    }
+}
+
+/// Builds one disk component from a sorted entry stream.
+///
+/// Used by flushes, merges, and the repair/concurrency-control paths in the
+/// engine, which need per-entry control (ordinals, build links).
+pub struct ComponentBuilder {
+    storage: Arc<Storage>,
+    id: ComponentId,
+    btree: BTreeBuilder,
+    bloom: Option<Box<dyn BloomFilter>>,
+    filter: Option<RangeFilter>,
+    make_mutable_bitmap: bool,
+}
+
+/// Options for [`ComponentBuilder`].
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Build a Bloom filter over the keys.
+    pub with_bloom: bool,
+    /// Bloom variant.
+    pub bloom_kind: BloomKind,
+    /// Bloom false-positive rate.
+    pub bloom_fpr: f64,
+    /// Expected number of keys (Bloom sizing).
+    pub expected_keys: usize,
+    /// Range filter carried by the new component.
+    pub filter: Option<RangeFilter>,
+    /// Attach an all-zero mutable bitmap on finish.
+    pub make_mutable_bitmap: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            with_bloom: true,
+            bloom_kind: BloomKind::Standard,
+            bloom_fpr: 0.01,
+            expected_keys: 1024,
+            filter: None,
+            make_mutable_bitmap: false,
+        }
+    }
+}
+
+impl ComponentBuilder {
+    /// Starts building a component with the given ID.
+    pub fn new(storage: Arc<Storage>, id: ComponentId, opts: BuildOptions) -> Result<Self> {
+        let bloom = opts
+            .with_bloom
+            .then(|| build_filter(opts.bloom_kind, opts.expected_keys, opts.bloom_fpr));
+        Ok(ComponentBuilder {
+            btree: BTreeBuilder::new(storage.clone()),
+            storage,
+            id,
+            bloom,
+            filter: opts.filter,
+            make_mutable_bitmap: opts.make_mutable_bitmap,
+        })
+    }
+
+    /// Appends an entry (keys strictly ascending) and returns its ordinal
+    /// position in the new component.
+    pub fn add(&mut self, key: &[u8], entry: &LsmEntry) -> Result<u64> {
+        let ordinal = self.btree.next_ordinal();
+        self.btree.add(key, &entry.encode())?;
+        if let Some(bloom) = &mut self.bloom {
+            bloom.insert(key);
+        }
+        // Streaming cost of pushing one entry through the build pipeline.
+        self.storage.charge_cpu(self.storage.cpu().sort_entry_ns);
+        Ok(ordinal)
+    }
+
+    /// Entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.btree.num_entries()
+    }
+
+    /// Finalizes the component.
+    pub fn finish(self) -> Result<DiskComponent> {
+        let n = self.btree.num_entries();
+        let btree = self.btree.finish()?;
+        let bitmap = self
+            .make_mutable_bitmap
+            .then(|| Arc::new(crate::bitmap::AtomicBitmap::new(n)));
+        Ok(DiskComponent::new(
+            self.id,
+            btree,
+            self.bloom,
+            self.filter,
+            bitmap,
+        ))
+    }
+}
+
+/// An LSM-tree index.
+pub struct LsmTree {
+    opts: LsmOptions,
+    storage: Arc<Storage>,
+    mem: Mutex<MemComponent>,
+    /// Disk components, newest first (as drawn in Figure 1, reading
+    /// right-to-left).
+    disk: RwLock<Vec<Arc<DiskComponent>>>,
+}
+
+impl std::fmt::Debug for LsmTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmTree")
+            .field("name", &self.opts.name)
+            .field("disk_components", &self.disk.read().len())
+            .finish()
+    }
+}
+
+impl LsmTree {
+    /// Creates an empty tree.
+    pub fn new(storage: Arc<Storage>, opts: LsmOptions) -> Self {
+        LsmTree {
+            opts,
+            storage,
+            mem: Mutex::new(MemComponent::new()),
+            disk: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn options(&self) -> &LsmOptions {
+        &self.opts
+    }
+
+    /// The storage device.
+    pub fn storage(&self) -> &Arc<Storage> {
+        &self.storage
+    }
+
+    // ---- memory component -------------------------------------------------
+
+    /// Writes an entry into the memory component. `op_ts` is the operation
+    /// timestamp used for the component ID. Returns the replaced entry.
+    pub fn put(&self, key: Key, entry: LsmEntry, op_ts: Timestamp) -> Option<LsmEntry> {
+        self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
+        self.mem.lock().put(key, entry, op_ts)
+    }
+
+    /// Reads the memory component.
+    pub fn mem_get(&self, key: &[u8]) -> Option<LsmEntry> {
+        self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
+        self.mem.lock().get(key).cloned()
+    }
+
+    /// Approximate memory component size in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem.lock().bytes()
+    }
+
+    /// Number of keys in the memory component.
+    pub fn mem_len(&self) -> usize {
+        self.mem.lock().len()
+    }
+
+    /// Widens the memory component's range filter.
+    pub fn widen_mem_filter(&self, v: &Value) {
+        self.mem.lock().widen_filter(v);
+    }
+
+    /// The memory component's range filter.
+    pub fn mem_filter(&self) -> Option<RangeFilter> {
+        self.mem.lock().filter().cloned()
+    }
+
+    /// Copies the memory component's entries in `[lo, hi]`, in key order.
+    pub fn mem_snapshot_range(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> Vec<(Key, LsmEntry)> {
+        let mem = self.mem.lock();
+        mem.range(lo, hi)
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect()
+    }
+
+    /// Discards the memory component (crash simulation in recovery tests).
+    pub fn clear_mem(&self) {
+        self.mem.lock().clear();
+    }
+
+    // ---- disk components ---------------------------------------------------
+
+    /// Disk components, newest first.
+    pub fn disk_components(&self) -> Vec<Arc<DiskComponent>> {
+        self.disk.read().clone()
+    }
+
+    /// Number of disk components.
+    pub fn num_disk_components(&self) -> usize {
+        self.disk.read().len()
+    }
+
+    /// Total bytes across disk components.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk.read().iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Total entries across disk components.
+    pub fn disk_entries(&self) -> u64 {
+        self.disk.read().iter().map(|c| c.num_entries()).sum()
+    }
+
+    /// Pushes a component as the newest (recovery / tests).
+    pub fn push_newest(&self, comp: Arc<DiskComponent>) {
+        self.disk.write().insert(0, comp);
+    }
+
+    /// Flushes the memory component into a new disk component.
+    /// Returns `None` if the memory component was empty.
+    pub fn flush(&self) -> Result<Option<Arc<DiskComponent>>> {
+        let mut mem = self.mem.lock();
+        let Some(id) = mem.id() else {
+            return Ok(None);
+        };
+        let mut builder = ComponentBuilder::new(
+            self.storage.clone(),
+            id,
+            BuildOptions {
+                with_bloom: self.opts.with_bloom,
+                bloom_kind: self.opts.bloom_kind,
+                bloom_fpr: self.opts.bloom_fpr,
+                expected_keys: mem.len(),
+                filter: mem.filter().cloned(),
+                make_mutable_bitmap: self.opts.mutable_bitmaps,
+            },
+        )?;
+        for (k, e) in mem.iter() {
+            builder.add(k, e)?;
+        }
+        let comp = Arc::new(builder.finish()?);
+        mem.clear();
+        self.disk.write().insert(0, comp.clone());
+        Ok(Some(comp))
+    }
+
+    // ---- merging -----------------------------------------------------------
+
+    /// Applies `policy` to the current disk components; returns the chosen
+    /// range (oldest-first indexing) without performing the merge.
+    pub fn select_merge(&self, policy: &dyn MergePolicy) -> Option<MergeRange> {
+        let disk = self.disk.read();
+        let sizes: Vec<u64> = disk.iter().rev().map(|c| c.byte_size()).collect();
+        policy.select(&sizes)
+    }
+
+    /// Components of `range` (oldest-first indexing), returned newest-first.
+    pub fn components_in_range(&self, range: MergeRange) -> Vec<Arc<DiskComponent>> {
+        let disk = self.disk.read();
+        let n = disk.len();
+        // oldest-first index i ↔ newest-first index n-1-i
+        let lo = n - 1 - range.end;
+        let hi = n - 1 - range.start;
+        disk[lo..=hi].to_vec()
+    }
+
+    /// True if `range` includes the oldest disk component (anti-matter can
+    /// then be dropped by the merge).
+    pub fn range_includes_oldest(&self, range: MergeRange) -> bool {
+        range.start == 0
+    }
+
+    /// Merges the components in `range` into one new component.
+    ///
+    /// Reconciles duplicate keys (newest wins), drops entries invalidated by
+    /// bitmaps, and drops anti-matter if the range includes the oldest
+    /// component. Returns the new component after swapping it in and
+    /// destroying the inputs.
+    pub fn merge_range(&self, range: MergeRange) -> Result<Arc<DiskComponent>> {
+        let inputs = self.components_in_range(range);
+        if inputs.len() < 2 {
+            return Err(Error::invalid("merge needs at least two components"));
+        }
+        let drop_anti = self.range_includes_oldest(range);
+        let id = ComponentId::merged(inputs.iter().map(|c| c.id()))
+            .expect("non-empty merge input");
+        let mut filter: Option<RangeFilter> = None;
+        for c in &inputs {
+            if let Some(f) = c.range_filter() {
+                match &mut filter {
+                    None => filter = Some(f.clone()),
+                    Some(acc) => acc.union(f),
+                }
+            }
+        }
+        let expected: u64 = inputs.iter().map(|c| c.num_entries()).sum();
+        let mut builder = ComponentBuilder::new(
+            self.storage.clone(),
+            id,
+            BuildOptions {
+                with_bloom: self.opts.with_bloom,
+                bloom_kind: self.opts.bloom_kind,
+                bloom_fpr: self.opts.bloom_fpr,
+                expected_keys: expected as usize,
+                filter,
+                make_mutable_bitmap: self.opts.mutable_bitmaps,
+            },
+        )?;
+        let mut scan = LsmScan::new(
+            self.storage.clone(),
+            None,
+            &inputs,
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions {
+                emit_anti_matter: true,
+                respect_bitmaps: true,
+            },
+        )?;
+        while let Some((k, e)) = scan.next_entry()? {
+            if e.anti_matter && drop_anti {
+                continue;
+            }
+            builder.add(&k, &e)?;
+        }
+        let new_comp = Arc::new(builder.finish()?);
+        self.replace_range(range, new_comp.clone(), true)?;
+        Ok(new_comp)
+    }
+
+    /// Replaces the components of `range` with `new_comp`, optionally
+    /// destroying the old files.
+    pub fn replace_range(
+        &self,
+        range: MergeRange,
+        new_comp: Arc<DiskComponent>,
+        destroy_old: bool,
+    ) -> Result<()> {
+        let removed: Vec<Arc<DiskComponent>> = {
+            let mut disk = self.disk.write();
+            let n = disk.len();
+            assert!(range.end < n, "merge range out of bounds");
+            let lo = n - 1 - range.end;
+            let hi = n - 1 - range.start;
+            disk.splice(lo..=hi, [new_comp]).collect()
+        };
+        if destroy_old {
+            for c in removed {
+                c.destroy()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one round of policy-driven merging. Returns `true` if a merge
+    /// was performed.
+    pub fn maybe_merge(&self, policy: &dyn MergePolicy) -> Result<bool> {
+        match self.select_merge(policy) {
+            Some(range) => {
+                self.merge_range(range)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    // ---- scans --------------------------------------------------------------
+
+    /// Reconciling scan over the whole tree (memory + all disk components).
+    pub fn scan(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        opts: ScanOptions,
+    ) -> Result<LsmScan> {
+        let mem = self.mem_snapshot_range(lo, hi);
+        let disk = self.disk_components();
+        LsmScan::new(
+            self.storage.clone(),
+            (!mem.is_empty()).then_some(mem),
+            &disk,
+            lo,
+            hi,
+            opts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge_policy::TieringPolicy;
+    use lsm_storage::StorageOptions;
+
+    fn tree() -> LsmTree {
+        LsmTree::new(Storage::new(StorageOptions::test()), LsmOptions::default())
+    }
+
+    fn key(i: u32) -> Key {
+        format!("k{i:06}").into_bytes()
+    }
+
+    #[test]
+    fn flush_moves_mem_to_disk() {
+        let t = tree();
+        assert!(t.flush().unwrap().is_none());
+        for i in 0..100 {
+            t.put(key(i), LsmEntry::put(vec![b'v']), u64::from(i) + 1);
+        }
+        assert_eq!(t.mem_len(), 100);
+        let c = t.flush().unwrap().unwrap();
+        assert_eq!(c.num_entries(), 100);
+        assert_eq!(c.id(), ComponentId::new(1, 100));
+        assert_eq!(t.mem_len(), 0);
+        assert_eq!(t.num_disk_components(), 1);
+    }
+
+    #[test]
+    fn merge_reconciles_and_drops_anti_matter() {
+        let t = tree();
+        // Component 1: keys 0..10
+        for i in 0..10 {
+            t.put(key(i), LsmEntry::put(b"v1".to_vec()), u64::from(i) + 1);
+        }
+        t.flush().unwrap().unwrap();
+        // Component 2: overwrite key 3, delete key 5.
+        t.put(key(3), LsmEntry::put(b"v2".to_vec()), 20);
+        t.put(key(5), LsmEntry::anti_matter(), 21);
+        t.flush().unwrap().unwrap();
+        assert_eq!(t.num_disk_components(), 2);
+
+        let merged = t
+            .merge_range(MergeRange { start: 0, end: 1 })
+            .unwrap();
+        assert_eq!(t.num_disk_components(), 1);
+        // key 5 dropped (merge includes oldest), key 3 has new value.
+        assert_eq!(merged.num_entries(), 9);
+        let (e, _) = merged.search(&key(3)).unwrap().unwrap();
+        assert_eq!(e.value, b"v2");
+        assert!(merged.search(&key(5)).unwrap().is_none());
+        assert_eq!(merged.id(), ComponentId::new(1, 21));
+    }
+
+    #[test]
+    fn partial_merge_keeps_anti_matter() {
+        let t = tree();
+        for i in 0..5 {
+            t.put(key(i), LsmEntry::put(b"v".to_vec()), u64::from(i) + 1);
+        }
+        t.flush().unwrap();
+        t.put(key(1), LsmEntry::anti_matter(), 10);
+        t.flush().unwrap();
+        t.put(key(2), LsmEntry::put(b"w".to_vec()), 20);
+        t.flush().unwrap();
+        // Merge only the two NEWEST components (range excludes oldest).
+        let merged = t
+            .merge_range(MergeRange { start: 1, end: 2 })
+            .unwrap();
+        // Anti-matter for key 1 must survive to suppress the base version.
+        let (e, _) = merged.search(&key(1)).unwrap().unwrap();
+        assert!(e.anti_matter);
+        assert_eq!(t.num_disk_components(), 2);
+    }
+
+    #[test]
+    fn policy_driven_merging_converges() {
+        let t = tree();
+        let policy = TieringPolicy::new(u64::MAX);
+        let mut ts = 1u64;
+        for round in 0..6 {
+            for i in 0..50 {
+                t.put(key(round * 50 + i), LsmEntry::put(vec![0; 32]), ts);
+                ts += 1;
+            }
+            t.flush().unwrap();
+            while t.maybe_merge(&policy).unwrap() {}
+        }
+        // With an uncapped tiering policy everything collapses to few
+        // components, and all data is present.
+        assert!(t.num_disk_components() <= 3);
+        assert_eq!(t.disk_entries(), 300);
+    }
+
+    #[test]
+    fn scan_sees_mem_and_disk_reconciled() {
+        let t = tree();
+        t.put(key(1), LsmEntry::put(b"disk".to_vec()), 1);
+        t.put(key(2), LsmEntry::put(b"disk".to_vec()), 2);
+        t.flush().unwrap();
+        t.put(key(1), LsmEntry::put(b"mem".to_vec()), 3);
+        t.put(key(3), LsmEntry::anti_matter(), 4);
+
+        let mut scan = t
+            .scan(Bound::Unbounded, Bound::Unbounded, ScanOptions::default())
+            .unwrap();
+        let (k, e) = scan.next_entry().unwrap().unwrap();
+        assert_eq!((k, e.value), (key(1), b"mem".to_vec()));
+        let (k, e) = scan.next_entry().unwrap().unwrap();
+        assert_eq!((k, e.value), (key(2), b"disk".to_vec()));
+        assert!(scan.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn mutable_bitmaps_created_when_configured() {
+        let t = LsmTree::new(
+            Storage::new(StorageOptions::test()),
+            LsmOptions {
+                mutable_bitmaps: true,
+                ..Default::default()
+            },
+        );
+        t.put(key(1), LsmEntry::put(vec![]), 1);
+        let c = t.flush().unwrap().unwrap();
+        let bm = c.bitmap().expect("mutable bitmap attached");
+        assert_eq!(bm.len(), 1);
+        assert_eq!(bm.count_set(), 0);
+    }
+
+    #[test]
+    fn merge_physically_removes_bitmap_invalidated_entries() {
+        let t = tree();
+        for i in 0..4 {
+            t.put(key(i), LsmEntry::put(b"v".to_vec()), u64::from(i) + 1);
+        }
+        t.flush().unwrap();
+        t.put(key(9), LsmEntry::put(b"v".to_vec()), 9);
+        t.flush().unwrap();
+        // Invalidate key 2 in the older component via a bitmap.
+        let comps = t.disk_components();
+        let older = &comps[1];
+        let bm = Arc::new(crate::bitmap::AtomicBitmap::new(older.num_entries()));
+        let (_, ord) = older.search(&key(2)).unwrap().unwrap();
+        bm.set(ord);
+        older.set_bitmap(bm);
+
+        let merged = t.merge_range(MergeRange { start: 0, end: 1 }).unwrap();
+        assert_eq!(merged.num_entries(), 4); // 0,1,3,9
+        assert!(merged.search(&key(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn merged_filter_is_union_of_inputs() {
+        let t = tree();
+        t.put(key(1), LsmEntry::put(vec![]), 1);
+        t.widen_mem_filter(&Value::Int(2015));
+        t.flush().unwrap();
+        t.put(key(2), LsmEntry::put(vec![]), 2);
+        t.widen_mem_filter(&Value::Int(2018));
+        t.flush().unwrap();
+        let merged = t.merge_range(MergeRange { start: 0, end: 1 }).unwrap();
+        let f = merged.range_filter().unwrap();
+        assert_eq!(f.min(), &Value::Int(2015));
+        assert_eq!(f.max(), &Value::Int(2018));
+    }
+
+    #[test]
+    fn mem_filter_snapshot_on_flush() {
+        let t = tree();
+        t.put(key(1), LsmEntry::put(vec![]), 1);
+        t.widen_mem_filter(&Value::Int(7));
+        let c = t.flush().unwrap().unwrap();
+        assert!(c.range_filter().is_some());
+        assert!(t.mem_filter().is_none(), "filter reset after flush");
+    }
+}

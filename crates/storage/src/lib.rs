@@ -1,0 +1,31 @@
+//! Simulated storage substrate.
+//!
+//! The paper's experiments run on physical disks (7200rpm SATA HDDs and an
+//! SSD) whose behaviour — the large gap between random and sequential reads,
+//! and the effect of the buffer cache — shapes every result in Section 6.
+//! This crate replaces the physical device with a deterministic simulation:
+//!
+//! * pages live in memory, but every access is charged against a
+//!   [`DiskProfile`] cost model (seek + transfer for a random read, transfer
+//!   only for a sequential continuation, free on a buffer-cache hit);
+//! * a CLOCK (second-chance) [`cache::BufferCache`] of configurable size
+//!   decides which accesses hit;
+//! * read-ahead batches sequential scans the way the paper's 4MB read-ahead
+//!   does;
+//! * a [`SimClock`] accumulates simulated nanoseconds of I/O and CPU work,
+//!   and [`IoStats`] counts every event for assertions and reporting.
+//!
+//! Everything above this crate (B+-trees, LSM components, the engine) does
+//! real work on real bytes; only the *timing* is simulated. Benchmarks report
+//! simulated seconds (the paper's y-axes) alongside wall-clock time.
+
+pub mod cache;
+pub mod profile;
+pub mod sim_clock;
+pub mod stats;
+pub mod storage;
+
+pub use profile::{CpuCosts, DiskProfile};
+pub use sim_clock::SimClock;
+pub use stats::{IoStats, IoStatsSnapshot};
+pub use storage::{FileId, PageNo, Storage, StorageOptions};

@@ -1,0 +1,152 @@
+//! I/O and CPU event counters.
+//!
+//! Counters are atomics so that concurrent readers/writers (merge threads vs
+//! ingestion threads) can be accounted without locking. Benchmarks snapshot
+//! them before/after an operation; tests assert on them (e.g. "the batched
+//! lookup performed zero random reads on the leaf level").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, shared by reference.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Page reads that missed the buffer cache and were sequential
+    /// continuations of the previous read on the same file.
+    pub seq_reads: AtomicU64,
+    /// Page reads that missed the buffer cache and required a seek.
+    pub rand_reads: AtomicU64,
+    /// Page reads satisfied by the buffer cache.
+    pub cache_hits: AtomicU64,
+    /// Pages written (flush, merge, WAL).
+    pub pages_written: AtomicU64,
+    /// Bytes read from the simulated device (cache misses only).
+    pub bytes_read: AtomicU64,
+    /// Bytes written to the simulated device.
+    pub bytes_written: AtomicU64,
+    /// Bloom filter membership tests performed.
+    pub bloom_checks: AtomicU64,
+    /// Bloom filter tests that returned "definitely absent".
+    pub bloom_negatives: AtomicU64,
+    /// Simulated CPU nanoseconds charged.
+    pub cpu_ns: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            rand_reads: self.rand_reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bloom_checks: self.bloom_checks.load(Ordering::Relaxed),
+            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
+            cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a bloom filter check (and whether it pruned).
+    pub fn record_bloom_check(&self, negative: bool) {
+        self.add(&self.bloom_checks, 1);
+        if negative {
+            self.add(&self.bloom_negatives, 1);
+        }
+    }
+}
+
+/// An immutable copy of the counters, with difference support.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    pub seq_reads: u64,
+    pub rand_reads: u64,
+    pub cache_hits: u64,
+    pub pages_written: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub bloom_checks: u64,
+    pub bloom_negatives: u64,
+    pub cpu_ns: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Total page reads that reached the device.
+    pub fn disk_reads(&self) -> u64 {
+        self.seq_reads + self.rand_reads
+    }
+
+    /// Counter-wise difference `self - earlier` (for measuring one phase).
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            seq_reads: self.seq_reads - earlier.seq_reads,
+            rand_reads: self.rand_reads - earlier.rand_reads,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            pages_written: self.pages_written - earlier.pages_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            bloom_checks: self.bloom_checks - earlier.bloom_checks,
+            bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
+            cpu_ns: self.cpu_ns - earlier.cpu_ns,
+        }
+    }
+
+    /// Fraction of page accesses served by the cache.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.disk_reads() + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = IoStats::new();
+        s.add(&s.rand_reads, 3);
+        s.add(&s.cache_hits, 1);
+        let a = s.snapshot();
+        s.add(&s.rand_reads, 2);
+        s.add(&s.seq_reads, 5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.rand_reads, 2);
+        assert_eq!(d.seq_reads, 5);
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(d.disk_reads(), 7);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = IoStats::new();
+        assert_eq!(s.snapshot().cache_hit_ratio(), 0.0);
+        s.add(&s.cache_hits, 3);
+        s.add(&s.rand_reads, 1);
+        assert!((s.snapshot().cache_hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bloom_counters() {
+        let s = IoStats::new();
+        s.record_bloom_check(true);
+        s.record_bloom_check(false);
+        let snap = s.snapshot();
+        assert_eq!(snap.bloom_checks, 2);
+        assert_eq!(snap.bloom_negatives, 1);
+    }
+}

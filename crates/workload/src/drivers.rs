@@ -1,0 +1,239 @@
+//! Workload drivers: the insert and upsert streams of Sections 6.3.1/6.3.2.
+
+use crate::tweet::{TweetConfig, TweetGenerator, USER_ID_DOMAIN};
+use crate::zipf::ZipfSampler;
+use lsm_common::Record;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How update targets are chosen among past keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateDistribution {
+    /// All past keys equally likely.
+    Uniform,
+    /// Recent keys more likely (Zipf, theta 0.99, as in YCSB).
+    Zipf,
+}
+
+/// One workload operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a record (may carry a duplicate key under the insert
+    /// workload's duplicate ratio).
+    Insert(Record),
+    /// Upsert a record (replaces any existing record with the same key).
+    Upsert(Record),
+}
+
+impl Op {
+    /// The record carried by the operation.
+    pub fn record(&self) -> &Record {
+        match self {
+            Op::Insert(r) | Op::Upsert(r) => r,
+        }
+    }
+}
+
+/// Insert workload with a duplicate ratio (Section 6.3.1): duplicates are
+/// uniformly chosen among all past keys and should be *rejected* by the
+/// engine's key-uniqueness check.
+#[derive(Debug)]
+pub struct InsertWorkload {
+    gen: TweetGenerator,
+    rng: StdRng,
+    duplicate_ratio: f64,
+}
+
+impl InsertWorkload {
+    /// Creates the workload.
+    pub fn new(cfg: TweetConfig, duplicate_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&duplicate_ratio));
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
+        InsertWorkload {
+            gen: TweetGenerator::new(cfg),
+            rng,
+            duplicate_ratio,
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        let n = self.gen.num_issued();
+        if n > 0 && self.rng.gen_bool(self.duplicate_ratio) {
+            let idx = self.rng.gen_range(0..n);
+            Op::Insert(self.gen.next_update_of(idx))
+        } else {
+            Op::Insert(self.gen.next_new())
+        }
+    }
+
+    /// The underlying generator (for key inspection in tests/benches).
+    pub fn generator(&self) -> &TweetGenerator {
+        &self.gen
+    }
+}
+
+/// Upsert workload with an update ratio and distribution (Section 6.3.2).
+#[derive(Debug)]
+pub struct UpsertWorkload {
+    gen: TweetGenerator,
+    rng: StdRng,
+    update_ratio: f64,
+    distribution: UpdateDistribution,
+    zipf: ZipfSampler,
+}
+
+impl UpsertWorkload {
+    /// Creates the workload (update ratio 0.1 and uniform distribution are
+    /// the paper's defaults).
+    pub fn new(cfg: TweetConfig, update_ratio: f64, distribution: UpdateDistribution) -> Self {
+        assert!((0.0..=1.0).contains(&update_ratio));
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xFEED_F00D);
+        UpsertWorkload {
+            gen: TweetGenerator::new(cfg),
+            rng,
+            update_ratio,
+            distribution,
+            zipf: ZipfSampler::new(0.99),
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        let n = self.gen.num_issued();
+        if n > 0 && self.rng.gen_bool(self.update_ratio) {
+            let idx = match self.distribution {
+                UpdateDistribution::Uniform => self.rng.gen_range(0..n),
+                UpdateDistribution::Zipf => {
+                    self.zipf.grow_to(n as u64);
+                    // Rank 1 = most recent = highest index.
+                    let rank = self.zipf.sample(&mut self.rng);
+                    n - rank as usize
+                }
+            };
+            Op::Upsert(self.gen.next_update_of(idx))
+        } else {
+            Op::Upsert(self.gen.next_new())
+        }
+    }
+
+    /// The underlying generator.
+    pub fn generator(&self) -> &TweetGenerator {
+        &self.gen
+    }
+}
+
+/// Generates secondary-index range predicates on `user_id` with a controlled
+/// selectivity (fraction of the `[0, 100K)` domain — with uniformly
+/// distributed user ids this approximates the fraction of records selected).
+#[derive(Debug)]
+pub struct SelectivityQueries {
+    rng: StdRng,
+}
+
+impl SelectivityQueries {
+    /// Creates the query generator.
+    pub fn new(seed: u64) -> Self {
+        SelectivityQueries {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns an inclusive `user_id` range selecting about `selectivity`
+    /// (e.g. `0.001` = 0.1%) of the domain, with a random start.
+    pub fn user_id_range(&mut self, selectivity: f64) -> (i64, i64) {
+        let width = ((USER_ID_DOMAIN as f64 * selectivity).round() as i64).max(1);
+        let start = self.rng.gen_range(0..=(USER_ID_DOMAIN - width));
+        (start, start + width - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TweetConfig {
+        TweetConfig {
+            msg_min: 5,
+            msg_max: 5,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn insert_workload_duplicate_ratio() {
+        let mut w = InsertWorkload::new(cfg(), 0.5);
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0;
+        for _ in 0..2000 {
+            let op = w.next_op();
+            let id = op.record().get(0).as_int().unwrap();
+            if !seen.insert(id) {
+                dups += 1;
+            }
+        }
+        let ratio = dups as f64 / 2000.0;
+        assert!((0.4..0.6).contains(&ratio), "duplicate ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_duplicate_ratio_is_all_fresh() {
+        let mut w = InsertWorkload::new(cfg(), 0.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            assert!(seen.insert(w.next_op().record().get(0).as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn upsert_update_ratio() {
+        let mut w = UpsertWorkload::new(cfg(), 0.3, UpdateDistribution::Uniform);
+        let mut seen = std::collections::HashSet::new();
+        let mut updates = 0;
+        for _ in 0..2000 {
+            let op = w.next_op();
+            assert!(matches!(op, Op::Upsert(_)));
+            if !seen.insert(op.record().get(0).as_int().unwrap()) {
+                updates += 1;
+            }
+        }
+        let ratio = updates as f64 / 2000.0;
+        assert!((0.2..0.4).contains(&ratio), "update ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_updates_prefer_recent_keys() {
+        let mut w = UpsertWorkload::new(cfg(), 0.5, UpdateDistribution::Zipf);
+        // Ingest a base population first.
+        let mut order: Vec<i64> = Vec::new();
+        let mut recent_updates = 0u32;
+        let mut total_updates = 0u32;
+        for _ in 0..5000 {
+            let op = w.next_op();
+            let id = op.record().get(0).as_int().unwrap();
+            if let Some(pos) = order.iter().rposition(|&k| k == id) {
+                total_updates += 1;
+                // "Recent" = newest 10% at the time of the update.
+                if pos >= order.len().saturating_sub(order.len() / 10) {
+                    recent_updates += 1;
+                }
+            } else {
+                order.push(id);
+            }
+        }
+        assert!(total_updates > 100);
+        let frac = recent_updates as f64 / total_updates as f64;
+        assert!(frac > 0.5, "recent-update fraction {frac}");
+    }
+
+    #[test]
+    fn selectivity_ranges() {
+        let mut q = SelectivityQueries::new(5);
+        for sel in [0.001, 0.01, 0.1, 0.5] {
+            let (lo, hi) = q.user_id_range(sel);
+            assert!(lo >= 0 && hi < USER_ID_DOMAIN && lo <= hi);
+            let width = (hi - lo + 1) as f64 / USER_ID_DOMAIN as f64;
+            assert!((width - sel).abs() < 0.001, "sel {sel} width {width}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Synthetic workloads for the experimental evaluation (Section 6.1).
+//!
+//! YCSB has no secondary keys or secondary-index queries, so the paper uses
+//! a synthetic tweet generator; this crate reimplements it along with the
+//! insert/upsert drivers (duplicate ratio, update ratio, uniform vs
+//! Zipf-skewed updates) and selectivity-controlled query generators.
+
+pub mod drivers;
+pub mod tweet;
+pub mod zipf;
+
+pub use drivers::{
+    InsertWorkload, Op, SelectivityQueries, UpdateDistribution, UpsertWorkload,
+};
+pub use tweet::{TweetConfig, TweetGenerator, USER_ID_DOMAIN};
+pub use zipf::ZipfSampler;
