@@ -9,8 +9,7 @@
 
 use lsm_bench::{apply, row, scaled, table_header, Env, EnvConfig, Timer};
 use lsm_bloom::BloomKind;
-use lsm_common::Value;
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_tree::{LevelingPolicy, MergePolicy, NoMergePolicy, TieringPolicy};
 use lsm_workload::{SelectivityQueries, TweetConfig, UpdateDistribution, UpsertWorkload};
@@ -53,17 +52,12 @@ fn point_query_time(ds: &Dataset) -> f64 {
     let timer = Timer::start(ds.storage().clock());
     for _ in 0..reps {
         let (lo, hi) = q.user_id_range(0.0005);
-        let res = secondary_query(
-            ds,
-            "user_id",
-            Some(&Value::Int(lo)),
-            Some(&Value::Int(hi)),
-            &QueryOptions {
-                validation: ValidationMethod::Timestamp,
-                ..Default::default()
-            },
-        )
-        .expect("query");
+        let res = ds
+            .query("user_id")
+            .range(lo, hi)
+            .validation(ValidationMethod::Timestamp)
+            .execute()
+            .expect("query");
         std::hint::black_box(res.len());
     }
     timer.elapsed().0 / reps as f64
@@ -127,19 +121,13 @@ fn main() {
             let timer = Timer::start(ds.storage().clock());
             // Index-only isolates the validation cost that query-driven
             // repair amortizes (record fetches would dominate otherwise).
-            let res = secondary_query(
-                &ds,
-                "user_id",
-                Some(&Value::Int(lo)),
-                Some(&Value::Int(hi)),
-                &QueryOptions {
-                    validation: ValidationMethod::Timestamp,
-                    query_driven_repair: qdr,
-                    index_only: true,
-                    ..Default::default()
-                },
-            )
-            .expect("query");
+            let res = ds
+                .query("user_id")
+                .range(lo, hi)
+                .index_only()
+                .query_driven_repair(qdr)
+                .execute()
+                .expect("query");
             std::hint::black_box(res.len());
             runs.push(timer.elapsed().0 * 1e3); // milliseconds
         }

@@ -19,8 +19,7 @@ use lsm_bench::{
     Timer,
 };
 use lsm_bloom::BloomKind;
-use lsm_common::Value;
-use lsm_engine::query::{filter_scan_count, secondary_query, QueryOptions};
+use lsm_engine::query::{filter_scan_count, QueryOptions};
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, TweetConfig, TweetGenerator};
 
@@ -59,14 +58,14 @@ fn ranges_for(sel: f64, k: usize) -> Vec<(i64, i64)> {
 fn run_query(ds: &Dataset, ranges: &[(i64, i64)], opts: &QueryOptions) -> f64 {
     let timer = Timer::start(ds.storage().clock());
     for (lo, hi) in ranges {
-        let res = secondary_query(
-            ds,
-            "user_id",
-            Some(&Value::Int(*lo)),
-            Some(&Value::Int(*hi)),
-            opts,
-        )
-        .expect("query");
+        // Seed every knob from the swept variant; the dataset is Eager, so
+        // the default-resolved validation would be None anyway.
+        let res = ds
+            .query("user_id")
+            .range(*lo, *hi)
+            .with_options(*opts)
+            .execute()
+            .expect("query");
         std::hint::black_box(res.len());
     }
     let (sim, _) = timer.elapsed();
@@ -132,7 +131,11 @@ fn main() {
         &["variant", "0.001%", "0.002%", "0.005%", "0.01%", "0.025%"],
     );
     for (label, needs_blocked, opts) in variants() {
-        let ds = if needs_blocked { &blocked.ds } else { &standard.ds };
+        let ds = if needs_blocked {
+            &blocked.ds
+        } else {
+            &standard.ds
+        };
         let times: Vec<f64> = low_ranges.iter().map(|r| run_query(ds, r, &opts)).collect();
         row(label, &times);
     }
@@ -155,8 +158,15 @@ fn main() {
         row("scan", &vec![scan_time; high.len()]);
     }
     for (label, needs_blocked, opts) in variants() {
-        let ds = if needs_blocked { &blocked.ds } else { &standard.ds };
-        let times: Vec<f64> = high_ranges.iter().map(|r| run_query(ds, r, &opts)).collect();
+        let ds = if needs_blocked {
+            &blocked.ds
+        } else {
+            &standard.ds
+        };
+        let times: Vec<f64> = high_ranges
+            .iter()
+            .map(|r| run_query(ds, r, &opts))
+            .collect();
         row(label, &times);
     }
 
@@ -224,5 +234,7 @@ fn main() {
     }
 
     // Keep the datasets alive to the end (env owns the sim clock).
-    std::hint::black_box(pk_of(&TweetGenerator::new(TweetConfig::default()).next_new()));
+    std::hint::black_box(pk_of(
+        &TweetGenerator::new(TweetConfig::default()).next_new(),
+    ));
 }

@@ -24,8 +24,8 @@ fn run(with_pk_index: bool, dup_ratio: f64, ssd: bool, n: usize) -> Vec<f64> {
     });
     let mut cfg = tweet_dataset_config(StrategyKind::Eager, dataset_bytes, 1);
     cfg.with_pk_index = with_pk_index;
-    let ds = Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg)
-        .expect("dataset");
+    let ds =
+        Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg).expect("dataset");
     let mut workload = InsertWorkload::new(TweetConfig::default(), dup_ratio);
     let timer = Timer::start(&env.clock);
     let mut series = Vec::new();

@@ -11,8 +11,7 @@
 //! merge repair both validation methods approach Eager.
 
 use lsm_bench::{prepare_dataset, row, scaled, table_header, Env, EnvConfig, Timer};
-use lsm_common::Value;
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, UpdateDistribution};
 
@@ -28,18 +27,11 @@ pub fn query_times(ds: &Dataset, validation: ValidationMethod, index_only: bool)
             let timer = Timer::start(ds.storage().clock());
             for _ in 0..reps {
                 let (lo, hi) = q.user_id_range(*sel);
-                let res = secondary_query(
-                    ds,
-                    "user_id",
-                    Some(&Value::Int(lo)),
-                    Some(&Value::Int(hi)),
-                    &QueryOptions {
-                        validation,
-                        index_only,
-                        ..Default::default()
-                    },
-                )
-                .expect("query");
+                let mut query = ds.query("user_id").range(lo, hi).validation(validation);
+                if index_only {
+                    query = query.index_only();
+                }
+                let res = query.execute().expect("query");
                 std::hint::black_box(res.len());
             }
             timer.elapsed().0 / reps as f64
@@ -77,7 +69,9 @@ fn main() {
                 "non-index-only query sim-seconds, update ratio {:.0}% ({n} ops)",
                 update_ratio * 100.0
             ),
-            &["variant", LABELS[0], LABELS[1], LABELS[2], LABELS[3], LABELS[4]],
+            &[
+                "variant", LABELS[0], LABELS[1], LABELS[2], LABELS[3], LABELS[4],
+            ],
         );
         let (_e1, eager) = prepare(StrategyKind::Eager, update_ratio, n, false);
         row("eager", &query_times(&eager, ValidationMethod::None, false));

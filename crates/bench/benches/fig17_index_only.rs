@@ -9,8 +9,7 @@
 //! timestamps (more pk-index pruning) and by removing obsolete entries.
 
 use lsm_bench::{row, scaled, table_header, Env, EnvConfig, Timer};
-use lsm_common::Value;
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, UpdateDistribution};
 
@@ -26,18 +25,13 @@ fn query_times(ds: &Dataset, validation: ValidationMethod) -> Vec<f64> {
             let timer = Timer::start(ds.storage().clock());
             for _ in 0..reps {
                 let (lo, hi) = q.user_id_range(*sel);
-                let res = secondary_query(
-                    ds,
-                    "user_id",
-                    Some(&Value::Int(lo)),
-                    Some(&Value::Int(hi)),
-                    &QueryOptions {
-                        validation,
-                        index_only: true,
-                        ..Default::default()
-                    },
-                )
-                .expect("query");
+                let res = ds
+                    .query("user_id")
+                    .range(lo, hi)
+                    .index_only()
+                    .validation(validation)
+                    .execute()
+                    .expect("query");
                 std::hint::black_box(res.len());
             }
             timer.elapsed().0 / reps as f64
@@ -75,7 +69,9 @@ fn main() {
                 "index-only query sim-seconds, update ratio {:.0}% ({n} ops)",
                 update_ratio * 100.0
             ),
-            &["variant", LABELS[0], LABELS[1], LABELS[2], LABELS[3], LABELS[4]],
+            &[
+                "variant", LABELS[0], LABELS[1], LABELS[2], LABELS[3], LABELS[4],
+            ],
         );
         let (_e1, eager) = prepare(StrategyKind::Eager, update_ratio, n, false);
         row("eager", &query_times(&eager, ValidationMethod::None));

@@ -7,8 +7,7 @@
 //! validation adds only a small number of extra I/Os.
 
 use lsm_bench::{row, scaled, table_header, Env, EnvConfig, Timer};
-use lsm_common::Value;
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, UpdateDistribution};
 
@@ -44,17 +43,12 @@ fn times(ds: &Dataset) -> Vec<f64> {
             let timer = Timer::start(ds.storage().clock());
             for _ in 0..reps {
                 let (lo, hi) = q.user_id_range(*sel);
-                let res = secondary_query(
-                    ds,
-                    "user_id",
-                    Some(&Value::Int(lo)),
-                    Some(&Value::Int(hi)),
-                    &QueryOptions {
-                        validation: ValidationMethod::Timestamp,
-                        ..Default::default()
-                    },
-                )
-                .expect("query");
+                let res = ds
+                    .query("user_id")
+                    .range(lo, hi)
+                    .validation(ValidationMethod::Timestamp)
+                    .execute()
+                    .expect("query");
                 std::hint::black_box(res.len());
             }
             timer.elapsed().0 / reps as f64
@@ -67,7 +61,9 @@ fn main() {
     table_header(
         "Figure 18",
         &format!("timestamp validation vs cache size ({n} records, no updates)"),
-        &["variant", "0.001%", "0.005%", "0.01%", "0.05%", "0.1%", "1%"],
+        &[
+            "variant", "0.001%", "0.005%", "0.01%", "0.05%", "0.1%", "1%",
+        ],
     );
     let (_e1, normal) = prepare(0.067, n); // the default 2GB-equivalent
     row("ts validation", &times(&normal));

@@ -12,7 +12,7 @@
 //! primary repairs under updates but costs extra in append-only workloads.
 
 use lsm_bench::{apply, row, scaled, table_header, Env, EnvConfig, Timer};
-use lsm_engine::{full_repair, primary_repair, RepairMode, RepairOptions, StrategyKind};
+use lsm_engine::StrategyKind;
 use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -42,8 +42,11 @@ fn run(method: Method, update_ratio: f64, n: usize, checkpoints: usize) -> Vec<f
         cfg.bloom_kind = lsm_bloom::BloomKind::Blocked;
     }
     let ds = lsm_bench::open_tweet_dataset(&env, cfg);
-    let mut workload =
-        UpsertWorkload::new(TweetConfig::default(), update_ratio, UpdateDistribution::Uniform);
+    let mut workload = UpsertWorkload::new(
+        TweetConfig::default(),
+        update_ratio,
+        UpdateDistribution::Uniform,
+    );
     let step = n / checkpoints;
     let mut series = Vec::new();
     for _ in 0..checkpoints {
@@ -54,18 +57,18 @@ fn run(method: Method, update_ratio: f64, n: usize, checkpoints: usize) -> Vec<f
         let timer = Timer::start(&env.clock);
         match method {
             Method::Primary { merge } => {
-                primary_repair(&ds, merge).expect("primary repair");
+                ds.maintenance()
+                    .plan()
+                    .with_merge(merge)
+                    .repair_primary()
+                    .expect("primary repair");
             }
             Method::Secondary { bloom_opt } => {
-                full_repair(
-                    &ds,
-                    &RepairOptions {
-                        mode: RepairMode::PrimaryKeyIndex { bloom_opt },
-                        merge_scan_opt: true,
-                    },
-                    false,
-                )
-                .expect("secondary repair");
+                ds.maintenance()
+                    .plan()
+                    .bloom(bloom_opt)
+                    .repair_all()
+                    .expect("secondary repair");
             }
         }
         series.push(timer.elapsed().0);
@@ -89,7 +92,10 @@ fn main() {
             ("primary repair", Method::Primary { merge: false }),
             ("primary repair (merge)", Method::Primary { merge: true }),
             ("secondary repair", Method::Secondary { bloom_opt: false }),
-            ("secondary repair (bf)", Method::Secondary { bloom_opt: true }),
+            (
+                "secondary repair (bf)",
+                Method::Secondary { bloom_opt: true },
+            ),
         ] {
             row(label, &run(method, update_ratio, n, checkpoints));
         }

@@ -6,7 +6,7 @@
 //! primary key index).
 
 use lsm_bench::{apply, row, scaled, table_header, Env, EnvConfig, Timer};
-use lsm_engine::{full_repair, primary_repair, RepairMode, RepairOptions, StrategyKind};
+use lsm_engine::StrategyKind;
 use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
 
 fn run(method: &str, n: usize, checkpoints: usize) -> Vec<f64> {
@@ -43,21 +43,17 @@ fn run(method: &str, n: usize, checkpoints: usize) -> Vec<f64> {
         let timer = Timer::start(&env.clock);
         match method {
             "primary repair" => {
-                primary_repair(&ds, false).expect("repair");
+                ds.maintenance().repair_primary().expect("repair");
             }
             "secondary repair" => {
-                full_repair(&ds, &RepairOptions::default(), false).expect("repair");
+                ds.maintenance().repair_all().expect("repair");
             }
             "secondary repair (bf)" => {
-                full_repair(
-                    &ds,
-                    &RepairOptions {
-                        mode: RepairMode::PrimaryKeyIndex { bloom_opt: true },
-                        merge_scan_opt: true,
-                    },
-                    false,
-                )
-                .expect("repair");
+                ds.maintenance()
+                    .plan()
+                    .bloom(true)
+                    .repair_all()
+                    .expect("repair");
             }
             _ => unreachable!(),
         }
@@ -73,7 +69,11 @@ fn main() {
         &format!("repair sim-seconds with 1KB records ({n} ops, 10% updates)"),
         &["method", "20%", "40%", "60%", "80%", "100%"],
     );
-    for method in ["primary repair", "secondary repair", "secondary repair (bf)"] {
+    for method in [
+        "primary repair",
+        "secondary repair",
+        "secondary repair (bf)",
+    ] {
         row(method, &run(method, n, 5));
     }
 }

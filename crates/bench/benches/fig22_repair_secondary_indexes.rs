@@ -8,21 +8,18 @@
 //! optimization reduces the per-index sorting further.
 
 use lsm_bench::{apply, row, scaled, table_header, Env, EnvConfig, Timer};
-use lsm_engine::{
-    primary_repair, standalone_repair_secondary, RepairMode, RepairOptions, StrategyKind,
-};
+use lsm_engine::{RepairPlan, StrategyKind};
 use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
 
 /// Repairs each secondary index and returns the **critical path**: the
 /// paper repairs the five indexes in parallel (one thread each), and the
 /// simulated clock accumulates total work, so the parallel wall-clock
 /// equivalent is the maximum single-index repair time.
-fn parallel_secondary_repair(ds: &lsm_engine::Dataset, opts: &RepairOptions) -> f64 {
-    let pk_tree = ds.pk_index().expect("pk index");
+fn parallel_secondary_repair(ds: &lsm_engine::Dataset, plan: RepairPlan<'_>) -> f64 {
     let mut max = 0.0f64;
     for sec in ds.secondaries() {
         let timer = Timer::start(ds.storage().clock());
-        standalone_repair_secondary(&sec.tree, pk_tree, opts).expect("repair");
+        plan.repair_index(&sec.name).expect("repair");
         let (sim, _) = timer.elapsed();
         max = max.max(sim);
     }
@@ -59,19 +56,16 @@ fn run(method: &str, n: usize, checkpoints: usize) -> Vec<f64> {
         match method {
             "primary repair" => {
                 let timer = Timer::start(&env.clock);
-                primary_repair(&ds, false).expect("repair");
+                ds.maintenance().repair_primary().expect("repair");
                 series.push(timer.elapsed().0);
             }
             "secondary repair" => {
-                series.push(parallel_secondary_repair(&ds, &RepairOptions::default()));
+                series.push(parallel_secondary_repair(&ds, ds.maintenance().plan()));
             }
             "secondary repair (bf)" => {
                 series.push(parallel_secondary_repair(
                     &ds,
-                    &RepairOptions {
-                        mode: RepairMode::PrimaryKeyIndex { bloom_opt: true },
-                        merge_scan_opt: true,
-                    },
+                    ds.maintenance().plan().bloom(true),
                 ));
             }
             _ => unreachable!(),
@@ -87,7 +81,11 @@ fn main() {
         &format!("repair sim-seconds with 5 secondary indexes ({n} ops, 10% updates)"),
         &["method", "20%", "40%", "60%", "80%", "100%"],
     );
-    for method in ["primary repair", "secondary repair", "secondary repair (bf)"] {
+    for method in [
+        "primary repair",
+        "secondary repair",
+        "secondary repair (bf)",
+    ] {
         row(method, &run(method, n, 5));
     }
 }

@@ -60,7 +60,10 @@ fn bench_btree_search(c: &mut Criterion) {
     for i in (0..100_000).step_by(100) {
         tree.search(format!("key{i:08}").as_bytes()).unwrap();
     }
-    let probes: Vec<String> = (0..100_000).step_by(10).map(|i| format!("key{i:08}")).collect();
+    let probes: Vec<String> = (0..100_000)
+        .step_by(10)
+        .map(|i| format!("key{i:08}"))
+        .collect();
     let mut group = c.benchmark_group("btree_sorted_probes");
     group.bench_function("root_to_leaf", |b| {
         b.iter(|| {

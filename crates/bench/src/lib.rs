@@ -218,7 +218,11 @@ pub fn row(label: &str, values: &[f64]) {
 /// Builds a `creation_time` range predicate selecting the most recent
 /// `days` out of `total_days` over a dataset whose creation times span
 /// `0..max_time`.
-pub fn recent_time_range(max_time: i64, days: i64, total_days: i64) -> (Option<Value>, Option<Value>) {
+pub fn recent_time_range(
+    max_time: i64,
+    days: i64,
+    total_days: i64,
+) -> (Option<Value>, Option<Value>) {
     let lo = max_time - max_time * days / total_days;
     (Some(Value::Int(lo)), None)
 }

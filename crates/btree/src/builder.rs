@@ -127,10 +127,8 @@ impl BTreeBuilder {
             let mut builder = InternalPageBuilder::new(self.page_size);
             for (key, child) in &level {
                 if !builder.fits(key) && !builder.is_empty() {
-                    let done = std::mem::replace(
-                        &mut builder,
-                        InternalPageBuilder::new(self.page_size),
-                    );
+                    let done =
+                        std::mem::replace(&mut builder, InternalPageBuilder::new(self.page_size));
                     let first = done.first_key().unwrap().to_vec();
                     let page_no = self.storage.append_page(self.file, &done.finish())?;
                     next_level.push((first, page_no));
@@ -226,7 +224,11 @@ mod tests {
         }
         let t = b.finish().unwrap();
         assert_eq!(t.num_entries(), n as u64);
-        assert!(t.height() >= 2, "expected router levels, got {}", t.height());
+        assert!(
+            t.height() >= 2,
+            "expected router levels, got {}",
+            t.height()
+        );
         for i in (0..n).step_by(97) {
             let (k, v) = kv(i);
             let (got, ord) = t.search(&k).unwrap().unwrap();

@@ -115,11 +115,8 @@ mod tests {
         let s = Storage::new(StorageOptions::test());
         let mut b = BTreeBuilder::new(s);
         for i in 0..n {
-            b.add(
-                format!("key{i:08}").as_bytes(),
-                format!("v{i}").as_bytes(),
-            )
-            .unwrap();
+            b.add(format!("key{i:08}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         b.finish().unwrap()
     }

@@ -446,7 +446,9 @@ mod tests {
 
     #[test]
     fn exponential_search_matches_binary_search() {
-        let keys: Vec<Vec<u8>> = (0..100u32).map(|i| format!("k{i:04}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| format!("k{i:04}").into_bytes())
+            .collect();
         let entries: Vec<(&[u8], &[u8])> = keys.iter().map(|k| (k.as_slice(), &b"v"[..])).collect();
         let data = build_leaf(&entries, 0);
         let p = LeafPage::parse(&data).unwrap();
@@ -471,7 +473,9 @@ mod tests {
 
     #[test]
     fn exponential_search_near_position_is_cheap() {
-        let keys: Vec<Vec<u8>> = (0..200u32).map(|i| format!("k{i:04}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("k{i:04}").into_bytes())
+            .collect();
         let entries: Vec<(&[u8], &[u8])> = keys.iter().map(|k| (k.as_slice(), &b"v"[..])).collect();
         let data = build_leaf(&entries, 0);
         let p = LeafPage::parse(&data).unwrap();

@@ -181,23 +181,21 @@ impl BTree {
     pub fn scan(&self, lo: Bound<&[u8]>, hi: Bound<Vec<u8>>) -> Result<BTreeScan> {
         let (start_leaf, start_idx) = match &lo {
             Bound::Unbounded => (0, 0),
-            Bound::Included(k) | Bound::Excluded(k) => {
-                match self.locate_leaf(k)? {
-                    None => (0, 0),
-                    Some(leaf_no) => {
-                        let data = self.read_leaf(leaf_no)?;
-                        let leaf = LeafPage::parse(&data)?;
-                        let (found, cmps) = leaf.search(k)?;
-                        self.charge_node(cmps);
-                        let idx = match (found, &lo) {
-                            (Ok(i), Bound::Included(_)) => i,
-                            (Ok(i), _) => i + 1,
-                            (Err(i), _) => i,
-                        };
-                        (leaf_no, idx)
-                    }
+            Bound::Included(k) | Bound::Excluded(k) => match self.locate_leaf(k)? {
+                None => (0, 0),
+                Some(leaf_no) => {
+                    let data = self.read_leaf(leaf_no)?;
+                    let leaf = LeafPage::parse(&data)?;
+                    let (found, cmps) = leaf.search(k)?;
+                    self.charge_node(cmps);
+                    let idx = match (found, &lo) {
+                        (Ok(i), Bound::Included(_)) => i,
+                        (Ok(i), _) => i + 1,
+                        (Err(i), _) => i,
+                    };
+                    (leaf_no, idx)
                 }
-            }
+            },
         };
         Ok(BTreeScan {
             tree: self.clone(),
@@ -263,7 +261,8 @@ impl BTreeScan {
                 self.buffer_start = self.leaf_no;
                 self.buffer.clear();
                 for p in self.leaf_no..self.leaf_no + count {
-                    self.buffer.push(self.tree.storage.page_data(self.tree.file, p)?);
+                    self.buffer
+                        .push(self.tree.storage.page_data(self.tree.file, p)?);
                 }
                 self.next_readahead = self.leaf_no + count;
             }
@@ -314,11 +313,8 @@ mod tests {
     fn build(n: u32) -> BTree {
         let mut b = BTreeBuilder::new(storage());
         for i in 0..n {
-            b.add(
-                format!("key{i:08}").as_bytes(),
-                format!("v{i}").as_bytes(),
-            )
-            .unwrap();
+            b.add(format!("key{i:08}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         b.finish().unwrap()
     }
@@ -345,9 +341,7 @@ mod tests {
         let t = build(100);
         let lo = b"key00000010".to_vec();
         let hi = b"key00000019".to_vec();
-        let mut scan = t
-            .scan(Bound::Included(&lo), Bound::Included(hi))
-            .unwrap();
+        let mut scan = t.scan(Bound::Included(&lo), Bound::Included(hi)).unwrap();
         let mut keys = Vec::new();
         while let Some((k, _, _)) = scan.next_entry().unwrap() {
             keys.push(String::from_utf8(k).unwrap());
@@ -362,9 +356,7 @@ mod tests {
         let t = build(100);
         let lo = b"key00000010x".to_vec(); // between 10 and 11
         let hi = b"key00000012".to_vec();
-        let mut scan = t
-            .scan(Bound::Included(&lo), Bound::Excluded(hi))
-            .unwrap();
+        let mut scan = t.scan(Bound::Included(&lo), Bound::Excluded(hi)).unwrap();
         let mut keys = Vec::new();
         while let Some((k, _, _)) = scan.next_entry().unwrap() {
             keys.push(String::from_utf8(k).unwrap());
@@ -388,8 +380,12 @@ mod tests {
         while scan.next_entry().unwrap().is_some() {}
         let after = t.storage().stats().since(&before);
         // All leaf reads but the first should be sequential continuations.
-        assert!(after.seq_reads >= after.rand_reads * 3,
-            "seq {} rand {}", after.seq_reads, after.rand_reads);
+        assert!(
+            after.seq_reads >= after.rand_reads * 3,
+            "seq {} rand {}",
+            after.seq_reads,
+            after.rand_reads
+        );
     }
 
     #[test]

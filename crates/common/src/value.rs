@@ -76,7 +76,9 @@ impl Value {
     /// Decodes one value from the front of `buf`, returning it and the number
     /// of bytes consumed.
     pub fn decode_from(buf: &[u8]) -> Result<(Value, usize)> {
-        let tag = *buf.first().ok_or_else(|| Error::corruption("empty value"))?;
+        let tag = *buf
+            .first()
+            .ok_or_else(|| Error::corruption("empty value"))?;
         match tag {
             TAG_NULL => Ok((Value::Null, 1)),
             TAG_INT => {

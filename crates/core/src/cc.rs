@@ -20,8 +20,8 @@
 use crate::dataset::Dataset;
 use lsm_common::{Error, Result};
 use lsm_tree::{
-    AtomicBitmap, BitmapSnapshot, BuildLink, ComponentBuilder, ComponentId, DiskComponent,
-    LsmScan, MergeRange, ScanOptions,
+    AtomicBitmap, BitmapSnapshot, BuildLink, ComponentBuilder, ComponentId, DiskComponent, LsmScan,
+    MergeRange, ScanOptions,
 };
 use std::ops::Bound;
 use std::sync::Arc;
@@ -95,11 +95,8 @@ pub fn merge_primary_with_cc(
     match method {
         CcMethod::SideFile => {
             // Scan with frozen snapshots; no per-key locks (Figure 11a).
-            let pairs: Vec<(Arc<DiskComponent>, Option<BitmapSnapshot>)> = p_inputs
-                .iter()
-                .cloned()
-                .zip(snapshots.unwrap())
-                .collect();
+            let pairs: Vec<(Arc<DiskComponent>, Option<BitmapSnapshot>)> =
+                p_inputs.iter().cloned().zip(snapshots.unwrap()).collect();
             let mut scan = LsmScan::with_bitmap_snapshots(
                 ds.storage().clone(),
                 &pairs,
@@ -181,9 +178,8 @@ pub fn merge_primary_with_cc(
             match method {
                 CcMethod::SideFile => {
                     let keys = link.close_side_file();
-                    ds.storage().charge_cpu(
-                        keys.len() as u64 * ds.storage().cpu().sort_entry_ns,
-                    );
+                    ds.storage()
+                        .charge_cpu(keys.len() as u64 * ds.storage().cpu().sort_entry_ns);
                     for key in keys {
                         if let Some((_, ord)) = new_k.search(&key)? {
                             bitmap.set(ord);

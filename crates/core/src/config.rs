@@ -180,6 +180,20 @@ impl DatasetConfig {
     pub fn requires_correlated_merges(&self) -> bool {
         matches!(self.strategy, StrategyKind::MutableBitmap) || self.merge.correlated
     }
+
+    /// The repair mode implied by the maintenance strategy: the deleted-key
+    /// B+-tree baseline validates against the full primary key index and
+    /// writes its extra trees (Section 4.1); everything else validates with
+    /// repaired-timestamp pruning, honouring `repair_bloom_opt`. Shared by
+    /// merge-time repair and the [`Maintenance`](crate::Maintenance) facade.
+    pub fn default_repair_mode(&self) -> crate::repair::RepairMode {
+        match self.strategy {
+            StrategyKind::DeletedKeyBTree => crate::repair::RepairMode::DeletedKeyBTree,
+            _ => crate::repair::RepairMode::PrimaryKeyIndex {
+                bloom_opt: self.repair_bloom_opt,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,7 @@ use crate::stats::EngineStats;
 use crate::txn::{LockManager, LogOp, LogRecord, Wal};
 use lsm_common::{Error, LogicalClock, Record, Result, Timestamp, Value};
 use lsm_storage::Storage;
-use lsm_tree::{
-    locate_valid, point_lookup, LsmEntry, LsmOptions, LsmTree, MergeRange,
-};
+use lsm_tree::{locate_valid, point_lookup, LsmEntry, LsmOptions, LsmTree, MergeRange};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -215,7 +213,14 @@ impl Dataset {
         Ok(())
     }
 
-    fn log(&self, op: LogOp, key: &[u8], value: &[u8], ts: Timestamp, update_bit: bool) -> Result<()> {
+    fn log(
+        &self,
+        op: LogOp,
+        key: &[u8],
+        value: &[u8],
+        ts: Timestamp,
+        update_bit: bool,
+    ) -> Result<()> {
         if self.recovering.load(std::sync::atomic::Ordering::SeqCst) {
             return Ok(());
         }
@@ -274,11 +279,8 @@ impl Dataset {
         }
         for sec in &self.secondaries {
             let sk = record.get(sec.field);
-            sec.tree.put(
-                encode_sk_pk(sk, pk),
-                LsmEntry::put_ts(Vec::new(), ets),
-                ts,
-            );
+            sec.tree
+                .put(encode_sk_pk(sk, pk), LsmEntry::put_ts(Vec::new(), ets), ts);
         }
         if let Some(v) = self.filter_value(record) {
             self.primary.widen_mem_filter(&v);
@@ -448,9 +450,9 @@ impl Dataset {
             }
             StrategyKind::Validation | StrategyKind::DeletedKeyBTree => {
                 self.log(LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
-                let old = self
-                    .primary
-                    .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
+                let old =
+                    self.primary
+                        .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
                 if let Some(pk_tree) = &self.pk_index {
                     pk_tree.put(pk_key.to_vec(), LsmEntry::put_ts(Vec::new(), ets), ts);
                 }
@@ -470,9 +472,9 @@ impl Dataset {
             StrategyKind::MutableBitmap => {
                 let update_bit = self.mark_old_version_deleted(pk_key)?;
                 self.log(LogOp::Upsert, pk_key, &record_bytes, ts, update_bit)?;
-                let old = self
-                    .primary
-                    .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
+                let old =
+                    self.primary
+                        .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
                 if let Some(pk_tree) = &self.pk_index {
                     pk_tree.put(pk_key.to_vec(), LsmEntry::put_ts(Vec::new(), ets), ts);
                 }
@@ -532,11 +534,7 @@ impl Dataset {
     fn mark_old_version_deleted(&self, pk_key: &[u8]) -> Result<bool> {
         // An old version still in the memory component needs no bitmap work:
         // the new memory entry replaces it outright.
-        if self
-            .primary
-            .mem_get(pk_key)
-            .is_some_and(|e| !e.anti_matter)
-        {
+        if self.primary.mem_get(pk_key).is_some_and(|e| !e.anti_matter) {
             return Ok(false);
         }
         let pk_tree = self
@@ -659,9 +657,7 @@ impl Dataset {
                 self.stats.bump(&self.stats.merges);
                 if self.cfg.strategy == StrategyKind::MutableBitmap {
                     assert_eq!(new_primary.num_entries(), new_pk.num_entries());
-                    new_pk.set_bitmap(
-                        new_primary.bitmap().expect("merged primary has a bitmap"),
-                    );
+                    new_pk.set_bitmap(new_primary.bitmap().expect("merged primary has a bitmap"));
                 }
             }
         }
@@ -676,22 +672,16 @@ impl Dataset {
     /// Merges one secondary index range, repairing it when the strategy
     /// calls for it.
     fn merge_secondary(&self, sec: &SecondaryIndex, range: MergeRange) -> Result<()> {
-        use crate::repair::{merge_repair_secondary, RepairMode, RepairOptions};
+        use crate::repair::{merge_repair, RepairOptions};
         let repair = match self.cfg.strategy {
             StrategyKind::Validation | StrategyKind::MutableBitmap => self.cfg.merge_repair,
             StrategyKind::DeletedKeyBTree => true,
             StrategyKind::Eager => false,
         };
         if repair {
-            let mode = if self.cfg.strategy == StrategyKind::DeletedKeyBTree {
-                RepairMode::DeletedKeyBTree
-            } else {
-                RepairMode::PrimaryKeyIndex {
-                    bloom_opt: self.cfg.repair_bloom_opt,
-                }
-            };
+            let mode = self.cfg.default_repair_mode();
             let pk_tree = self.pk_index.as_ref().expect("repair needs the pk index");
-            merge_repair_secondary(
+            merge_repair(
                 &sec.tree,
                 pk_tree,
                 range,
@@ -776,7 +766,10 @@ mod tests {
             let ds = dataset(s);
             assert!(ds.insert(&rec(101, "CA", 2015)).unwrap());
             assert!(ds.insert(&rec(102, "CA", 2016)).unwrap());
-            assert_eq!(ds.get(&Value::Int(101)).unwrap().unwrap(), rec(101, "CA", 2015));
+            assert_eq!(
+                ds.get(&Value::Int(101)).unwrap().unwrap(),
+                rec(101, "CA", 2015)
+            );
             assert!(ds.get(&Value::Int(999)).unwrap().is_none());
         }
     }
@@ -788,7 +781,10 @@ mod tests {
             assert!(ds.insert(&rec(101, "CA", 2015)).unwrap());
             assert!(!ds.insert(&rec(101, "NY", 2018)).unwrap(), "{s:?}");
             // The original record remains.
-            assert_eq!(ds.get(&Value::Int(101)).unwrap().unwrap(), rec(101, "CA", 2015));
+            assert_eq!(
+                ds.get(&Value::Int(101)).unwrap().unwrap(),
+                rec(101, "CA", 2015)
+            );
             assert_eq!(ds.stats().snapshot().inserts_rejected, 1);
         }
     }
@@ -852,7 +848,10 @@ mod tests {
         // The pk-index component shares the same bitmap.
         let pk_comp = &ds.pk_index().unwrap().disk_components()[0];
         assert_eq!(pk_comp.bitmap().unwrap().count_set(), 1);
-        assert_eq!(ds.get(&Value::Int(101)).unwrap().unwrap(), rec(101, "NY", 2018));
+        assert_eq!(
+            ds.get(&Value::Int(101)).unwrap().unwrap(),
+            rec(101, "NY", 2018)
+        );
     }
 
     #[test]
@@ -908,10 +907,7 @@ mod tests {
             .zip(ds.pk_index().unwrap().disk_components())
         {
             assert_eq!(pc.num_entries(), kc.num_entries());
-            assert!(Arc::ptr_eq(
-                &pc.bitmap().unwrap(),
-                &kc.bitmap().unwrap()
-            ));
+            assert!(Arc::ptr_eq(&pc.bitmap().unwrap(), &kc.bitmap().unwrap()));
         }
     }
 

@@ -37,6 +37,18 @@ pub fn decode_sk_pk(key: &[u8]) -> Result<(Value, Value)> {
     Ok((it.next().unwrap(), it.next().unwrap()))
 }
 
+/// Borrows an owned key bound as the byte-slice bound the scan layer takes
+/// (`LsmScan` / `mem_snapshot_range`). Shared by the collecting and
+/// streaming query paths, which build owned `Bound<Key>` ranges via
+/// [`sk_range`].
+pub fn bound_as_ref(b: &Bound<Key>) -> Bound<&[u8]> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.as_slice()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
 /// Bounds over composite keys selecting all entries with secondary key in
 /// `[lo, hi]` (inclusive; `None` = unbounded).
 pub fn sk_range(lo: Option<&Value>, hi: Option<&Value>) -> (Bound<Key>, Bound<Key>) {

@@ -16,17 +16,11 @@
 //!   bitmaps located via the primary key index (§5);
 //! * **Deleted-key B+-tree** — AsterixDB's earlier lazy baseline (§4.1).
 //!
-//! Query processing implements the §3.2 point-lookup optimizations
-//! (batched lookups, stateful B+-tree cursors, blocked Bloom filters,
-//! component-ID propagation), the Direct and Timestamp validation methods
-//! (§4.3), index-only queries, and range-filter scans with per-strategy
-//! pruning semantics (§6.4.2). Index repair (§4.4) supports merge and
-//! standalone repair with the Bloom-filter and merge-scan optimizations,
-//! plus the DELI primary-repair baseline. Flush/merge concurrency control
-//! for mutable bitmaps implements both the Lock and Side-file methods
-//! (§5.3).
-//!
 //! # Quickstart
+//!
+//! Queries go through the fluent [`Dataset::query`] builder, which resolves
+//! the right §4.3 validation method from the dataset's strategy — a query
+//! is correct by construction for all four [`StrategyKind`]s:
 //!
 //! ```
 //! use lsm_common::{FieldType, Record, Schema, Value};
@@ -44,16 +38,60 @@
 //!
 //! ds.insert(&Record::new(vec![Value::Int(101), Value::Str("CA".into())])).unwrap();
 //! ds.upsert(&Record::new(vec![Value::Int(101), Value::Str("NY".into())])).unwrap();
+//!
+//! // Point read by primary key.
 //! assert_eq!(
 //!     ds.get(&Value::Int(101)).unwrap().unwrap().get(1),
 //!     &Value::Str("NY".into()),
 //! );
+//!
+//! // Secondary-index query: no manually chosen ValidationMethod — the
+//! // builder picks the correct one for the Validation strategy, so the
+//! // stale CA entry is filtered out.
+//! let in_ca = ds.query("location").eq("CA").execute().unwrap();
+//! assert!(in_ca.is_empty());
+//! let in_ny = ds.query("location").eq("NY").execute().unwrap();
+//! assert_eq!(in_ny.records()[0].get(0), &Value::Int(101));
+//!
+//! // Large range queries can stream batch-by-batch with bounded memory.
+//! for record in ds.query("location").range("AA", "ZZ").stream().unwrap() {
+//!     let record = record.unwrap();
+//!     assert_eq!(record.get(0), &Value::Int(101));
+//! }
+//!
+//! // Maintenance goes through a facade with strategy-aware defaults.
+//! ds.maintenance().flush().unwrap();
+//! let reports = ds.maintenance().repair_all().unwrap();
+//! assert_eq!(reports.len(), 1);
 //! ```
+//!
+//! # Architecture
+//!
+//! Query processing implements the §3.2 point-lookup optimizations
+//! (batched lookups, stateful B+-tree cursors, blocked Bloom filters,
+//! component-ID propagation), the Direct and Timestamp validation methods
+//! (§4.3), index-only queries, and range-filter scans with per-strategy
+//! pruning semantics (§6.4.2) — see [`query::QueryBuilder`] for the knobs
+//! and [`query::RecordStream`] for the streaming execution path. Index
+//! repair (§4.4) supports merge and standalone repair with the Bloom-filter
+//! and merge-scan optimizations, plus the DELI primary-repair baseline —
+//! see [`Maintenance`] and [`RepairPlan`]. Flush/merge concurrency control
+//! for mutable bitmaps implements both the Lock and Side-file methods
+//! (§5.3).
+//!
+//! # Deprecation path
+//!
+//! The historical free functions — [`query::secondary_query`],
+//! [`repair::full_repair`], [`repair::merge_repair_secondary`],
+//! [`repair::standalone_repair_secondary`], [`repair::primary_repair`] —
+//! remain as `#[deprecated]` shims delegating to the builders and will be
+//! removed once external callers migrate.
 
 pub mod cc;
 pub mod config;
 pub mod dataset;
 pub mod keys;
+pub mod maintenance;
 pub mod query;
 pub mod recovery;
 pub mod repair;
@@ -62,11 +100,17 @@ pub mod txn;
 
 pub use config::{DatasetConfig, MergeConfig, SecondaryIndexDef, StrategyKind};
 pub use dataset::{Dataset, SecondaryIndex};
+pub use maintenance::{Maintenance, RepairPlan};
 pub use query::{
-    secondary_query, QueryOptions, QueryResult, ValidationMethod,
+    PreparedQuery, QueryBuilder, QueryOptions, QueryResult, RecordStream, ValidationMethod,
 };
+pub use repair::{RepairMode, RepairOptions, RepairReport};
+pub use stats::{EngineStats, EngineStatsSnapshot};
+
+// Deprecated free functions, re-exported for backwards compatibility.
+#[allow(deprecated)]
+pub use query::secondary_query;
+#[allow(deprecated)]
 pub use repair::{
     full_repair, merge_repair_secondary, primary_repair, standalone_repair_secondary,
-    RepairMode, RepairOptions, RepairReport,
 };
-pub use stats::{EngineStats, EngineStatsSnapshot};

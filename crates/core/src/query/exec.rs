@@ -1,0 +1,239 @@
+//! Query execution internals shared by [`secondary_query`], the fluent
+//! [`QueryBuilder`](crate::query::QueryBuilder), and the streaming
+//! [`RecordStream`](crate::query::RecordStream): the Figure 5 pipeline of
+//! secondary-index scan → candidate sort/dedup → validation → record fetch.
+//!
+//! [`secondary_query`]: crate::query::secondary_query
+
+use crate::dataset::{Dataset, SecondaryIndex};
+use crate::keys::{bound_as_ref, sk_range};
+use crate::query::{QueryOptions, QueryResult, ValidationMethod};
+use lsm_common::{Error, Key, Record, Result, Timestamp, Value};
+use lsm_tree::{
+    lookup_sorted, newest_version_after, ComponentId, LookupOptions, LsmScan, ScanOptions,
+};
+
+/// One candidate produced by the secondary-index scan.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub pk_key: Key,
+    pub ts: Timestamp,
+    /// Repaired timestamp of the source component (`now` for memory).
+    pub repaired_ts: Timestamp,
+    /// Component ID of the source (for pID pruning).
+    pub source_id: ComponentId,
+    /// Source disk component index and entry ordinal (None for memory),
+    /// for query-driven repair.
+    pub source: Option<(usize, u64)>,
+}
+
+/// Steps 1-3 of Figure 5: scan the secondary index for `sk ∈ [lo, hi]`,
+/// sort and deduplicate the candidates, and apply Timestamp validation when
+/// requested. The returned candidates are distinct primary keys in
+/// ascending key order.
+pub(crate) fn gather_candidates(
+    ds: &Dataset,
+    sec: &SecondaryIndex,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    opts: &QueryOptions,
+) -> Result<Vec<Candidate>> {
+    let storage = ds.storage();
+
+    // Step 1: secondary index scan.
+    let (lo_b, hi_b) = sk_range(lo, hi);
+    let (lo_ref, hi_ref) = (bound_as_ref(&lo_b), bound_as_ref(&hi_b));
+    let mem = sec.tree.mem_snapshot_range(lo_ref, hi_ref);
+    let has_mem = !mem.is_empty();
+    let comps = sec.tree.disk_components();
+    let mut scan = LsmScan::new(
+        storage.clone(),
+        has_mem.then_some(mem),
+        &comps,
+        lo_ref,
+        hi_ref,
+        ScanOptions::default(),
+    )?;
+    let now = ds.clock().now();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    while let Some((key, entry, rank, ordinal)) = scan.next_reconciled()? {
+        if entry.anti_matter {
+            continue;
+        }
+        let (repaired_ts, source_id, source) = if has_mem && rank == 0 {
+            (now, ComponentId::new(entry.ts.max(1), now.max(1)), None)
+        } else {
+            let idx = rank - usize::from(has_mem);
+            let comp = &comps[idx];
+            (comp.repaired_ts(), comp.id(), Some((idx, ordinal)))
+        };
+        let (_, pk) = crate::keys::decode_sk_pk(&key)?;
+        candidates.push(Candidate {
+            pk_key: pk.encode(),
+            ts: entry.ts,
+            repaired_ts,
+            source_id,
+            source,
+        });
+    }
+
+    // Step 2: sort by primary key and deduplicate.
+    charge_sort(ds, candidates.len() as u64);
+    candidates.sort_by(|a, b| (&a.pk_key, b.ts).cmp(&(&b.pk_key, a.ts)));
+    candidates.dedup_by(|a, b| a.pk_key == b.pk_key && a.ts == b.ts);
+    if opts.validation == ValidationMethod::None || opts.validation == ValidationMethod::Direct {
+        // Distinct on pk (keep the newest candidate).
+        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
+    }
+
+    // Step 3: Timestamp validation (Figure 5b).
+    if opts.validation == ValidationMethod::Timestamp {
+        let pk_tree = ds
+            .pk_index()
+            .ok_or_else(|| Error::invalid("timestamp validation requires the pk index"))?;
+        let mut valid = Vec::with_capacity(candidates.len());
+        for cand in candidates {
+            let prune = cand.ts.max(cand.repaired_ts);
+            let invalid = match newest_version_after(pk_tree, &cand.pk_key, prune)? {
+                Some(found) => found.ts > cand.ts,
+                None => false,
+            };
+            if !invalid {
+                valid.push(cand);
+            } else if opts.query_driven_repair {
+                // Query-driven maintenance: record the proof of obsolescence
+                // so future queries skip this entry without re-validating.
+                if let Some((idx, ordinal)) = cand.source {
+                    comps[idx].bitmap_or_create().set(ordinal);
+                }
+            }
+        }
+        candidates = valid;
+        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
+    }
+    Ok(candidates)
+}
+
+/// Re-checks the query predicate on a fetched record (Direct validation,
+/// Figure 5a).
+pub(crate) fn direct_predicate_holds(
+    record: &Record,
+    sec_field: usize,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+) -> bool {
+    let sk = record.get(sec_field);
+    lo.is_none_or(|l| sk >= l) && hi.is_none_or(|h| sk <= h)
+}
+
+/// Step 4 of Figure 5 (collecting form): fetch all candidate records from
+/// the primary index with the batched point-lookup machinery, applying
+/// Direct validation when requested.
+fn fetch_records(
+    ds: &Dataset,
+    sec: &SecondaryIndex,
+    candidates: &[Candidate],
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    opts: &QueryOptions,
+) -> Result<Vec<Record>> {
+    let keys: Vec<Key> = candidates.iter().map(|c| c.pk_key.clone()).collect();
+    let hints: Vec<ComponentId> = candidates.iter().map(|c| c.source_id).collect();
+    let keys_per_batch = keys_per_batch(ds, opts.batch_bytes);
+    let lopts = LookupOptions {
+        batched: opts.batched,
+        keys_per_batch,
+        stateful: opts.stateful,
+        id_hints: opts.propagate_component_ids.then_some(hints.as_slice()),
+    };
+    let found = lookup_sorted(ds.primary(), &keys, &lopts)?;
+
+    let mut records = Vec::with_capacity(found.len());
+    for (_, entry) in found {
+        let record = Record::decode(&entry.value)?;
+        if opts.validation == ValidationMethod::Direct
+            && !direct_predicate_holds(&record, sec.field, lo, hi)
+        {
+            continue;
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Runs the full query pipeline, collecting every result (the historical
+/// `secondary_query` behaviour, plus an optional result limit).
+pub(crate) fn execute(
+    ds: &Dataset,
+    index: &str,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    opts: &QueryOptions,
+    limit: Option<usize>,
+) -> Result<QueryResult> {
+    // Limited record queries go through the stream so the record fetch —
+    // the dominant I/O — stops after `limit` results instead of fetching
+    // every candidate and truncating. The stream yields primary-key order,
+    // which matches the `sort_output` collecting path.
+    if limit.is_some() && !opts.index_only {
+        let stream =
+            crate::query::RecordStream::open(ds, index, lo.cloned(), hi.cloned(), opts, limit)?;
+        let records = stream.collect::<Result<Vec<_>>>()?;
+        return Ok(QueryResult::Records(records));
+    }
+
+    let sec = ds.secondary(index)?;
+    let candidates = gather_candidates(ds, sec, lo, hi, opts)?;
+
+    // Index-only fast path: no record fetch needed.
+    if opts.index_only && opts.validation != ValidationMethod::Direct {
+        let mut keys = candidates
+            .iter()
+            .map(|c| crate::keys::decode_pk(&c.pk_key))
+            .collect::<Result<Vec<_>>>()?;
+        truncate_to(&mut keys, limit);
+        return Ok(QueryResult::Keys(keys));
+    }
+
+    let mut records = fetch_records(ds, sec, &candidates, lo, hi, opts)?;
+
+    if opts.index_only {
+        // Direct validation + index-only still had to fetch records.
+        let mut keys: Vec<Value> = records
+            .iter()
+            .map(|r| r.get(ds.config().pk_field).clone())
+            .collect();
+        truncate_to(&mut keys, limit);
+        return Ok(QueryResult::Keys(keys));
+    }
+
+    if opts.sort_output {
+        charge_sort(ds, records.len() as u64);
+        let pk_field = ds.config().pk_field;
+        records.sort_by(|a, b| a.get(pk_field).cmp(b.get(pk_field)));
+    }
+    Ok(QueryResult::Records(records))
+}
+
+fn truncate_to<T>(items: &mut Vec<T>, limit: Option<usize>) {
+    if let Some(n) = limit {
+        items.truncate(n);
+    }
+}
+
+/// Charges the CPU cost model for an `n log n` sort.
+pub(crate) fn charge_sort(ds: &Dataset, n: u64) {
+    if n > 1 {
+        let log_n = u64::from(64 - n.leading_zeros());
+        ds.storage()
+            .charge_cpu(n * log_n * ds.storage().cpu().sort_entry_ns);
+    }
+}
+
+/// Derives the per-batch key count from the batching memory and the average
+/// record size of the primary index.
+pub(crate) fn keys_per_batch(ds: &Dataset, batch_bytes: usize) -> usize {
+    let entries = ds.primary().disk_entries().max(1);
+    let avg = (ds.primary().disk_bytes() / entries).max(64) as usize;
+    (batch_bytes / avg).max(1)
+}

@@ -55,6 +55,9 @@ pub fn filter_scan_count(
         .ok_or_else(|| lsm_common::Error::invalid("dataset has no filter field"))?;
     let primary = ds.primary();
     let comps = primary.disk_components();
+    // Filter scans read the full primary-key range; pruning happens per
+    // component through the range filters on the *filter* key.
+    let (scan_lo, scan_hi): (Bound<&[u8]>, Bound<&[u8]>) = (Bound::Unbounded, Bound::Unbounded);
     let mem_overlaps = {
         let mem_filter = primary.mem_filter();
         primary.mem_len() > 0 && overlaps(mem_filter.as_ref(), lo, hi)
@@ -76,8 +79,7 @@ pub fn filter_scan_count(
                 .collect();
             report.components_scanned = included.len() as u64;
             report.components_pruned = (comps.len() - included.len()) as u64;
-            let mem = mem_overlaps
-                .then(|| primary.mem_snapshot_range(Bound::Unbounded, Bound::Unbounded));
+            let mem = mem_overlaps.then(|| primary.mem_snapshot_range(scan_lo, scan_hi));
             let mut matches = 0u64;
             scan_components_sequential(mem, &included, |_k, e| {
                 if let Ok(r) = Record::decode(&e.value) {
@@ -97,14 +99,13 @@ pub fn filter_scan_count(
                 .collect();
             report.components_scanned = included.len() as u64;
             report.components_pruned = (comps.len() - included.len()) as u64;
-            let mem = mem_overlaps
-                .then(|| primary.mem_snapshot_range(Bound::Unbounded, Bound::Unbounded));
+            let mem = mem_overlaps.then(|| primary.mem_snapshot_range(scan_lo, scan_hi));
             let mut scan = LsmScan::new(
                 ds.storage().clone(),
                 mem,
                 &included,
-                Bound::Unbounded,
-                Bound::Unbounded,
+                scan_lo,
+                scan_hi,
                 ScanOptions::default(),
             )?;
             while let Some((_k, e)) = scan.next_entry()? {
@@ -127,13 +128,13 @@ pub fn filter_scan_count(
             report.components_pruned = (comps.len() - included.len()) as u64;
             let include_mem = mem_overlaps || !included.is_empty();
             let mem = (include_mem && primary.mem_len() > 0)
-                .then(|| primary.mem_snapshot_range(Bound::Unbounded, Bound::Unbounded));
+                .then(|| primary.mem_snapshot_range(scan_lo, scan_hi));
             let mut scan = LsmScan::new(
                 ds.storage().clone(),
                 mem,
                 &included,
-                Bound::Unbounded,
-                Bound::Unbounded,
+                scan_lo,
+                scan_hi,
                 ScanOptions::default(),
             )?;
             while let Some((_k, e)) = scan.next_entry()? {
@@ -154,11 +155,7 @@ mod tests {
     use lsm_storage::{Storage, StorageOptions};
 
     fn dataset(strategy: StrategyKind) -> Dataset {
-        let schema = Schema::new(vec![
-            ("id", FieldType::Int),
-            ("time", FieldType::Int),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![("id", FieldType::Int), ("time", FieldType::Int)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);
         cfg.strategy = strategy;
         cfg.filter_field = Some(1);
@@ -194,8 +191,7 @@ mod tests {
         for s in all_strategies() {
             let ds = dataset(s);
             load(&ds);
-            let r =
-                filter_scan_count(&ds, Some(&Value::Int(50)), Some(&Value::Int(149))).unwrap();
+            let r = filter_scan_count(&ds, Some(&Value::Int(50)), Some(&Value::Int(149))).unwrap();
             assert_eq!(r.matches, 100, "{s:?}");
             let r = filter_scan_count(&ds, None, Some(&Value::Int(99))).unwrap();
             assert_eq!(r.matches, 100, "{s:?}");
@@ -242,7 +238,7 @@ mod tests {
             // Old-data query must NOT return the stale versions.
             let r = filter_scan_count(&ds, None, Some(&Value::Int(10))).unwrap();
             assert_eq!(r.matches, 1, "{s:?}"); // only id=10 (time 10) remains
-            // Recent-data query sees the moved records.
+                                               // Recent-data query sees the moved records.
             let r = filter_scan_count(&ds, Some(&Value::Int(290)), None).unwrap();
             assert_eq!(r.matches, 10 + 10, "{s:?}"); // ids 0..10 + 290..300
         }

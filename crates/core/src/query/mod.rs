@@ -11,18 +11,25 @@
 //! 4. fetch records from the primary index, using the batched point-lookup
 //!    machinery with the stateful-cursor / blocked-Bloom / component-ID
 //!    optimizations of Section 3.2.
+//!
+//! The preferred entry point is the fluent [`QueryBuilder`] obtained from
+//! [`Dataset::query`](crate::Dataset::query), which resolves a correct
+//! [`ValidationMethod`] from the dataset's maintenance strategy and offers
+//! both a collecting ([`PreparedQuery::execute`]) and a streaming
+//! ([`PreparedQuery::stream`]) execution path. The free function
+//! [`secondary_query`] survives as a deprecated shim.
 
+pub mod builder;
+mod exec;
 pub mod filter_scan;
+pub mod stream;
 
+pub use builder::{PreparedQuery, QueryBuilder};
 pub use filter_scan::{filter_scan_count, FilterScanReport};
+pub use stream::RecordStream;
 
 use crate::dataset::Dataset;
-use crate::keys::sk_range;
-use lsm_common::{Error, Key, Record, Result, Timestamp, Value};
-use lsm_tree::{
-    lookup_sorted, newest_version_after, ComponentId, LookupOptions, LsmScan, ScanOptions,
-};
-use std::ops::Bound;
+use lsm_common::{Record, Result, Value};
 
 /// How candidates from a possibly-stale secondary index are validated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +44,11 @@ pub enum ValidationMethod {
 }
 
 /// Query options (Section 3.2 / 6.2 knobs).
+///
+/// This is the low-level knob struct; [`QueryBuilder`] resolves one from
+/// the dataset's strategy plus any per-query overrides. Benchmarks that
+/// sweep variants can still construct it directly and seed a builder via
+/// [`QueryBuilder::with_options`].
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
     /// Return primary keys only (index-only query).
@@ -129,21 +141,11 @@ impl QueryResult {
     }
 }
 
-/// One candidate produced by the secondary-index scan.
-#[derive(Debug, Clone)]
-struct Candidate {
-    pk_key: Key,
-    ts: Timestamp,
-    /// Repaired timestamp of the source component (0 for memory).
-    repaired_ts: Timestamp,
-    /// Component ID of the source (for pID pruning).
-    source_id: ComponentId,
-    /// Source disk component index and entry ordinal (None for memory),
-    /// for query-driven repair.
-    source: Option<(usize, u64)>,
-}
-
 /// Runs a secondary-index range query `sk ∈ [lo, hi]` against `index`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the fluent `Dataset::query(index)` builder instead"
+)]
 pub fn secondary_query(
     ds: &Dataset,
     index: &str,
@@ -151,159 +153,7 @@ pub fn secondary_query(
     hi: Option<&Value>,
     opts: &QueryOptions,
 ) -> Result<QueryResult> {
-    let sec = ds.secondary(index)?;
-    let storage = ds.storage();
-
-    // Step 1: secondary index scan.
-    let (lo_b, hi_b) = sk_range(lo, hi);
-    let lo_ref = match &lo_b {
-        Bound::Included(k) => Bound::Included(k.as_slice()),
-        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
-        Bound::Unbounded => Bound::Unbounded,
-    };
-    let hi_ref = match &hi_b {
-        Bound::Included(k) => Bound::Included(k.as_slice()),
-        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
-        Bound::Unbounded => Bound::Unbounded,
-    };
-    let mem = sec.tree.mem_snapshot_range(lo_ref, hi_ref);
-    let has_mem = !mem.is_empty();
-    let comps = sec.tree.disk_components();
-    let mut scan = LsmScan::new(
-        storage.clone(),
-        has_mem.then_some(mem),
-        &comps,
-        lo_ref,
-        hi_ref,
-        ScanOptions::default(),
-    )?;
-    let now = ds.clock().now();
-    let mut candidates: Vec<Candidate> = Vec::new();
-    while let Some((key, entry, rank, ordinal)) = scan.next_reconciled()? {
-        if entry.anti_matter {
-            continue;
-        }
-        let (repaired_ts, source_id, source) = if has_mem && rank == 0 {
-            (now, ComponentId::new(entry.ts.max(1), now.max(1)), None)
-        } else {
-            let idx = rank - usize::from(has_mem);
-            let comp = &comps[idx];
-            (comp.repaired_ts(), comp.id(), Some((idx, ordinal)))
-        };
-        let (_, pk) = crate::keys::decode_sk_pk(&key)?;
-        candidates.push(Candidate {
-            pk_key: pk.encode(),
-            ts: entry.ts,
-            repaired_ts,
-            source_id,
-            source,
-        });
-    }
-
-    // Step 2: sort by primary key and deduplicate.
-    charge_sort(ds, candidates.len() as u64);
-    candidates.sort_by(|a, b| (&a.pk_key, b.ts).cmp(&(&b.pk_key, a.ts)));
-    candidates.dedup_by(|a, b| a.pk_key == b.pk_key && a.ts == b.ts);
-    if opts.validation == ValidationMethod::None
-        || opts.validation == ValidationMethod::Direct
-    {
-        // Distinct on pk (keep the newest candidate).
-        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
-    }
-
-    // Step 3: Timestamp validation (Figure 5b).
-    if opts.validation == ValidationMethod::Timestamp {
-        let pk_tree = ds
-            .pk_index()
-            .ok_or_else(|| Error::invalid("timestamp validation requires the pk index"))?;
-        let mut valid = Vec::with_capacity(candidates.len());
-        for cand in candidates {
-            let prune = cand.ts.max(cand.repaired_ts);
-            let invalid = match newest_version_after(pk_tree, &cand.pk_key, prune)? {
-                Some(found) => found.ts > cand.ts,
-                None => false,
-            };
-            if !invalid {
-                valid.push(cand);
-            } else if opts.query_driven_repair {
-                // Query-driven maintenance: record the proof of obsolescence
-                // so future queries skip this entry without re-validating.
-                if let Some((idx, ordinal)) = cand.source {
-                    comps[idx].bitmap_or_create().set(ordinal);
-                }
-            }
-        }
-        candidates = valid;
-        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
-    }
-
-    // Index-only fast path: no record fetch needed.
-    if opts.index_only && opts.validation != ValidationMethod::Direct {
-        let keys = candidates
-            .iter()
-            .map(|c| crate::keys::decode_pk(&c.pk_key))
-            .collect::<Result<Vec<_>>>()?;
-        return Ok(QueryResult::Keys(keys));
-    }
-
-    // Step 4: fetch records from the primary index.
-    let keys: Vec<Key> = candidates.iter().map(|c| c.pk_key.clone()).collect();
-    let hints: Vec<ComponentId> = candidates.iter().map(|c| c.source_id).collect();
-    let keys_per_batch = keys_per_batch(ds, opts.batch_bytes);
-    let lopts = LookupOptions {
-        batched: opts.batched,
-        keys_per_batch,
-        stateful: opts.stateful,
-        id_hints: opts.propagate_component_ids.then_some(hints.as_slice()),
-    };
-    let found = lookup_sorted(ds.primary(), &keys, &lopts)?;
-
-    // Direct validation (Figure 5a): re-check the predicate on the record.
-    let mut records = Vec::with_capacity(found.len());
-    for (idx, entry) in found {
-        let record = Record::decode(&entry.value)?;
-        if opts.validation == ValidationMethod::Direct {
-            let sk = record.get(sec.field);
-            let ok = lo.is_none_or(|l| sk >= l) && hi.is_none_or(|h| sk <= h);
-            if !ok {
-                continue;
-            }
-        }
-        let _ = idx;
-        records.push(record);
-    }
-
-    if opts.index_only {
-        // Direct validation + index-only still had to fetch records.
-        let keys = records
-            .iter()
-            .map(|r| r.get(ds.config().pk_field).clone())
-            .collect();
-        return Ok(QueryResult::Keys(keys));
-    }
-
-    if opts.sort_output {
-        charge_sort(ds, records.len() as u64);
-        let pk_field = ds.config().pk_field;
-        records.sort_by(|a, b| a.get(pk_field).cmp(b.get(pk_field)));
-    }
-    Ok(QueryResult::Records(records))
-}
-
-fn charge_sort(ds: &Dataset, n: u64) {
-    if n > 1 {
-        let log_n = u64::from(64 - n.leading_zeros());
-        ds.storage()
-            .charge_cpu(n * log_n * ds.storage().cpu().sort_entry_ns);
-    }
-}
-
-/// Derives the per-batch key count from the batching memory and the average
-/// record size of the primary index.
-fn keys_per_batch(ds: &Dataset, batch_bytes: usize) -> usize {
-    let entries = ds.primary().disk_entries().max(1);
-    let avg = (ds.primary().disk_bytes() / entries).max(64) as usize;
-    (batch_bytes / avg).max(1)
+    exec::execute(ds, index, lo, hi, opts, None)
 }
 
 #[cfg(test)]
@@ -314,11 +164,8 @@ mod tests {
     use lsm_storage::{Storage, StorageOptions};
 
     fn dataset(strategy: StrategyKind) -> Dataset {
-        let schema = Schema::new(vec![
-            ("id", FieldType::Int),
-            ("user_id", FieldType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![("id", FieldType::Int), ("user_id", FieldType::Int)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);
         cfg.strategy = strategy;
         cfg.merge_repair = false;
@@ -334,19 +181,9 @@ mod tests {
         Record::new(vec![Value::Int(id), Value::Int(uid)])
     }
 
-    fn opts_for(strategy: StrategyKind, direct: bool) -> QueryOptions {
-        QueryOptions {
-            validation: match (strategy, direct) {
-                (StrategyKind::Eager, _) => ValidationMethod::None,
-                (_, true) => ValidationMethod::Direct,
-                (_, false) => ValidationMethod::Timestamp,
-            },
-            ..Default::default()
-        }
-    }
-
     /// Ingest records with updates; query must see exactly the live state.
-    fn check_query_correctness(strategy: StrategyKind, direct: bool) {
+    /// `validation`: None = let the builder resolve it.
+    fn check_query_correctness(strategy: StrategyKind, validation: Option<ValidationMethod>) {
         let ds = dataset(strategy);
         // uid = id % 10 initially.
         for i in 0..200 {
@@ -363,10 +200,15 @@ mod tests {
             ds.delete(&Value::Int(i)).unwrap();
         }
 
-        let opts = opts_for(strategy, direct);
+        let query = |lo: i64, hi: i64| {
+            let mut q = ds.query("user_id").range(lo, hi);
+            if let Some(vm) = validation {
+                q = q.validation(vm);
+            }
+            q.execute().unwrap()
+        };
         // Query uid ∈ [0, 9]: ids 50..200 except deleted, with id%10.
-        let res = secondary_query(&ds, "user_id", Some(&Value::Int(0)), Some(&Value::Int(9)), &opts)
-            .unwrap();
+        let res = query(0, 9);
         let mut got: Vec<i64> = res
             .records()
             .iter()
@@ -374,45 +216,60 @@ mod tests {
             .collect();
         got.sort_unstable();
         let want: Vec<i64> = (50..200).filter(|i| !(100..120).contains(i)).collect();
-        assert_eq!(got, want, "{strategy:?} direct={direct}");
+        assert_eq!(got, want, "{strategy:?} validation={validation:?}");
 
         // Query uid ∈ [50, 54]: updated ids 0..50.
-        let res = secondary_query(
-            &ds,
-            "user_id",
-            Some(&Value::Int(50)),
-            Some(&Value::Int(54)),
-            &opts,
-        )
-        .unwrap();
+        let res = query(50, 54);
         let mut got: Vec<i64> = res
             .records()
             .iter()
             .map(|r| r.get(0).as_int().unwrap())
             .collect();
         got.sort_unstable();
-        assert_eq!(got, (0..50).collect::<Vec<_>>(), "{strategy:?} direct={direct}");
+        assert_eq!(
+            got,
+            (0..50).collect::<Vec<_>>(),
+            "{strategy:?} validation={validation:?}"
+        );
     }
 
     #[test]
     fn eager_queries_accurate() {
-        check_query_correctness(StrategyKind::Eager, false);
+        check_query_correctness(StrategyKind::Eager, None);
     }
 
     #[test]
     fn validation_direct_queries_accurate() {
-        check_query_correctness(StrategyKind::Validation, true);
+        check_query_correctness(StrategyKind::Validation, Some(ValidationMethod::Direct));
     }
 
     #[test]
     fn validation_timestamp_queries_accurate() {
-        check_query_correctness(StrategyKind::Validation, false);
+        check_query_correctness(StrategyKind::Validation, Some(ValidationMethod::Timestamp));
     }
 
     #[test]
     fn mutable_bitmap_queries_accurate() {
-        check_query_correctness(StrategyKind::MutableBitmap, false);
-        check_query_correctness(StrategyKind::MutableBitmap, true);
+        check_query_correctness(StrategyKind::MutableBitmap, None);
+        check_query_correctness(StrategyKind::MutableBitmap, Some(ValidationMethod::Direct));
+        check_query_correctness(
+            StrategyKind::MutableBitmap,
+            Some(ValidationMethod::Timestamp),
+        );
+    }
+
+    #[test]
+    fn strategy_resolved_defaults_are_accurate() {
+        // The acceptance bar of the fluent API: no manually-set validation
+        // anywhere, correct answers everywhere.
+        for strategy in [
+            StrategyKind::Eager,
+            StrategyKind::Validation,
+            StrategyKind::MutableBitmap,
+            StrategyKind::DeletedKeyBTree,
+        ] {
+            check_query_correctness(strategy, None);
+        }
     }
 
     #[test]
@@ -427,23 +284,12 @@ mod tests {
                 ds.upsert(&rec(i, 90)).unwrap(); // move out of [0,9]... uid 90
             }
             ds.flush_all().unwrap();
-            let opts = QueryOptions {
-                index_only: true,
-                validation: if strategy == StrategyKind::Eager {
-                    ValidationMethod::None
-                } else {
-                    ValidationMethod::Timestamp
-                },
-                ..Default::default()
-            };
-            let res = secondary_query(
-                &ds,
-                "user_id",
-                Some(&Value::Int(0)),
-                Some(&Value::Int(9)),
-                &opts,
-            )
-            .unwrap();
+            let res = ds
+                .query("user_id")
+                .range(0, 9)
+                .index_only()
+                .execute()
+                .unwrap();
             let mut got: Vec<i64> = res.keys().iter().map(|k| k.as_int().unwrap()).collect();
             got.sort_unstable();
             assert_eq!(got, (20..100).collect::<Vec<_>>(), "{strategy:?}");
@@ -459,36 +305,29 @@ mod tests {
                 ds.flush_all().unwrap();
             }
         }
-        let base = secondary_query(
-            &ds,
-            "user_id",
-            Some(&Value::Int(2)),
-            Some(&Value::Int(3)),
-            &QueryOptions {
-                validation: ValidationMethod::Timestamp,
-                sort_output: true,
-                ..QueryOptions::naive()
-            },
-        )
-        .unwrap();
-        for (batched, stateful, pid) in
-            [(true, false, false), (true, true, false), (true, true, true)]
-        {
-            let res = secondary_query(
-                &ds,
-                "user_id",
-                Some(&Value::Int(2)),
-                Some(&Value::Int(3)),
-                &QueryOptions {
-                    validation: ValidationMethod::Timestamp,
-                    batched,
-                    stateful,
-                    propagate_component_ids: pid,
-                    sort_output: true,
-                    ..Default::default()
-                },
-            )
+        let base = ds
+            .query("user_id")
+            .range(2, 3)
+            .naive()
+            .validation(ValidationMethod::Timestamp)
+            .sort_output(true)
+            .execute()
             .unwrap();
+        for (batched, stateful, pid) in [
+            (true, false, false),
+            (true, true, false),
+            (true, true, true),
+        ] {
+            let res = ds
+                .query("user_id")
+                .range(2, 3)
+                .validation(ValidationMethod::Timestamp)
+                .batched(batched)
+                .stateful(stateful)
+                .propagate_component_ids(pid)
+                .sort_output(true)
+                .execute()
+                .unwrap();
             assert_eq!(res, base, "batched={batched} stateful={stateful} pid={pid}");
         }
     }
@@ -502,17 +341,12 @@ mod tests {
                 ds.flush_all().unwrap();
             }
         }
-        let res = secondary_query(
-            &ds,
-            "user_id",
-            Some(&Value::Int(0)),
-            Some(&Value::Int(0)),
-            &QueryOptions {
-                sort_output: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let res = ds
+            .query("user_id")
+            .eq(0)
+            .sort_output(true)
+            .execute()
+            .unwrap();
         let ids: Vec<i64> = res
             .records()
             .iter()
@@ -526,15 +360,149 @@ mod tests {
     fn empty_range_returns_nothing() {
         let ds = dataset(StrategyKind::Eager);
         ds.insert(&rec(1, 5)).unwrap();
-        let res = secondary_query(
+        let res = ds.query("user_id").range(100, 200).execute().unwrap();
+        assert!(res.is_empty());
+        assert!(ds.query("nope").execute().is_err());
+        assert!(ds.query("nope").build().is_err());
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let ds = dataset(StrategyKind::Validation);
+        for i in 0..100 {
+            ds.insert(&rec(i, 1)).unwrap();
+        }
+        ds.flush_all().unwrap();
+        let res = ds
+            .query("user_id")
+            .eq(1)
+            .sort_output(true)
+            .limit(7)
+            .execute()
+            .unwrap();
+        assert_eq!(res.len(), 7);
+        let keys = ds
+            .query("user_id")
+            .eq(1)
+            .index_only()
+            .limit(5)
+            .execute()
+            .unwrap();
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn with_options_preserves_every_knob() {
+        let ds = dataset(StrategyKind::Validation);
+        for i in 0..20 {
+            ds.insert(&rec(i, 1)).unwrap();
+        }
+        ds.flush_all().unwrap();
+        // index_only seeded through with_options must survive build()...
+        let opts = QueryOptions {
+            index_only: true,
+            validation: ValidationMethod::Timestamp,
+            ..Default::default()
+        };
+        let prepared = ds
+            .query("user_id")
+            .eq(1)
+            .with_options(opts)
+            .build()
+            .unwrap();
+        assert!(prepared.options().index_only);
+        let res = prepared.execute().unwrap();
+        assert_eq!(res.keys().len(), 20);
+        // ...and the explicit setter still overrides the seeded value.
+        let prepared = ds
+            .query("user_id")
+            .eq(1)
+            .with_options(QueryOptions::default())
+            .index_only()
+            .build()
+            .unwrap();
+        assert!(prepared.options().index_only);
+    }
+
+    #[test]
+    fn deprecated_shim_matches_builder() {
+        let ds = dataset(StrategyKind::Validation);
+        for i in 0..50 {
+            ds.insert(&rec(i, i % 5)).unwrap();
+        }
+        ds.flush_all().unwrap();
+        #[allow(deprecated)]
+        let via_shim = secondary_query(
             &ds,
             "user_id",
-            Some(&Value::Int(100)),
-            Some(&Value::Int(200)),
-            &QueryOptions::default(),
+            Some(&Value::Int(2)),
+            Some(&Value::Int(3)),
+            &QueryOptions {
+                validation: ValidationMethod::Timestamp,
+                sort_output: true,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(res.is_empty());
-        assert!(secondary_query(&ds, "nope", None, None, &QueryOptions::default()).is_err());
+        let via_builder = ds
+            .query("user_id")
+            .range(2, 3)
+            .validation(ValidationMethod::Timestamp)
+            .sort_output(true)
+            .execute()
+            .unwrap();
+        assert_eq!(via_shim, via_builder);
+    }
+
+    #[test]
+    fn builder_resolves_strategy_defaults() {
+        use StrategyKind::*;
+        for (strategy, index_only, want) in [
+            (Eager, false, ValidationMethod::None),
+            (Eager, true, ValidationMethod::None),
+            (Validation, false, ValidationMethod::Direct),
+            (Validation, true, ValidationMethod::Timestamp),
+            (MutableBitmap, false, ValidationMethod::Direct),
+            (MutableBitmap, true, ValidationMethod::Timestamp),
+            (DeletedKeyBTree, false, ValidationMethod::Direct),
+            (DeletedKeyBTree, true, ValidationMethod::Direct),
+        ] {
+            let ds = dataset(strategy);
+            let mut q = ds.query("user_id").eq(1);
+            if index_only {
+                q = q.index_only();
+            }
+            let prepared = q.build().unwrap();
+            assert_eq!(
+                prepared.options().validation,
+                want,
+                "{strategy:?} index_only={index_only}"
+            );
+        }
+        // query_driven_repair forces Timestamp validation on every lazy
+        // strategy (it needs timestamp proofs of obsolescence).
+        for strategy in [Validation, MutableBitmap, DeletedKeyBTree] {
+            let ds = dataset(strategy);
+            let prepared = ds
+                .query("user_id")
+                .eq(1)
+                .query_driven_repair(true)
+                .build()
+                .unwrap();
+            assert_eq!(
+                prepared.options().validation,
+                ValidationMethod::Timestamp,
+                "{strategy:?}"
+            );
+        }
+        let ds = dataset(Validation);
+        // An explicit override always wins.
+        let prepared = ds
+            .query("user_id")
+            .eq(1)
+            .validation(ValidationMethod::None)
+            .build()
+            .unwrap();
+        assert_eq!(prepared.options().validation, ValidationMethod::None);
     }
 }

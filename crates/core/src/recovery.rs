@@ -16,7 +16,6 @@ use lsm_tree::BitmapSnapshot;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-
 /// Checkpointed bitmap state, keyed by component ID interval (component
 /// files are immutable, so the ID identifies the component).
 #[derive(Debug, Default)]
@@ -176,11 +175,7 @@ mod tests {
     use lsm_storage::{Storage, StorageOptions};
 
     fn dataset(strategy: StrategyKind) -> Dataset {
-        let schema = Schema::new(vec![
-            ("id", FieldType::Int),
-            ("v", FieldType::Int),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![("id", FieldType::Int), ("v", FieldType::Int)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);
         cfg.strategy = strategy;
         cfg.memory_budget = usize::MAX;

@@ -108,7 +108,7 @@ fn validate_candidates(
     sec_tree: &LsmTree,
     pk_tree: &LsmTree,
     prune_ts: Timestamp,
-    candidates: &mut Vec<Candidate>,
+    candidates: &mut [Candidate],
     bitmap: &AtomicBitmap,
     opts: &RepairOptions,
     report: &mut RepairReport,
@@ -160,9 +160,7 @@ fn validate_candidates(
     }
 
     for cand in candidates.iter() {
-        if let Some(found) =
-            newest_disk_version_after(pk_tree, &cand.pkey, effective_prune)?
-        {
+        if let Some(found) = newest_disk_version_after(pk_tree, &cand.pkey, effective_prune)? {
             // Invalid iff the same key exists with a larger timestamp
             // (an update or a delete after this entry was written).
             if found.ts > cand.ts {
@@ -188,7 +186,7 @@ fn new_repaired_ts(pk_tree: &LsmTree, prune_ts: Timestamp) -> Timestamp {
 
 /// Merge repair (Figure 7): merges the secondary components of `range` into
 /// one new component while validating all entries.
-pub fn merge_repair_secondary(
+pub(crate) fn merge_repair(
     sec_tree: &LsmTree,
     pk_tree: &LsmTree,
     range: MergeRange,
@@ -217,10 +215,7 @@ pub fn merge_repair_secondary(
 
     // Bloom optimization setup: keys absent from every unpruned pk-index
     // component cannot have been touched since the last repair.
-    let bloom_opt = matches!(
-        opts.mode,
-        RepairMode::PrimaryKeyIndex { bloom_opt: true }
-    );
+    let bloom_opt = matches!(opts.mode, RepairMode::PrimaryKeyIndex { bloom_opt: true });
     let unpruned = unpruned_pk_components(pk_tree, prune_ts);
 
     // Scan all merging components (Figure 7 lines 1-7): valid entries go to
@@ -301,7 +296,7 @@ pub fn merge_repair_secondary(
 
 /// Standalone repair (Section 4.4): produces a fresh bitmap for every disk
 /// component of the secondary index without merging.
-pub fn standalone_repair_secondary(
+pub(crate) fn standalone_repair(
     sec_tree: &LsmTree,
     pk_tree: &LsmTree,
     opts: &RepairOptions,
@@ -309,10 +304,7 @@ pub fn standalone_repair_secondary(
     let mut report = RepairReport::default();
     for comp in sec_tree.disk_components() {
         let prune_ts = comp.repaired_ts();
-        let bloom_opt = matches!(
-            opts.mode,
-            RepairMode::PrimaryKeyIndex { bloom_opt: true }
-        );
+        let bloom_opt = matches!(opts.mode, RepairMode::PrimaryKeyIndex { bloom_opt: true });
         let unpruned = unpruned_pk_components(pk_tree, prune_ts);
         if unpruned.is_empty() && pk_tree.mem_len() == 0 {
             continue; // nothing new to validate against
@@ -388,10 +380,14 @@ fn write_deleted_key_btree(sec_tree: &LsmTree, comp: &DiskComponent) -> Result<(
 /// Brings every secondary index up-to-date with standalone repairs
 /// (the Figure 20 measurement loop). Secondary indexes are repaired
 /// sequentially or in parallel (Section 6.5 uses one thread each).
-pub fn full_repair(dataset: &Dataset, opts: &RepairOptions, parallel: bool) -> Result<Vec<RepairReport>> {
+pub(crate) fn repair_all_secondaries(
+    dataset: &Dataset,
+    opts: &RepairOptions,
+    parallel: bool,
+) -> Result<Vec<RepairReport>> {
     let pk_tree = dataset
         .pk_index()
-        .expect("repair requires the primary key index");
+        .ok_or_else(|| lsm_common::Error::invalid("index repair requires the primary key index"))?;
     if parallel && dataset.secondaries().len() > 1 {
         let mut reports = vec![RepairReport::default(); dataset.secondaries().len()];
         std::thread::scope(|scope| -> Result<()> {
@@ -399,7 +395,7 @@ pub fn full_repair(dataset: &Dataset, opts: &RepairOptions, parallel: bool) -> R
             for (i, sec) in dataset.secondaries().iter().enumerate() {
                 handles.push((
                     i,
-                    scope.spawn(move || standalone_repair_secondary(&sec.tree, pk_tree, opts)),
+                    scope.spawn(move || standalone_repair(&sec.tree, pk_tree, opts)),
                 ));
             }
             for (i, h) in handles {
@@ -412,7 +408,7 @@ pub fn full_repair(dataset: &Dataset, opts: &RepairOptions, parallel: bool) -> R
         dataset
             .secondaries()
             .iter()
-            .map(|sec| standalone_repair_secondary(&sec.tree, pk_tree, opts))
+            .map(|sec| standalone_repair(&sec.tree, pk_tree, opts))
             .collect()
     }
 }
@@ -424,7 +420,7 @@ pub fn full_repair(dataset: &Dataset, opts: &RepairOptions, parallel: bool) -> R
 /// (DELI piggybacks repair on primary merges).
 ///
 /// Returns the number of obsolete versions repaired.
-pub fn primary_repair(dataset: &Dataset, with_merge: bool) -> Result<u64> {
+pub(crate) fn deli_primary_repair(dataset: &Dataset, with_merge: bool) -> Result<u64> {
     let primary = dataset.primary();
     let comps = primary.disk_components();
     if comps.is_empty() {
@@ -445,16 +441,8 @@ pub fn primary_repair(dataset: &Dataset, with_merge: bool) -> Result<u64> {
 
     let mut repaired = 0u64;
     let ets = dataset.clock().now();
-    loop {
-        // Smallest key among heads.
-        let Some(min_key) = heads
-            .iter()
-            .flatten()
-            .map(|(k, _, _)| k.clone())
-            .min()
-        else {
-            break;
-        };
+    // Smallest key among heads, until every scan is exhausted.
+    while let Some(min_key) = heads.iter().flatten().map(|(k, _, _)| k.clone()).min() {
         // Collect all versions of that key, newest component first
         // (component order in `comps` is newest-first).
         let mut versions: Vec<LsmEntry> = Vec::new();
@@ -487,11 +475,8 @@ pub fn primary_repair(dataset: &Dataset, with_merge: bool) -> Result<u64> {
                         continue; // same secondary key: entry still valid
                     }
                 }
-                sec.tree.put(
-                    encode_sk_pk(old_sk, pk),
-                    LsmEntry::anti_matter_ts(ets),
-                    ets,
-                );
+                sec.tree
+                    .put(encode_sk_pk(old_sk, pk), LsmEntry::anti_matter_ts(ets), ets);
             }
         }
         // A newest anti-matter version also invalidates nothing extra here:
@@ -513,6 +498,60 @@ pub fn primary_repair(dataset: &Dataset, with_merge: bool) -> Result<u64> {
     Ok(repaired)
 }
 
+// ---- deprecated free-function shims ----------------------------------------
+//
+// The historical entry points are kept as thin wrappers so existing callers
+// migrate at their own pace; new code goes through `Dataset::maintenance()`.
+
+/// Merge repair (Figure 7) of the secondary components in `range`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Dataset::maintenance().plan().with_merge(true).repair_index(name)` instead"
+)]
+pub fn merge_repair_secondary(
+    sec_tree: &LsmTree,
+    pk_tree: &LsmTree,
+    range: MergeRange,
+    opts: &RepairOptions,
+) -> Result<RepairReport> {
+    merge_repair(sec_tree, pk_tree, range, opts)
+}
+
+/// Standalone repair (Section 4.4) of one secondary index.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Dataset::maintenance().repair_index(name)` instead"
+)]
+pub fn standalone_repair_secondary(
+    sec_tree: &LsmTree,
+    pk_tree: &LsmTree,
+    opts: &RepairOptions,
+) -> Result<RepairReport> {
+    standalone_repair(sec_tree, pk_tree, opts)
+}
+
+/// Standalone-repairs every secondary index.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Dataset::maintenance().repair_all()` instead"
+)]
+pub fn full_repair(
+    dataset: &Dataset,
+    opts: &RepairOptions,
+    parallel: bool,
+) -> Result<Vec<RepairReport>> {
+    repair_all_secondaries(dataset, opts, parallel)
+}
+
+/// DELI-style primary repair (Section 4.1).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Dataset::maintenance().repair_primary()` instead"
+)]
+pub fn primary_repair(dataset: &Dataset, with_merge: bool) -> Result<u64> {
+    deli_primary_repair(dataset, with_merge)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,11 +560,8 @@ mod tests {
     use lsm_storage::{Storage, StorageOptions};
 
     fn dataset(strategy: StrategyKind) -> Dataset {
-        let schema = Schema::new(vec![
-            ("id", FieldType::Int),
-            ("location", FieldType::Str),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![("id", FieldType::Int), ("location", FieldType::Str)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);
         cfg.strategy = strategy;
         cfg.merge_repair = false; // repairs are explicit in these tests
@@ -574,7 +610,7 @@ mod tests {
         // updated records) — but reconciliation cannot see that.
         assert_eq!(live_secondary_entries(&ds), 150);
 
-        let reports = full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        let reports = ds.maintenance().repair_all().unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].invalidated, 50);
         assert_eq!(live_secondary_entries(&ds), 100);
@@ -584,10 +620,10 @@ mod tests {
     fn repair_is_idempotent_and_prunes_on_rerun() {
         let ds = dataset(StrategyKind::Validation);
         obsolete_setup(&ds);
-        full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        ds.maintenance().repair_all().unwrap();
         // Second repair: repairedTS now prunes everything → no validations
         // beyond carried-over bits, nothing newly invalidated.
-        let reports = full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        let reports = ds.maintenance().repair_all().unwrap();
         assert_eq!(reports[0].invalidated, 0);
         assert_eq!(live_secondary_entries(&ds), 100);
     }
@@ -599,13 +635,12 @@ mod tests {
         let sec = &ds.secondaries()[0].tree;
         let n = sec.num_disk_components();
         assert_eq!(n, 2);
-        let report = merge_repair_secondary(
-            sec,
-            ds.pk_index().unwrap(),
-            MergeRange { start: 0, end: 1 },
-            &RepairOptions::default(),
-        )
-        .unwrap();
+        let report = ds
+            .maintenance()
+            .plan()
+            .with_merge(true)
+            .repair_index("location")
+            .unwrap();
         assert_eq!(sec.num_disk_components(), 1);
         assert_eq!(report.entries_scanned, 150);
         assert_eq!(report.invalidated, 50);
@@ -621,7 +656,7 @@ mod tests {
         obsolete_setup(&ds);
         let sec = &ds.secondaries()[0].tree;
         // 150 candidates vs 150 pk entries: force merge scan by thresholds.
-        let report = merge_repair_secondary(
+        let report = merge_repair(
             sec,
             ds.pk_index().unwrap(),
             MergeRange { start: 0, end: 1 },
@@ -647,20 +682,18 @@ mod tests {
         ds.flush_all().unwrap();
         // First repair: everything validated once, repairedTS advances past
         // the insert batch.
-        full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        ds.maintenance().repair_all().unwrap();
         for i in 0..10 {
             ds.upsert(&rec(i, "NY")).unwrap();
         }
         ds.flush_all().unwrap();
-        let reports = full_repair(
-            &ds,
-            &RepairOptions {
-                mode: RepairMode::PrimaryKeyIndex { bloom_opt: true },
-                merge_scan_opt: false,
-            },
-            false,
-        )
-        .unwrap();
+        let reports = ds
+            .maintenance()
+            .plan()
+            .bloom(true)
+            .merge_scan(false)
+            .repair_all()
+            .unwrap();
         let r = &reports[0];
         // Most of the 100 old entries skip validation via Bloom filters
         // (false positives allowed).
@@ -673,34 +706,32 @@ mod tests {
         let ds = dataset(StrategyKind::Validation);
         obsolete_setup(&ds);
         assert_eq!(live_secondary_entries(&ds), 150);
-        let repaired = primary_repair(&ds, false).unwrap();
+        let repaired = ds.maintenance().repair_primary().unwrap();
         assert_eq!(repaired, 50);
         assert_eq!(live_secondary_entries(&ds), 100);
         // Primary components untouched without the merge flag.
         assert_eq!(ds.primary().num_disk_components(), 2);
-        let repaired_again = primary_repair(&ds, true).unwrap();
+        let repaired_again = ds
+            .maintenance()
+            .plan()
+            .with_merge(true)
+            .repair_primary()
+            .unwrap();
         assert_eq!(repaired_again, 50); // versions still present pre-merge
         assert_eq!(ds.primary().num_disk_components(), 1);
         // After the merge, obsolete versions are physically gone.
-        assert_eq!(primary_repair(&ds, false).unwrap(), 0);
+        assert_eq!(ds.maintenance().repair_primary().unwrap(), 0);
     }
 
     #[test]
     fn deleted_key_btree_mode_writes_extra_files() {
         let ds = dataset(StrategyKind::DeletedKeyBTree);
         obsolete_setup(&ds);
-        let sec = &ds.secondaries()[0].tree;
         let before = ds.storage().stats();
-        let report = merge_repair_secondary(
-            sec,
-            ds.pk_index().unwrap(),
-            MergeRange { start: 0, end: 1 },
-            &RepairOptions {
-                mode: RepairMode::DeletedKeyBTree,
-                merge_scan_opt: false,
-            },
-        )
-        .unwrap();
+        // The facade resolves the DeletedKeyBTree mode from the strategy.
+        let plan = ds.maintenance().plan().merge_scan(false).with_merge(true);
+        assert_eq!(plan.options().mode, RepairMode::DeletedKeyBTree);
+        let report = plan.repair_index("location").unwrap();
         let d = ds.storage().stats().since(&before);
         assert_eq!(report.invalidated, 50);
         assert!(d.pages_written > 0);
@@ -719,7 +750,7 @@ mod tests {
         for i in 0..20 {
             ds.upsert(&rec(i, "NY")).unwrap();
         }
-        let reports = full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        let reports = ds.maintenance().repair_all().unwrap();
         assert_eq!(reports[0].invalidated, 0);
         assert_eq!(live_secondary_entries(&ds), 50 + 20);
     }

@@ -248,7 +248,7 @@ mod tests {
             op,
             key: vec![1, 2, 3],
             value: vec![9; 10],
-            update_bit: lsn % 2 == 0,
+            update_bit: lsn.is_multiple_of(2),
         }
     }
 

@@ -54,7 +54,9 @@ fn run_concurrent_merge(method: CcMethod) {
         let mut x: i64 = 12345;
         let mut round: i64 = 1;
         while !writer_stop.load(Ordering::Relaxed) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let id = x.rem_euclid(total);
             writer_ds.upsert_no_maintenance(&rec(id, round)).unwrap();
             updated.push((id, round));

@@ -3,12 +3,8 @@
 //! oracle and exercising flushes, merges, repair, and filter scans together.
 
 use lsm_common::Value;
-use lsm_engine::query::{
-    filter_scan_count, secondary_query, QueryOptions, ValidationMethod,
-};
-use lsm_engine::{
-    full_repair, Dataset, DatasetConfig, RepairOptions, SecondaryIndexDef, StrategyKind,
-};
+use lsm_engine::query::filter_scan_count;
+use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use lsm_workload::{TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
 use std::collections::BTreeMap;
@@ -67,13 +63,6 @@ fn strategies() -> [StrategyKind; 4] {
     ]
 }
 
-fn validation_for(s: StrategyKind) -> ValidationMethod {
-    match s {
-        StrategyKind::Eager => ValidationMethod::None,
-        _ => ValidationMethod::Timestamp,
-    }
-}
-
 #[test]
 fn tweet_workload_queries_match_oracle() {
     for strategy in strategies() {
@@ -87,18 +76,14 @@ fn tweet_workload_queries_match_oracle() {
                 .filter(|(_, (uid, _))| (lo..=hi).contains(uid))
                 .map(|(pk, _)| *pk)
                 .collect();
-            let res = secondary_query(
-                &ds,
-                "user_id",
-                Some(&Value::Int(lo)),
-                Some(&Value::Int(hi)),
-                &QueryOptions {
-                    validation: validation_for(strategy),
-                    sort_output: true,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+            // No validation method set anywhere: the builder resolves the
+            // correct one from the strategy.
+            let res = ds
+                .query("user_id")
+                .range(lo, hi)
+                .sort_output(true)
+                .execute()
+                .unwrap();
             let got: Vec<i64> = res
                 .records()
                 .iter()
@@ -108,7 +93,11 @@ fn tweet_workload_queries_match_oracle() {
         }
 
         // Filter scans over time windows.
-        for (lo, hi) in [(None, Some(500)), (Some(3500), None), (Some(1000), Some(2000))] {
+        for (lo, hi) in [
+            (None, Some(500)),
+            (Some(3500), None),
+            (Some(1000), Some(2000)),
+        ] {
             let want = oracle
                 .values()
                 .filter(|(_, t)| lo.is_none_or(|l| *t >= l) && hi.is_none_or(|h| *t <= h))
@@ -128,21 +117,15 @@ fn repair_then_queries_still_match() {
     for strategy in [StrategyKind::Validation, StrategyKind::MutableBitmap] {
         let ds = dataset(strategy);
         let oracle = ingest(&ds, 3000, 0.5);
-        full_repair(&ds, &RepairOptions::default(), false).unwrap();
+        ds.maintenance().repair_all().unwrap();
         // Run merges after repair too; bitmapped entries get dropped.
-        ds.run_merges().unwrap();
-        let res = secondary_query(
-            &ds,
-            "user_id",
-            Some(&Value::Int(0)),
-            Some(&Value::Int(9_999)),
-            &QueryOptions {
-                validation: ValidationMethod::Timestamp,
-                sort_output: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        ds.maintenance().run_merges().unwrap();
+        let res = ds
+            .query("user_id")
+            .range(0, 9_999)
+            .sort_output(true)
+            .execute()
+            .unwrap();
         let want = oracle
             .values()
             .filter(|(uid, _)| (0..10_000).contains(uid))
@@ -156,30 +139,18 @@ fn index_only_matches_non_index_only() {
     for strategy in strategies() {
         let ds = dataset(strategy);
         ingest(&ds, 2000, 0.4);
-        let opts = QueryOptions {
-            validation: validation_for(strategy),
-            sort_output: true,
-            ..Default::default()
-        };
-        let records = secondary_query(
-            &ds,
-            "user_id",
-            Some(&Value::Int(0)),
-            Some(&Value::Int(29_999)),
-            &opts,
-        )
-        .unwrap();
-        let keys = secondary_query(
-            &ds,
-            "user_id",
-            Some(&Value::Int(0)),
-            Some(&Value::Int(29_999)),
-            &QueryOptions {
-                index_only: true,
-                ..opts
-            },
-        )
-        .unwrap();
+        let records = ds
+            .query("user_id")
+            .range(0, 29_999)
+            .sort_output(true)
+            .execute()
+            .unwrap();
+        let keys = ds
+            .query("user_id")
+            .range(0, 29_999)
+            .index_only()
+            .execute()
+            .unwrap();
         let mut from_records: Vec<i64> = records
             .records()
             .iter()
@@ -212,17 +183,7 @@ fn deletes_heavy_workload() {
             assert_eq!(present, i % 3 != 0, "{strategy:?} pk {pk}");
         }
         // Full-range secondary query sees exactly the survivors.
-        let res = secondary_query(
-            &ds,
-            "user_id",
-            None,
-            None,
-            &QueryOptions {
-                validation: validation_for(strategy),
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let res = ds.query("user_id").execute().unwrap();
         assert_eq!(res.len(), oracle.len(), "{strategy:?}");
     }
 }

@@ -4,10 +4,8 @@
 //! correctness claim for the Validation and Mutable-bitmap strategies.
 
 use lsm_common::{FieldType, Record, Schema, Value};
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
-use lsm_engine::{
-    full_repair, Dataset, DatasetConfig, RepairOptions, SecondaryIndexDef, StrategyKind,
-};
+use lsm_engine::query::ValidationMethod;
+use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -33,11 +31,7 @@ fn arb_workload() -> impl Strategy<Value = Vec<WOp>> {
 }
 
 fn dataset(strategy: StrategyKind) -> Dataset {
-    let schema = Schema::new(vec![
-        ("id", FieldType::Int),
-        ("group", FieldType::Int),
-    ])
-    .unwrap();
+    let schema = Schema::new(vec![("id", FieldType::Int), ("group", FieldType::Int)]).unwrap();
     let mut cfg = DatasetConfig::new(schema, 0);
     cfg.strategy = strategy;
     cfg.memory_budget = 8 * 1024; // force frequent flushes + merges
@@ -50,7 +44,10 @@ fn dataset(strategy: StrategyKind) -> Dataset {
 }
 
 fn rec(id: u8, group: u8) -> Record {
-    Record::new(vec![Value::Int(i64::from(id)), Value::Int(i64::from(group))])
+    Record::new(vec![
+        Value::Int(i64::from(id)),
+        Value::Int(i64::from(group)),
+    ])
 }
 
 fn apply(ds: &Dataset, ops: &[WOp]) {
@@ -89,20 +86,14 @@ fn model_of(ops: &[WOp]) -> BTreeMap<u8, u8> {
     m
 }
 
-/// Live ids in `group`, via a secondary query.
-fn group_query(ds: &Dataset, group: u8, validation: ValidationMethod) -> Vec<i64> {
-    let res = secondary_query(
-        ds,
-        "group",
-        Some(&Value::Int(i64::from(group))),
-        Some(&Value::Int(i64::from(group))),
-        &QueryOptions {
-            validation,
-            sort_output: true,
-            ..Default::default()
-        },
-    )
-    .unwrap();
+/// Live ids in `group`, via a secondary query. `None` lets the builder
+/// resolve the strategy-appropriate validation method.
+fn group_query(ds: &Dataset, group: u8, validation: Option<ValidationMethod>) -> Vec<i64> {
+    let mut q = ds.query("group").eq(i64::from(group)).sort_output(true);
+    if let Some(vm) = validation {
+        q = q.validation(vm);
+    }
+    let res = q.execute().unwrap();
     res.records()
         .iter()
         .map(|r| r.get(0).as_int().unwrap())
@@ -131,11 +122,16 @@ proptest! {
                 prop_assert_eq!(got, model.get(&k).copied(), "{:?} key {}", strategy, k);
             }
 
-            // Secondary queries match the model, with the appropriate
-            // validation method(s).
-            let methods: &[ValidationMethod] = match strategy {
-                StrategyKind::Eager => &[ValidationMethod::None],
-                _ => &[ValidationMethod::Direct, ValidationMethod::Timestamp],
+            // Secondary queries match the model: once with the builder's
+            // strategy-resolved default, then with each explicit method
+            // appropriate to the strategy.
+            let methods: &[Option<ValidationMethod>] = match strategy {
+                StrategyKind::Eager => &[None, Some(ValidationMethod::None)],
+                _ => &[
+                    None,
+                    Some(ValidationMethod::Direct),
+                    Some(ValidationMethod::Timestamp),
+                ],
             };
             for &vm in methods {
                 for g in 0..16u8 {
@@ -152,9 +148,9 @@ proptest! {
             // Repair must not change answers (lazy strategies only).
             if strategy != StrategyKind::Eager {
                 ds.flush_all().unwrap();
-                full_repair(&ds, &RepairOptions::default(), false).unwrap();
+                ds.maintenance().repair_all().unwrap();
                 for g in 0..16u8 {
-                    let got = group_query(&ds, g, ValidationMethod::Timestamp);
+                    let got = group_query(&ds, g, Some(ValidationMethod::Timestamp));
                     let want: Vec<i64> = model
                         .iter()
                         .filter(|(_, grp)| **grp == g)

@@ -5,17 +5,13 @@
 //! them and the next merge removes them physically.
 
 use lsm_common::{FieldType, Record, Schema, Value};
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
+use lsm_engine::query::{QueryResult, ValidationMethod};
 use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use lsm_tree::MergeRange;
 
 fn dataset() -> Dataset {
-    let schema = Schema::new(vec![
-        ("id", FieldType::Int),
-        ("group", FieldType::Int),
-    ])
-    .unwrap();
+    let schema = Schema::new(vec![("id", FieldType::Int), ("group", FieldType::Int)]).unwrap();
     let mut cfg = DatasetConfig::new(schema, 0);
     cfg.strategy = StrategyKind::Validation;
     cfg.merge_repair = false;
@@ -31,13 +27,17 @@ fn rec(id: i64, group: i64) -> Record {
     Record::new(vec![Value::Int(id), Value::Int(group)])
 }
 
-fn opts(query_driven: bool) -> QueryOptions {
-    QueryOptions {
-        validation: ValidationMethod::Timestamp,
-        query_driven_repair: query_driven,
-        sort_output: true,
-        ..Default::default()
-    }
+/// A group query with Timestamp validation (explicit for the plain case so
+/// both sides of the comparisons validate the same way; query-driven repair
+/// resolves to Timestamp on its own).
+fn group_result(ds: &Dataset, group: i64, query_driven: bool) -> QueryResult {
+    ds.query("group")
+        .eq(group)
+        .validation(ValidationMethod::Timestamp)
+        .query_driven_repair(query_driven)
+        .sort_output(true)
+        .execute()
+        .unwrap()
 }
 
 /// 100 records in group 1, then 40 of them moved to group 2 — the group-1
@@ -55,9 +55,8 @@ fn setup() -> Dataset {
     ds
 }
 
-fn group1(ds: &Dataset, o: &QueryOptions) -> Vec<i64> {
-    secondary_query(ds, "group", Some(&Value::Int(1)), Some(&Value::Int(1)), o)
-        .unwrap()
+fn group1(ds: &Dataset, query_driven: bool) -> Vec<i64> {
+    group_result(ds, 1, query_driven)
         .records()
         .iter()
         .map(|r| r.get(0).as_int().unwrap())
@@ -75,7 +74,7 @@ fn queries_mark_obsolete_entries() {
         .sum();
     assert_eq!(before, 0);
 
-    let res = group1(&ds, &opts(true));
+    let res = group1(&ds, true);
     assert_eq!(res, (40..100).collect::<Vec<_>>());
 
     // The 40 obsolete group-1 entries are now bitmap-marked.
@@ -92,17 +91,17 @@ fn second_query_validates_nothing_extra() {
     let ds = setup();
     // First query pays the validation; the second skips marked entries —
     // measured through the pk-index bloom checks it no longer performs.
-    group1(&ds, &opts(true));
+    group1(&ds, true);
     let before = ds.storage().stats().bloom_checks;
-    let res = group1(&ds, &opts(true));
+    let res = group1(&ds, true);
     assert_eq!(res.len(), 60);
     let validation_checks = ds.storage().stats().bloom_checks - before;
     // Without query-driven repair the same query re-validates all 100
     // candidates every time.
     let ds2 = setup();
-    group1(&ds2, &opts(false));
+    group1(&ds2, false);
     let before2 = ds2.storage().stats().bloom_checks;
-    group1(&ds2, &opts(false));
+    group1(&ds2, false);
     let validation_checks_plain = ds2.storage().stats().bloom_checks - before2;
     assert!(
         validation_checks < validation_checks_plain,
@@ -115,22 +114,8 @@ fn answers_identical_with_and_without() {
     let ds_a = setup();
     let ds_b = setup();
     for g in [1i64, 2] {
-        let a = secondary_query(
-            &ds_a,
-            "group",
-            Some(&Value::Int(g)),
-            Some(&Value::Int(g)),
-            &opts(true),
-        )
-        .unwrap();
-        let b = secondary_query(
-            &ds_b,
-            "group",
-            Some(&Value::Int(g)),
-            Some(&Value::Int(g)),
-            &opts(false),
-        )
-        .unwrap();
+        let a = group_result(&ds_a, g, true);
+        let b = group_result(&ds_b, g, false);
         assert_eq!(a, b, "group {g}");
     }
 }
@@ -138,14 +123,18 @@ fn answers_identical_with_and_without() {
 #[test]
 fn merge_physically_removes_query_marked_entries() {
     let ds = setup();
-    group1(&ds, &opts(true));
+    group1(&ds, true);
     let sec = &ds.secondaries()[0].tree;
     let n = sec.num_disk_components();
-    sec.merge_range(MergeRange { start: 0, end: n - 1 }).unwrap();
+    sec.merge_range(MergeRange {
+        start: 0,
+        end: n - 1,
+    })
+    .unwrap();
     // 100 original + 40 re-inserts = 140 entries; 40 marked obsolete are
     // dropped by the merge: 100 live entries remain.
     assert_eq!(sec.disk_entries(), 100);
-    assert_eq!(group1(&ds, &opts(true)), (40..100).collect::<Vec<_>>());
+    assert_eq!(group1(&ds, true), (40..100).collect::<Vec<_>>());
 }
 
 #[test]
@@ -158,6 +147,6 @@ fn memory_entries_are_never_marked() {
     for i in 0..5 {
         ds.upsert(&rec(i, 2)).unwrap();
     }
-    let res = group1(&ds, &opts(true));
+    let res = group1(&ds, true);
     assert_eq!(res, (5..10).collect::<Vec<_>>());
 }

@@ -171,7 +171,7 @@ impl DiskComponent {
     /// Fraction of entries marked invalid (0.0 with no bitmap).
     pub fn invalid_fraction(&self) -> f64 {
         match &*self.bitmap.read() {
-            Some(b) if b.len() > 0 => b.count_set() as f64 / b.len() as f64,
+            Some(b) if !b.is_empty() => b.count_set() as f64 / b.len() as f64,
             _ => 0.0,
         }
     }

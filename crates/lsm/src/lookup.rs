@@ -305,10 +305,8 @@ mod tests {
                 .map(|(i, e)| (keys[i].clone(), e.value))
                 .collect();
             got.sort();
-            let mut want: Vec<(Key, Vec<u8>)> = expect
-                .iter()
-                .map(|(i, v)| (key(*i), v.to_vec()))
-                .collect();
+            let mut want: Vec<(Key, Vec<u8>)> =
+                expect.iter().map(|(i, v)| (key(*i), v.to_vec())).collect();
             want.sort();
             assert_eq!(got, want, "batched={batched} stateful={stateful}");
         }
@@ -324,11 +322,7 @@ mod tests {
             key(260), // deleted
             key(999), // absent
         ];
-        check_all_modes(
-            &t,
-            keys,
-            &[(0, b"mem"), (50, b"v1"), (120, b"v2")],
-        );
+        check_all_modes(&t, keys, &[(0, b"mem"), (50, b"v1"), (120, b"v2")]);
     }
 
     #[test]
@@ -417,7 +411,9 @@ mod tests {
         let e = newest_version_after(&t, &key(150), 300).unwrap().unwrap();
         assert_eq!(e.value, b"v2");
         // Mem entries are always visible.
-        assert!(newest_version_after(&t, &key(0), u64::MAX).unwrap().is_some());
+        assert!(newest_version_after(&t, &key(0), u64::MAX)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl MergePolicy for TieringPolicy {
             // All components younger than `start` are candidates (they are
             // newer, hence smaller than the cap unless a huge flush
             // happened; skip the sequence if any is frozen).
-            if sizes[start + 1..].iter().any(|&s| s >= self.max_mergeable_bytes) {
+            if sizes[start + 1..]
+                .iter()
+                .any(|&s| s >= self.max_mergeable_bytes)
+            {
                 continue;
             }
             let younger: u64 = sizes[start + 1..].iter().sum();
@@ -70,10 +73,7 @@ impl MergePolicy for TieringPolicy {
             if count >= self.min_merge_components.max(2)
                 && younger as f64 >= self.size_ratio * oldest as f64
             {
-                return Some(MergeRange {
-                    start,
-                    end: n - 1,
-                });
+                return Some(MergeRange { start, end: n - 1 });
             }
         }
         None
@@ -171,7 +171,10 @@ mod tests {
     fn leveling_merges_adjacent_pair() {
         let p = LevelingPolicy { size_ratio: 10.0 };
         // newest 10 * 10 >= 50 → merge the top pair.
-        assert_eq!(p.select(&[500, 50, 10]), Some(MergeRange { start: 1, end: 2 }));
+        assert_eq!(
+            p.select(&[500, 50, 10]),
+            Some(MergeRange { start: 1, end: 2 })
+        );
         // newest 1 * 10 < 50 → wait.
         assert_eq!(p.select(&[500, 50, 1]), None);
         assert_eq!(p.select(&[5]), None);

@@ -217,9 +217,7 @@ impl LsmScan {
         // Advance every source sitting on the winning key; keep the winner.
         let mut result: Option<(Key, LsmEntry, usize, u64)> = None;
         for i in 0..self.heads.len() {
-            let matches = self.heads[i]
-                .as_ref()
-                .is_some_and(|h| h.key == win_key);
+            let matches = self.heads[i].as_ref().is_some_and(|h| h.key == win_key);
             if !matches {
                 continue;
             }
@@ -332,9 +330,15 @@ mod tests {
         )
         .unwrap();
         let (k1, e1) = scan.next_entry().unwrap().unwrap();
-        assert_eq!((k1.as_slice(), e1.value.as_slice()), (&b"a"[..], &b"new-a"[..]));
+        assert_eq!(
+            (k1.as_slice(), e1.value.as_slice()),
+            (&b"a"[..], &b"new-a"[..])
+        );
         let (k2, e2) = scan.next_entry().unwrap().unwrap();
-        assert_eq!((k2.as_slice(), e2.value.as_slice()), (&b"b"[..], &b"old-b"[..]));
+        assert_eq!(
+            (k2.as_slice(), e2.value.as_slice()),
+            (&b"b"[..], &b"old-b"[..])
+        );
         assert!(scan.next_entry().unwrap().is_none());
     }
 
@@ -351,7 +355,7 @@ mod tests {
         let mut scan = LsmScan::new(
             s.clone(),
             Some(mem.clone()),
-            &[old.clone()],
+            std::slice::from_ref(&old),
             Bound::Unbounded,
             Bound::Unbounded,
             ScanOptions::default(),
@@ -394,7 +398,7 @@ mod tests {
         let mut scan = LsmScan::new(
             s.clone(),
             None,
-            &[comp.clone()],
+            std::slice::from_ref(&comp),
             Bound::Unbounded,
             Bound::Unbounded,
             ScanOptions::default(),
@@ -461,7 +465,10 @@ mod tests {
         let c1 = build(
             &s,
             ComponentId::new(1, 5),
-            &[("a", LsmEntry::put(b"1".to_vec())), ("b", LsmEntry::put(b"2".to_vec()))],
+            &[
+                ("a", LsmEntry::put(b"1".to_vec())),
+                ("b", LsmEntry::put(b"2".to_vec())),
+            ],
         );
         let c2 = build(
             &s,

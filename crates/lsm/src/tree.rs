@@ -324,8 +324,7 @@ impl LsmTree {
             return Err(Error::invalid("merge needs at least two components"));
         }
         let drop_anti = self.range_includes_oldest(range);
-        let id = ComponentId::merged(inputs.iter().map(|c| c.id()))
-            .expect("non-empty merge input");
+        let id = ComponentId::merged(inputs.iter().map(|c| c.id())).expect("non-empty merge input");
         let mut filter: Option<RangeFilter> = None;
         for c in &inputs {
             if let Some(f) = c.range_filter() {
@@ -409,12 +408,7 @@ impl LsmTree {
     // ---- scans --------------------------------------------------------------
 
     /// Reconciling scan over the whole tree (memory + all disk components).
-    pub fn scan(
-        &self,
-        lo: Bound<&[u8]>,
-        hi: Bound<&[u8]>,
-        opts: ScanOptions,
-    ) -> Result<LsmScan> {
+    pub fn scan(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>, opts: ScanOptions) -> Result<LsmScan> {
         let mem = self.mem_snapshot_range(lo, hi);
         let disk = self.disk_components();
         LsmScan::new(
@@ -471,9 +465,7 @@ mod tests {
         t.flush().unwrap().unwrap();
         assert_eq!(t.num_disk_components(), 2);
 
-        let merged = t
-            .merge_range(MergeRange { start: 0, end: 1 })
-            .unwrap();
+        let merged = t.merge_range(MergeRange { start: 0, end: 1 }).unwrap();
         assert_eq!(t.num_disk_components(), 1);
         // key 5 dropped (merge includes oldest), key 3 has new value.
         assert_eq!(merged.num_entries(), 9);
@@ -495,9 +487,7 @@ mod tests {
         t.put(key(2), LsmEntry::put(b"w".to_vec()), 20);
         t.flush().unwrap();
         // Merge only the two NEWEST components (range excludes oldest).
-        let merged = t
-            .merge_range(MergeRange { start: 1, end: 2 })
-            .unwrap();
+        let merged = t.merge_range(MergeRange { start: 1, end: 2 }).unwrap();
         // Anti-matter for key 1 must survive to suppress the base version.
         let (e, _) = merged.search(&key(1)).unwrap().unwrap();
         assert!(e.anti_matter);

@@ -154,7 +154,9 @@ impl Storage {
     /// Charges `ns` of CPU work to the simulated clock.
     pub fn charge_cpu(&self, ns: u64) {
         self.clock.advance(ns);
-        self.stats.cpu_ns.fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .cpu_ns
+            .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Creates an empty file.
@@ -197,7 +199,9 @@ impl Storage {
         }
         self.clock
             .advance(seek + self.opts.profile.transfer_ns(self.opts.page_size));
-        self.stats.pages_written.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .pages_written
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
@@ -230,15 +234,15 @@ impl Storage {
             state
                 .pages
                 .get(page as usize)
-                .ok_or_else(|| {
-                    Error::Storage(format!("page {page} out of bounds in {file:?}"))
-                })?
+                .ok_or_else(|| Error::Storage(format!("page {page} out of bounds in {file:?}")))?
                 .clone()
         };
 
         let hit = self.cache.lock().access(file, page);
         if hit {
-            self.stats.cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.stats
+                .cache_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(data);
         }
         self.charge_read(file, page, 1);
@@ -260,16 +264,19 @@ impl Storage {
                 .fetch_add(u64::from(count), std::sync::atomic::Ordering::Relaxed);
             u64::from(count) * self.opts.profile.sequential_read_ns(bytes)
         } else {
-            self.stats.rand_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.stats
+                .rand_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.stats
                 .seq_reads
                 .fetch_add(u64::from(count - 1), std::sync::atomic::Ordering::Relaxed);
             self.opts.profile.random_read_ns(bytes)
                 + u64::from(count - 1) * self.opts.profile.sequential_read_ns(bytes)
         };
-        self.stats
-            .bytes_read
-            .fetch_add(u64::from(count) * bytes as u64, std::sync::atomic::Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(
+            u64::from(count) * bytes as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         self.clock.advance(cost);
     }
 
@@ -310,7 +317,9 @@ impl Storage {
                     }
                     misses += 1;
                 } else {
-                    self.stats.cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.stats
+                        .cache_hits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
             }
         }

@@ -9,8 +9,6 @@ pub mod drivers;
 pub mod tweet;
 pub mod zipf;
 
-pub use drivers::{
-    InsertWorkload, Op, SelectivityQueries, UpdateDistribution, UpsertWorkload,
-};
+pub use drivers::{InsertWorkload, Op, SelectivityQueries, UpdateDistribution, UpsertWorkload};
 pub use tweet::{TweetConfig, TweetGenerator, USER_ID_DOMAIN};
 pub use zipf::ZipfSampler;

@@ -19,8 +19,8 @@ fn rec(id: i64, v: i64) -> Record {
 }
 
 fn main() {
-    let schema = Schema::new(vec![("id", FieldType::Int), ("balance", FieldType::Int)])
-        .expect("schema");
+    let schema =
+        Schema::new(vec![("id", FieldType::Int), ("balance", FieldType::Int)]).expect("schema");
     let mut cfg = DatasetConfig::new(schema, 0);
     cfg.strategy = StrategyKind::MutableBitmap;
     cfg.memory_budget = usize::MAX; // flush manually for the walkthrough
@@ -79,7 +79,10 @@ fn main() {
     );
     // ...and the uncommitted one is gone.
     assert_eq!(
-        ds.get(&Value::Int(999)).expect("get").expect("present").get(1),
+        ds.get(&Value::Int(999))
+            .expect("get")
+            .expect("present")
+            .get(1),
         &Value::Int(100 + 999 - 999) // original balance 100
     );
     println!("6. all committed state verified; uncommitted update correctly lost");

@@ -9,7 +9,6 @@
 //! `time`, under the Validation maintenance strategy.
 
 use lsm_common::{FieldType, Record, Schema, Value};
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
 use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 
@@ -46,17 +45,9 @@ fn main() {
     ds.upsert(&rec(101, "NY", 2018)).expect("upsert");
 
     // Q1: all users in CA — must NOT return the stale CA entry for 101.
-    let q1 = secondary_query(
-        &ds,
-        "location",
-        Some(&Value::Str("CA".into())),
-        Some(&Value::Str("CA".into())),
-        &QueryOptions {
-            validation: ValidationMethod::Timestamp,
-            ..Default::default()
-        },
-    )
-    .expect("query");
+    // The builder resolves the right validation method for the Validation
+    // strategy; nothing to configure.
+    let q1 = ds.query("location").eq("CA").execute().expect("query");
     println!("users in CA:");
     for r in q1.records() {
         println!("  {} @ {} ({})", r.get(0), r.get(1), r.get(2));
@@ -77,6 +68,22 @@ fn main() {
     let u101 = ds.get(&Value::Int(101)).expect("get").expect("present");
     println!("user 101 is now in {}", u101.get(1));
     assert_eq!(u101.get(1), &Value::Str("NY".into()));
+
+    // Q3: the same query as a bounded-memory stream — the shape to use
+    // when a range query's results may not fit in RAM.
+    let mut in_any_state = 0usize;
+    for record in ds
+        .query("location")
+        .range("AA", "ZZ")
+        .stream()
+        .expect("stream")
+    {
+        let record = record.expect("stream record");
+        std::hint::black_box(&record);
+        in_any_state += 1;
+    }
+    println!("records streamed over all locations: {in_any_state}");
+    assert_eq!(in_any_state, 3);
 
     println!(
         "simulated time spent: {:.3} ms",

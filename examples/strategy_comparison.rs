@@ -9,13 +9,11 @@
 //! query time, and (for Validation) the effect of running an index repair —
 //! a miniature of the paper's Section 6 story.
 
-use lsm_common::Value;
-use lsm_engine::query::{secondary_query, QueryOptions, ValidationMethod};
-use lsm_engine::{
-    full_repair, Dataset, DatasetConfig, RepairOptions, SecondaryIndexDef, StrategyKind,
-};
+use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
-use lsm_workload::{SelectivityQueries, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
+use lsm_workload::{
+    SelectivityQueries, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload,
+};
 
 fn build(strategy: StrategyKind, n: usize) -> Dataset {
     let dataset_bytes = n as u64 * 550;
@@ -33,23 +31,14 @@ fn build(strategy: StrategyKind, n: usize) -> Dataset {
     Dataset::open(storage, None, cfg).expect("dataset")
 }
 
-fn query_time(ds: &Dataset, validation: ValidationMethod) -> f64 {
+fn query_time(ds: &Dataset) -> f64 {
     let mut q = SelectivityQueries::new(3);
     let clock = ds.storage().clock();
     let t0 = clock.now_secs();
     for _ in 0..3 {
         let (lo, hi) = q.user_id_range(0.001);
-        let res = secondary_query(
-            ds,
-            "user_id",
-            Some(&Value::Int(lo)),
-            Some(&Value::Int(hi)),
-            &QueryOptions {
-                validation,
-                ..Default::default()
-            },
-        )
-        .expect("query");
+        // Validation is resolved from the dataset's strategy.
+        let res = ds.query("user_id").range(lo, hi).execute().expect("query");
         std::hint::black_box(res.len());
     }
     (clock.now_secs() - t0) / 3.0
@@ -81,18 +70,14 @@ fn main() {
         ds.flush_all().expect("flush");
         let ingest = clock.now_secs() - t0;
 
-        let validation = match strategy {
-            StrategyKind::Eager => ValidationMethod::None,
-            _ => ValidationMethod::Timestamp,
-        };
-        let q_before = query_time(&ds, validation);
+        let q_before = query_time(&ds);
 
         // Repair and re-measure (lazy strategies benefit; Eager is a no-op).
         let q_after = if strategy == StrategyKind::Eager {
             q_before
         } else {
-            full_repair(&ds, &RepairOptions::default(), false).expect("repair");
-            query_time(&ds, validation)
+            ds.maintenance().repair_all().expect("repair");
+            query_time(&ds)
         };
 
         println!(

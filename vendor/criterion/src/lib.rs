@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate: the subset used by this
+//! workspace (`Criterion`, benchmark groups, `iter` / `iter_batched`,
+//! `criterion_group!` / `criterion_main!`).
+//!
+//! Measurement is deliberately simple: per benchmark, run warm-up for the
+//! configured time, then `sample_size` samples and report mean/min/max
+//! wall-clock time per iteration. No statistics beyond that, no HTML
+//! reports, no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; the stand-in runs one routine call
+/// per setup either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// In test mode (`cargo test` passes `--test`) each benchmark runs once.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = self.clone();
+        run_one(&cfg, name, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(cfg: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: if cfg.test_mode {
+            1
+        } else {
+            cfg.sample_size.max(1)
+        },
+        warm_up: if cfg.test_mode {
+            Duration::ZERO
+        } else {
+            cfg.warm_up_time
+        },
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Handed to benchmark closures to time the hot code.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine(setup()));
+        }
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                t0.elapsed()
+            })
+            .collect();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::ZERO);
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .warm_up_time(Duration::ZERO);
+        let mut group = c.benchmark_group("g");
+        let mut setups = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(setups >= 4);
+    }
+}
