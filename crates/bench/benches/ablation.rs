@@ -13,8 +13,9 @@ use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_tree::{LevelingPolicy, MergePolicy, NoMergePolicy, TieringPolicy};
 use lsm_workload::{SelectivityQueries, TweetConfig, UpdateDistribution, UpsertWorkload};
+use std::sync::Arc;
 
-fn build(n: usize, bloom: BloomKind, with_merges: Option<&dyn MergePolicy>) -> (Env, Dataset) {
+fn build(n: usize, bloom: BloomKind, with_merges: Option<&dyn MergePolicy>) -> (Env, Arc<Dataset>) {
     let dataset_bytes = (n as u64) * 550;
     let env = Env::new(&EnvConfig {
         dataset_bytes,

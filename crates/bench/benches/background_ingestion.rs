@@ -1,0 +1,75 @@
+//! Figure 13-style variant: upsert ingestion with maintenance inline on
+//! the writer thread vs. on the background scheduler's worker pool.
+//!
+//! The paper's §5.3 machinery lets writers proceed while components are
+//! rebuilt; this bench measures what that buys: with inline maintenance
+//! every N-th upsert absorbs a full flush+merge, while in background mode
+//! the writer only enqueues work and stalls at the hard memory ceiling.
+//!
+//! Reported per variant: cumulative wall-clock seconds at 25/50/75/100% of
+//! the workload, wall seconds for the trailing quiesce (draining the queue
+//! — zero inline), and writer-side throughput. Background mode is the
+//! default configuration here; inline is the baseline it is compared
+//! against.
+
+use lsm_bench::{row, scaled, table_header, tweet_dataset_config, Env, EnvConfig};
+use lsm_engine::{Dataset, MaintenanceMode, StrategyKind};
+use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
+use std::sync::Arc;
+
+fn open(env: &Env, mode: MaintenanceMode, dataset_bytes: u64) -> Arc<Dataset> {
+    let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    cfg.maintenance = mode;
+    Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg).expect("dataset")
+}
+
+fn run(mode: MaintenanceMode, n: usize) -> (Vec<f64>, f64, f64) {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        ..Default::default()
+    });
+    let ds = open(&env, mode, dataset_bytes);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.5, UpdateDistribution::Uniform);
+    let start = std::time::Instant::now();
+    let mut series = Vec::new();
+    for i in 0..n {
+        let op = workload.next_op();
+        lsm_bench::apply(&ds, &op);
+        if (i + 1) % (n / 4).max(1) == 0 {
+            series.push(start.elapsed().as_secs_f64());
+        }
+    }
+    let ingest_wall = start.elapsed().as_secs_f64();
+    let q = std::time::Instant::now();
+    ds.maintenance().quiesce().expect("quiesce");
+    let quiesce_wall = q.elapsed().as_secs_f64();
+    let throughput = n as f64 / ingest_wall;
+    (series, quiesce_wall, throughput)
+}
+
+fn main() {
+    let n = scaled(60_000);
+    table_header(
+        "Figure 13 (background variant)",
+        &format!("upsert ingestion, inline vs background maintenance ({n} ops)"),
+        &["variant", "25%", "50%", "75%", "100%", "quiesce", "ops/s"],
+    );
+    for (label, mode) in [
+        (
+            "background-2w (default)",
+            MaintenanceMode::Background { workers: 2 },
+        ),
+        ("background-1w", MaintenanceMode::Background { workers: 1 }),
+        ("background-4w", MaintenanceMode::Background { workers: 4 }),
+        ("inline", MaintenanceMode::Inline),
+    ] {
+        let (series, quiesce, throughput) = run(mode, n);
+        let mut values = series;
+        values.push(quiesce);
+        values.push(throughput);
+        row(label, &values);
+    }
+}

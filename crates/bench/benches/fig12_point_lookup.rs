@@ -22,9 +22,10 @@ use lsm_bloom::BloomKind;
 use lsm_engine::query::{filter_scan_count, QueryOptions};
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, TweetConfig, TweetGenerator};
+use std::sync::Arc;
 
 struct Setup {
-    ds: Dataset,
+    ds: Arc<Dataset>,
     #[allow(dead_code)]
     env: Env,
 }

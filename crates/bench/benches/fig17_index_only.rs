@@ -12,6 +12,7 @@ use lsm_bench::{row, scaled, table_header, Env, EnvConfig, Timer};
 use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, UpdateDistribution};
+use std::sync::Arc;
 
 const SELECTIVITIES: [f64; 5] = [0.00001, 0.00005, 0.0001, 0.001, 0.01];
 const LABELS: [&str; 5] = ["0.001%", "0.005%", "0.01%", "0.1%", "1%"];
@@ -39,7 +40,12 @@ fn query_times(ds: &Dataset, validation: ValidationMethod) -> Vec<f64> {
         .collect()
 }
 
-fn prepare(strategy: StrategyKind, update_ratio: f64, n: usize, repair: bool) -> (Env, Dataset) {
+fn prepare(
+    strategy: StrategyKind,
+    update_ratio: f64,
+    n: usize,
+    repair: bool,
+) -> (Env, Arc<Dataset>) {
     let dataset_bytes = (n as u64) * 550;
     let env = Env::new(&EnvConfig {
         dataset_bytes,

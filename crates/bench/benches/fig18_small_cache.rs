@@ -10,10 +10,11 @@ use lsm_bench::{row, scaled, table_header, Env, EnvConfig, Timer};
 use lsm_engine::query::ValidationMethod;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::{SelectivityQueries, UpdateDistribution};
+use std::sync::Arc;
 
 const SELECTIVITIES: [f64; 6] = [0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.01];
 
-fn prepare(cache_fraction: f64, n: usize) -> (Env, Dataset) {
+fn prepare(cache_fraction: f64, n: usize) -> (Env, Arc<Dataset>) {
     let dataset_bytes = (n as u64) * 550;
     let env = Env::new(&EnvConfig {
         dataset_bytes,

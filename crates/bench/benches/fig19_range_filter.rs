@@ -16,11 +16,12 @@ use lsm_bench::{
 use lsm_engine::query::filter_scan_count;
 use lsm_engine::{Dataset, StrategyKind};
 use lsm_workload::UpdateDistribution;
+use std::sync::Arc;
 
 const DAYS: [i64; 5] = [1, 7, 30, 180, 365];
 const TOTAL_DAYS: i64 = 730;
 
-fn prepare(strategy: StrategyKind, update_ratio: f64, n: usize) -> (Env, Dataset, i64) {
+fn prepare(strategy: StrategyKind, update_ratio: f64, n: usize) -> (Env, Arc<Dataset>, i64) {
     let dataset_bytes = (n as u64) * 550;
     let env = Env::new(&EnvConfig {
         dataset_bytes,

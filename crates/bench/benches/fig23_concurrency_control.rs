@@ -46,11 +46,7 @@ fn load(per_comp: usize, record_bytes: usize) -> Setup {
         }
         ds.flush_all().expect("flush");
     }
-    Setup {
-        ds: Arc::new(ds),
-        gen,
-        env,
-    }
+    Setup { ds, gen, env }
 }
 
 /// Runs the merge under `method` with one writer thread upserting at max

@@ -1,0 +1,152 @@
+//! CI perf snapshot: ingest throughput and point-lookup latency, inline vs
+//! background maintenance, written as JSON so the perf trajectory
+//! accumulates across commits.
+//!
+//! ```sh
+//! cargo run -p lsm-bench --release --bin perf_snapshot
+//! ```
+//!
+//! Writes `BENCH_ingest.json` to the current directory (override the path
+//! with `BENCH_OUT`, the workload size with `LSM_BENCH_SCALE`). CI uploads
+//! the file as a build artifact.
+
+use lsm_bench::{pk_of, scale, scaled, tweet_dataset_config, Env, EnvConfig};
+use lsm_common::Value;
+use lsm_engine::{Dataset, MaintenanceMode, StrategyKind};
+use lsm_workload::{Op, TweetConfig, UpdateDistribution, UpsertWorkload};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct VariantResult {
+    mode: &'static str,
+    records: usize,
+    ingest_wall_secs: f64,
+    ingest_ops_per_sec: f64,
+    quiesce_wall_secs: f64,
+    lookup_wall_us: f64,
+    flushes: u64,
+    merges: u64,
+    flush_jobs: u64,
+    merge_jobs: u64,
+    backpressure_stalls: u64,
+}
+
+fn open(env: &Env, mode: MaintenanceMode, dataset_bytes: u64) -> Arc<Dataset> {
+    let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    cfg.maintenance = mode;
+    Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg).expect("dataset")
+}
+
+fn run(mode: &'static str, maintenance: MaintenanceMode, n: usize) -> VariantResult {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        ..Default::default()
+    });
+    let ds = open(&env, maintenance, dataset_bytes);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.5, UpdateDistribution::Uniform);
+
+    let mut probe_keys = Vec::new();
+    let start = Instant::now();
+    for i in 0..n {
+        let op = workload.next_op();
+        if i % 37 == 0 {
+            let r = match &op {
+                Op::Insert(r) | Op::Upsert(r) => r,
+            };
+            probe_keys.push(pk_of(r));
+        }
+        lsm_bench::apply(&ds, &op);
+    }
+    let ingest_wall_secs = start.elapsed().as_secs_f64();
+
+    let q = Instant::now();
+    ds.maintenance().quiesce().expect("quiesce");
+    let quiesce_wall_secs = q.elapsed().as_secs_f64();
+
+    let l = Instant::now();
+    let mut found = 0usize;
+    for pk in &probe_keys {
+        if ds.get(&Value::Int(*pk)).expect("lookup").is_some() {
+            found += 1;
+        }
+    }
+    assert!(found > 0, "lookups found no records");
+    let lookup_wall_us = l.elapsed().as_secs_f64() * 1e6 / probe_keys.len() as f64;
+
+    let snap = ds.stats().snapshot();
+    VariantResult {
+        mode,
+        records: n,
+        ingest_wall_secs,
+        ingest_ops_per_sec: n as f64 / ingest_wall_secs,
+        quiesce_wall_secs,
+        lookup_wall_us,
+        flushes: snap.flushes,
+        merges: snap.merges,
+        flush_jobs: snap.flush_jobs,
+        merge_jobs: snap.merge_jobs,
+        backpressure_stalls: snap.backpressure_stalls,
+    }
+}
+
+fn json_variant(v: &VariantResult) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"{}\",\n",
+            "      \"records\": {},\n",
+            "      \"ingest_wall_secs\": {:.4},\n",
+            "      \"ingest_ops_per_sec\": {:.1},\n",
+            "      \"quiesce_wall_secs\": {:.4},\n",
+            "      \"point_lookup_us\": {:.3},\n",
+            "      \"flushes\": {},\n",
+            "      \"merges\": {},\n",
+            "      \"flush_jobs\": {},\n",
+            "      \"merge_jobs\": {},\n",
+            "      \"backpressure_stalls\": {}\n",
+            "    }}"
+        ),
+        v.mode,
+        v.records,
+        v.ingest_wall_secs,
+        v.ingest_ops_per_sec,
+        v.quiesce_wall_secs,
+        v.lookup_wall_us,
+        v.flushes,
+        v.merges,
+        v.flush_jobs,
+        v.merge_jobs,
+        v.backpressure_stalls,
+    )
+}
+
+fn main() {
+    let n = scaled(40_000);
+    let variants = [
+        run("inline", MaintenanceMode::Inline, n),
+        run(
+            "background-2w",
+            MaintenanceMode::Background { workers: 2 },
+            n,
+        ),
+    ];
+    let body: Vec<String> = variants.iter().map(json_variant).collect();
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+        scale(),
+        body.join(",\n")
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
+    std::fs::write(&out, &json).expect("write snapshot");
+    println!("{json}");
+    for v in &variants {
+        eprintln!(
+            "{}: {:.0} ops/s ingest, {:.2}us lookup, {} stalls",
+            v.mode, v.ingest_ops_per_sec, v.lookup_wall_us, v.backpressure_stalls
+        );
+    }
+    eprintln!("wrote {out}");
+}

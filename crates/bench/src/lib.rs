@@ -118,7 +118,7 @@ pub fn tweet_dataset_config(
 }
 
 /// Opens a tweet dataset in `env`.
-pub fn open_tweet_dataset(env: &Env, cfg: DatasetConfig) -> Dataset {
+pub fn open_tweet_dataset(env: &Env, cfg: DatasetConfig) -> Arc<Dataset> {
     Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg)
         .expect("valid bench dataset")
 }
@@ -164,7 +164,7 @@ pub fn prepare_dataset(
     n: usize,
     update_ratio: f64,
     distribution: UpdateDistribution,
-) -> (Dataset, UpsertWorkload) {
+) -> (Arc<Dataset>, UpsertWorkload) {
     let cfg = tweet_dataset_config(strategy, dataset_bytes, 1);
     let ds = open_tweet_dataset(env, cfg);
     let mut workload = UpsertWorkload::new(TweetConfig::default(), update_ratio, distribution);

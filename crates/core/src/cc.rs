@@ -51,9 +51,19 @@ pub fn merge_primary_with_cc(
         .ok_or_else(|| Error::invalid("cc merge requires the primary key index"))?;
     let p_inputs = primary.components_in_range(range);
     let k_inputs = pk_tree.components_in_range(range);
-    assert_eq!(p_inputs.len(), k_inputs.len(), "correlated components");
+    if p_inputs.len() < 2 {
+        return Err(Error::invalid("cc merge needs at least two components"));
+    }
+    if p_inputs.len() != k_inputs.len() {
+        return Err(Error::corruption(format!(
+            "cc merge: primary range holds {} components, pk index {}",
+            p_inputs.len(),
+            k_inputs.len()
+        )));
+    }
     let drop_anti = primary.range_includes_oldest(range);
-    let id = ComponentId::merged(p_inputs.iter().map(|c| c.id())).expect("non-empty");
+    let id = ComponentId::merged(p_inputs.iter().map(|c| c.id()))
+        .ok_or_else(|| Error::invalid("cc merge inputs carry no component IDs"))?;
     let expected: u64 = p_inputs.iter().map(|c| c.num_entries()).sum();
 
     let mut p_builder = builder_for(ds, &p_inputs, id, expected, true)?;
@@ -167,8 +177,8 @@ pub fn merge_primary_with_cc(
     let new_p = Arc::new(p_builder.finish()?);
     let new_k = Arc::new(k_builder.finish()?);
     let bitmap = Arc::new(AtomicBitmap::new(n));
-    new_p.set_bitmap(bitmap.clone());
-    new_k.set_bitmap(bitmap.clone());
+    new_p.set_bitmap(bitmap.clone())?;
+    new_k.set_bitmap(bitmap.clone())?;
 
     {
         // Drain writers, absorb buffered deletes, publish the new component,

@@ -36,6 +36,28 @@ impl StrategyKind {
     }
 }
 
+/// Where structural maintenance (flushes and merges) runs.
+///
+/// The paper's concurrency-control machinery (Section 5.3) is designed so
+/// that writers proceed *while* components are rebuilt; this knob decides
+/// whether the rebuilds themselves happen on the writer's thread or on a
+/// pool of background workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Flush and merge synchronously on the ingesting thread when the
+    /// memory budget trips. Deterministic — the mode used by the simulated
+    /// (`sim_clock`) experiments and most tests.
+    Inline,
+    /// Enqueue flush/merge jobs on a
+    /// [`MaintenanceScheduler`](crate::MaintenanceScheduler) worker pool;
+    /// writers only stall when
+    /// memory exceeds the hard ceiling ([`DatasetConfig::memory_ceiling`]).
+    Background {
+        /// Worker threads in the pool (at least 1).
+        workers: usize,
+    },
+}
+
 /// Definition of one secondary index.
 #[derive(Debug, Clone)]
 pub struct SecondaryIndexDef {
@@ -109,6 +131,18 @@ pub struct DatasetConfig {
     /// Use Bloom filters of the primary key index to skip validation during
     /// repair (Section 4.4; requires correlated merges).
     pub repair_bloom_opt: bool,
+    /// Where flushes and merges run (inline on the writer, or on a
+    /// background worker pool).
+    pub maintenance: MaintenanceMode,
+    /// Hard memory ceiling for backpressure in background mode: writers
+    /// stall once active + flushing memory exceeds this. `None` defaults to
+    /// twice the memory budget. Ignored in inline mode (the writer flushes
+    /// before it can overshoot).
+    pub memory_ceiling: Option<usize>,
+    /// Concurrency-control method used when a *background* merge of
+    /// mutable-bitmap components races live writers (Section 5.3). Inline
+    /// merges need no coordination — there are no concurrent rebuilds.
+    pub cc_method: crate::cc::CcMethod,
 }
 
 impl DatasetConfig {
@@ -127,7 +161,17 @@ impl DatasetConfig {
             bloom_fpr: 0.01,
             merge_repair: true,
             repair_bloom_opt: false,
+            maintenance: MaintenanceMode::Inline,
+            memory_ceiling: None,
+            cc_method: crate::cc::CcMethod::SideFile,
         }
+    }
+
+    /// The effective backpressure ceiling (Background mode): configured
+    /// value, or twice the memory budget.
+    pub fn effective_memory_ceiling(&self) -> usize {
+        self.memory_ceiling
+            .unwrap_or_else(|| self.memory_budget.saturating_mul(2))
     }
 
     /// Validates internal consistency.
@@ -171,6 +215,18 @@ impl DatasetConfig {
             return Err(Error::invalid(
                 "the repair Bloom-filter optimization requires correlated merges",
             ));
+        }
+        if matches!(self.maintenance, MaintenanceMode::Background { workers: 0 }) {
+            return Err(Error::invalid(
+                "background maintenance requires at least one worker",
+            ));
+        }
+        if let Some(ceiling) = self.memory_ceiling {
+            if ceiling < self.memory_budget {
+                return Err(Error::invalid(
+                    "memory_ceiling must be at least the memory budget",
+                ));
+            }
         }
         Ok(())
     }
@@ -265,6 +321,27 @@ mod tests {
         assert!(c.validate().is_err());
         c.merge.correlated = true;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn background_mode_requires_workers() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        c.maintenance = MaintenanceMode::Background { workers: 0 };
+        assert!(c.validate().is_err());
+        c.maintenance = MaintenanceMode::Background { workers: 2 };
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn memory_ceiling_must_cover_budget() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        c.memory_budget = 1024;
+        c.memory_ceiling = Some(512);
+        assert!(c.validate().is_err());
+        c.memory_ceiling = Some(1024);
+        c.validate().unwrap();
+        c.memory_ceiling = None;
+        assert_eq!(c.effective_memory_ceiling(), 2048);
     }
 
     #[test]

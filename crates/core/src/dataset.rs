@@ -7,15 +7,16 @@
 //! sharing one memory budget so they always flush together. Component IDs
 //! are `(minTS, maxTS)` intervals over a per-dataset logical clock.
 
-use crate::config::{DatasetConfig, StrategyKind};
+use crate::config::{DatasetConfig, MaintenanceMode, StrategyKind};
 use crate::keys::{encode_pk, encode_sk_pk};
+use crate::scheduler::{MaintenanceScheduler, SchedulerShared};
 use crate::stats::EngineStats;
 use crate::txn::{LockManager, LogOp, LogRecord, Wal};
 use lsm_common::{Error, LogicalClock, Record, Result, Timestamp, Value};
 use lsm_storage::Storage;
 use lsm_tree::{locate_valid, point_lookup, LsmEntry, LsmOptions, LsmTree, MergeRange};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use parking_lot::{Mutex, RwLock};
+use std::sync::{Arc, Weak};
 
 /// One secondary index: definition + LSM-tree.
 pub struct SecondaryIndex {
@@ -45,6 +46,61 @@ pub struct Dataset {
     /// operations (Figure 11a): writers hold it shared per operation, the
     /// component builder takes it exclusively at phase boundaries.
     dataset_lock: RwLock<()>,
+    /// Serializes flushes (inline callers vs background workers): at most
+    /// one set of sealed memory snapshots exists at a time.
+    flush_mutex: Mutex<()>,
+    /// Serializes structural merges. Flushes and merges may overlap (a
+    /// flush only reads memory; a merge only reads disk components), but
+    /// two merges racing would work from stale component indices.
+    merge_mutex: Mutex<()>,
+    /// The background maintenance worker pool, when running.
+    scheduler: Mutex<Option<MaintenanceScheduler>>,
+    /// Lock-free handle to the scheduler's shared state (set once when the
+    /// pool starts) — the hot write path must not take a mutex per op.
+    sched_shared: std::sync::OnceLock<Arc<SchedulerShared>>,
+    /// Mutable-bitmap flushes: deletes of versions sitting in the sealed
+    /// (immutable, mid-flush) snapshot are routed here and applied to the
+    /// new component's bitmap before it becomes visible — the §5.3
+    /// side-file idea applied to flushes. `Some` while a flush is in
+    /// progress; transitions happen under the dataset drain lock.
+    flush_deletes: Mutex<Option<Vec<Vec<u8>>>>,
+    /// First error raised by a background maintenance job; surfaced to the
+    /// caller on the next write instead of aborting the worker's process.
+    poison: Mutex<Option<Error>>,
+    poisoned: std::sync::atomic::AtomicBool,
+    /// Weak handle to the `Arc` this dataset lives in, so the fluent
+    /// facade can hand worker threads a reference without keeping the
+    /// dataset alive forever.
+    self_ref: Weak<Dataset>,
+}
+
+/// Which index (or index group) a planned merge applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeTarget {
+    /// All of the dataset's indexes over the same range (the correlated
+    /// merge policy of Sections 4.4/5.1).
+    Correlated,
+    /// The primary index alone.
+    Primary,
+    /// The primary key index alone.
+    PkIndex,
+    /// The `i`-th secondary index (position in [`Dataset::secondaries`]).
+    Secondary(usize),
+}
+
+/// One unit of planned merge work: [`Dataset::plan_merges`] returns these
+/// instead of looping internally, so a scheduler can queue, dedup, and
+/// execute them on worker threads ([`Dataset::execute_merge_plan`]).
+///
+/// `range` uses oldest-first component indexing, which stays stable across
+/// concurrent flushes (flushes prepend at the *newest* end); only another
+/// merge invalidates a plan, and merges are serialized per dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MergePlan {
+    /// The index (group) to merge.
+    pub target: MergeTarget,
+    /// Component range to merge, oldest-first.
+    pub range: MergeRange,
 }
 
 impl std::fmt::Debug for Dataset {
@@ -56,14 +112,32 @@ impl std::fmt::Debug for Dataset {
     }
 }
 
+impl Drop for Dataset {
+    /// Graceful shutdown of the background worker pool: signal, drain
+    /// in-flight rebuilds, join. Runs when the last `Arc<Dataset>` drops —
+    /// possibly on a worker thread (a job holds a temporary strong
+    /// reference), which `shutdown_and_join` handles by detaching itself.
+    fn drop(&mut self) {
+        if let Some(sched) = self.scheduler.get_mut().take() {
+            sched.shutdown_and_join();
+        }
+    }
+}
+
 impl Dataset {
     /// Opens an empty dataset on `storage`, logging to `log_storage` if
     /// given (the paper dedicates a second disk to the WAL).
+    ///
+    /// Returns an [`Arc`] so the dataset can be shared with concurrent
+    /// writers and with the background maintenance workers of
+    /// [`MaintenanceMode::Background`] (which is started automatically when
+    /// configured). Dropping the last handle shuts the worker pool down
+    /// after draining in-flight rebuilds.
     pub fn open(
         storage: Arc<Storage>,
         log_storage: Option<Arc<Storage>>,
         cfg: DatasetConfig,
-    ) -> Result<Self> {
+    ) -> Result<Arc<Self>> {
         cfg.validate()?;
         let primary = LsmTree::new(
             storage.clone(),
@@ -107,7 +181,7 @@ impl Dataset {
                 ),
             })
             .collect();
-        Ok(Dataset {
+        let ds = Arc::new_cyclic(|weak| Dataset {
             primary,
             pk_index,
             secondaries,
@@ -117,9 +191,94 @@ impl Dataset {
             locks: LockManager::new(),
             recovering: std::sync::atomic::AtomicBool::new(false),
             dataset_lock: RwLock::new(()),
+            flush_mutex: Mutex::new(()),
+            merge_mutex: Mutex::new(()),
+            scheduler: Mutex::new(None),
+            sched_shared: std::sync::OnceLock::new(),
+            flush_deletes: Mutex::new(None),
+            poison: Mutex::new(None),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            self_ref: weak.clone(),
             storage,
             cfg,
-        })
+        });
+        if let MaintenanceMode::Background { workers } = ds.cfg.maintenance {
+            ds.start_background(workers)?;
+        }
+        Ok(ds)
+    }
+
+    // ---- background maintenance --------------------------------------------
+
+    /// Starts the background worker pool ([`Maintenance::background`]
+    /// (crate::Maintenance::background) is the public entry point).
+    pub(crate) fn start_background(&self, workers: usize) -> Result<()> {
+        if workers == 0 {
+            return Err(Error::invalid(
+                "background maintenance requires at least one worker",
+            ));
+        }
+        let arc = self
+            .self_ref
+            .upgrade()
+            .ok_or_else(|| Error::invalid("dataset is shutting down"))?;
+        let mut slot = self.scheduler.lock();
+        if slot.is_some() {
+            return Err(Error::invalid("background maintenance already running"));
+        }
+        let sched = MaintenanceScheduler::start(&arc, workers);
+        let _ = self.sched_shared.set(sched.shared().clone());
+        *slot = Some(sched);
+        Ok(())
+    }
+
+    /// The scheduler's shared state, when background maintenance runs
+    /// (lock-free: read on every write operation).
+    pub(crate) fn scheduler_shared(&self) -> Option<&Arc<SchedulerShared>> {
+        self.sched_shared.get()
+    }
+
+    /// True if a background worker pool is serving this dataset.
+    pub fn is_background(&self) -> bool {
+        self.sched_shared.get().is_some()
+    }
+
+    /// Records a fatal background-maintenance failure. The first error
+    /// wins; every subsequent write fails with it ("poisoned-state flag
+    /// surfaced on the next write") instead of the worker aborting the
+    /// process.
+    pub(crate) fn poison(&self, err: Error) {
+        {
+            let mut g = self.poison.lock();
+            if g.is_none() {
+                *g = Some(err);
+            }
+        }
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(shared) = self.scheduler_shared() {
+            shared.notify_stalled();
+        }
+    }
+
+    /// True once a background maintenance job has failed.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Errors if the dataset was poisoned by a failed background job.
+    pub fn check_poisoned(&self) -> Result<()> {
+        if !self.is_poisoned() {
+            return Ok(());
+        }
+        let cause = self
+            .poison
+            .lock()
+            .clone()
+            .unwrap_or_else(|| Error::invalid("unknown failure"));
+        Err(Error::invalid(format!(
+            "dataset poisoned by background maintenance: {cause}"
+        )))
     }
 
     // ---- accessors ---------------------------------------------------------
@@ -241,6 +400,7 @@ impl Dataset {
     /// Inserts a record; returns `false` if the primary key already exists
     /// (the key-uniqueness check of Section 3.1).
     pub fn insert(&self, record: &Record) -> Result<bool> {
+        self.check_poisoned()?;
         self.cfg.schema.check(record)?;
         let _ds = self.dataset_lock.read();
         let pk = self.pk_of(record);
@@ -293,6 +453,7 @@ impl Dataset {
     /// was removed (the lazy strategies apply deletes blindly and return
     /// `true` unconditionally).
     pub fn delete(&self, pk: &Value) -> Result<bool> {
+        self.check_poisoned()?;
         let _ds = self.dataset_lock.read();
         let pk_key = encode_pk(pk);
         self.locks.lock_exclusive(&pk_key);
@@ -366,6 +527,7 @@ impl Dataset {
 
     /// Upserts a record (insert-or-replace).
     pub fn upsert(&self, record: &Record) -> Result<()> {
+        self.check_poisoned()?;
         self.cfg.schema.check(record)?;
         let _ds = self.dataset_lock.read();
         let pk = self.pk_of(record);
@@ -381,6 +543,7 @@ impl Dataset {
     /// Upsert without the flush/merge check (used by concurrent-writer
     /// benchmarks that must not trigger reentrant structural operations).
     pub fn upsert_no_maintenance(&self, record: &Record) -> Result<()> {
+        self.check_poisoned()?;
         self.cfg.schema.check(record)?;
         let _ds = self.dataset_lock.read();
         let pk = self.pk_of(record);
@@ -532,21 +695,41 @@ impl Dataset {
     /// rebuilding the containing component, the delete is also routed to the
     /// successor (Section 5.3).
     fn mark_old_version_deleted(&self, pk_key: &[u8]) -> Result<bool> {
-        // An old version still in the memory component needs no bitmap work:
-        // the new memory entry replaces it outright.
-        if self.primary.mem_get(pk_key).is_some_and(|e| !e.anti_matter) {
-            return Ok(false);
+        // An old version still in the ACTIVE memory component needs no
+        // bitmap work: the new memory entry replaces it outright. (An
+        // active anti-matter entry means the key is already deleted there;
+        // fall through to the disk probe, as the merged-view check did.)
+        match self.primary.mem_get_active(pk_key) {
+            Some(e) if !e.anti_matter => return Ok(false),
+            Some(_) => {}
+            None => {
+                // An old version caught in the sealed (mid-flush) snapshot
+                // is immutable and will reach disk with its bit unset, so
+                // the delete is routed through the flush side-file and
+                // applied before the new component becomes visible.
+                // Writers hold the dataset read lock across this check and
+                // the side-file closes under the write lock, so the append
+                // cannot race the close.
+                if self
+                    .primary
+                    .sealed_get(pk_key)
+                    .is_some_and(|e| !e.anti_matter)
+                    && self.append_flush_delete(pk_key)
+                {
+                    return Ok(true);
+                }
+            }
         }
         let pk_tree = self
             .pk_index
             .as_ref()
-            .expect("mutable-bitmap requires the pk index");
+            .ok_or_else(|| Error::invalid("mutable-bitmap requires the primary key index"))?;
         let Some((comp, ordinal, _)) = locate_valid(pk_tree, pk_key)? else {
             return Ok(false);
         };
         let bitmap = comp
             .bitmap()
-            .expect("mutable-bitmap components carry bitmaps");
+            .ok_or_else(|| Error::corruption("mutable-bitmap component carries no bitmap"))?;
         bitmap.set(ordinal);
         // Concurrency control for an in-progress flush/merge (Section 5.3):
         // the delete must also reach the successor component.
@@ -568,9 +751,47 @@ impl Dataset {
         Ok(true)
     }
 
+    /// The flush serialization lock — engine paths that flush individual
+    /// trees directly (repair's anti-matter flush) hold this so they never
+    /// race a dataset-wide flush that has snapshots sealed.
+    pub(crate) fn flush_serialization(&self) -> &Mutex<()> {
+        &self.flush_mutex
+    }
+
+    /// The merge serialization lock — engine paths that splice component
+    /// lists outside [`Dataset::run_merges`] (repair-with-merge) hold this
+    /// so they never race a background merge.
+    pub(crate) fn merge_serialization(&self) -> &Mutex<()> {
+        &self.merge_mutex
+    }
+
+    /// Plans the policy's current merge work and enqueues it on `shared`,
+    /// counting each job actually added.
+    pub(crate) fn schedule_planned_merges(&self, shared: &SchedulerShared) {
+        for plan in self.plan_merges() {
+            if shared.schedule_merge(plan) {
+                self.stats.bump(&self.stats.jobs_enqueued);
+            }
+        }
+    }
+
+    /// Appends a deleted key to the flush side-file, if one is open.
+    fn append_flush_delete(&self, pk_key: &[u8]) -> bool {
+        let mut guard = self.flush_deletes.lock();
+        match guard.as_mut() {
+            Some(keys) => {
+                keys.push(pk_key.to_vec());
+                true
+            }
+            None => false,
+        }
+    }
+
     // ---- structural maintenance ---------------------------------------------
 
-    /// Combined memory-component usage across all indexes.
+    /// Combined *active* memory-component usage across all indexes — the
+    /// flush-trigger metric (snapshots sealed for an in-progress flush are
+    /// counted by [`Dataset::mem_unflushed_bytes`] instead).
     pub fn mem_total_bytes(&self) -> usize {
         let mut total = self.primary.mem_bytes();
         if let Some(pk_tree) = &self.pk_index {
@@ -582,68 +803,313 @@ impl Dataset {
         total
     }
 
+    /// Combined unflushed memory (active + sealed-for-flush components):
+    /// the backpressure metric. Exceeding the hard ceiling stalls writers
+    /// until a background flush frees memory.
+    pub fn mem_unflushed_bytes(&self) -> usize {
+        self.mem_usage().1
+    }
+
+    /// `(active, active + sealed)` bytes across all indexes, in one pass.
+    fn mem_usage(&self) -> (usize, usize) {
+        let mut active = self.primary.mem_bytes();
+        let mut sealed = self.primary.sealed_bytes();
+        if let Some(pk_tree) = &self.pk_index {
+            active += pk_tree.mem_bytes();
+            sealed += pk_tree.sealed_bytes();
+        }
+        for sec in &self.secondaries {
+            active += sec.tree.mem_bytes();
+            sealed += sec.tree.sealed_bytes();
+        }
+        (active, active + sealed)
+    }
+
     fn maybe_flush_and_merge(&self) -> Result<()> {
-        if self.mem_total_bytes() > self.cfg.memory_budget {
-            self.flush_all()?;
-            self.run_merges()?;
+        let Some(shared) = self.scheduler_shared() else {
+            // Inline mode: the writer pays for maintenance synchronously.
+            if self.mem_total_bytes() > self.cfg.memory_budget {
+                self.flush_all()?;
+                self.run_merges()?;
+            }
+            return Ok(());
+        };
+        // Background mode: enqueue (deduped) and keep going; stall only at
+        // the hard ceiling, preserving the shared-memory-budget semantics.
+        let (active, unflushed) = self.mem_usage();
+        if active > self.cfg.memory_budget {
+            if shared.schedule_flush() {
+                self.stats.bump(&self.stats.jobs_enqueued);
+            }
+            self.stats.queue_depth.store(
+                shared.queue_depth() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
+        let ceiling = self.cfg.effective_memory_ceiling();
+        if unflushed > ceiling {
+            self.stats.bump(&self.stats.backpressure_stalls);
+            shared.stall_until(|| self.mem_unflushed_bytes() <= ceiling || self.is_poisoned());
+            self.check_poisoned()?;
         }
         Ok(())
     }
 
     /// Flushes all memory components together (they share the budget, as in
     /// AsterixDB). Returns `true` if anything was flushed.
+    ///
+    /// Concurrency: the memory components are sealed atomically under the
+    /// dataset drain lock (no operation is ever split across the seal), and
+    /// the disk components are then built without blocking writers — they
+    /// fill fresh memory components while the sealed snapshots stay
+    /// readable. A per-dataset flush lock serializes overlapping calls.
     pub fn flush_all(&self) -> Result<bool> {
-        let primary_comp = self.primary.flush()?;
+        let _flush = self.flush_mutex.lock();
+        let mutable_bitmap = self.cfg.strategy == StrategyKind::MutableBitmap;
+        // Complete a previous failed attempt first: snapshots it left
+        // sealed would otherwise block sealing forever (transient build
+        // errors must stay retryable). The Mutable-bitmap side-file stays
+        // OPEN across a failure — the sealed versions are still visible,
+        // so writers must keep routing their deletes — and the retry
+        // applies everything accumulated.
+        let mut flushed = false;
+        if self.has_sealed_pending() {
+            flushed |= self.build_and_install_sealed(mutable_bitmap)?;
+        }
+        {
+            let _drain = self.dataset_lock.write();
+            let mut any = self.primary.seal_mem()?;
+            if let Some(pk_tree) = &self.pk_index {
+                any |= pk_tree.seal_mem()?;
+            }
+            for sec in &self.secondaries {
+                any |= sec.tree.seal_mem()?;
+            }
+            if any && mutable_bitmap {
+                // Open the flush side-file: deletes of versions caught in
+                // the sealed snapshots are routed here (§5.3 applied to
+                // flushes) and applied before the new component is
+                // published.
+                *self.flush_deletes.lock() = Some(Vec::new());
+            }
+            if !any {
+                if flushed {
+                    self.note_flush_durable()?;
+                }
+                return Ok(flushed);
+            }
+        }
+        flushed |= self.build_and_install_sealed(mutable_bitmap)?;
+        if flushed {
+            self.note_flush_durable()?;
+        }
+        Ok(flushed)
+    }
+
+    /// True if any index has a snapshot sealed (an in-progress or failed
+    /// flush).
+    fn has_sealed_pending(&self) -> bool {
+        self.primary.has_sealed()
+            || self.pk_index.as_ref().is_some_and(|t| t.has_sealed())
+            || self.secondaries.iter().any(|s| s.tree.has_sealed())
+    }
+
+    /// Builds and installs whatever is sealed, per strategy.
+    fn build_and_install_sealed(&self, mutable_bitmap: bool) -> Result<bool> {
+        if mutable_bitmap {
+            // Make sure the side-file is open before (re)building: a retry
+            // after a failure must capture deletes routed meanwhile.
+            {
+                let _drain = self.dataset_lock.write();
+                let mut side = self.flush_deletes.lock();
+                if side.is_none() {
+                    *side = Some(Vec::new());
+                }
+            }
+            self.flush_sealed_mutable_bitmap()
+        } else {
+            let primary_comp = self.primary.flush_sealed()?;
+            if let Some(pk_tree) = &self.pk_index {
+                pk_tree.flush_sealed()?;
+            }
+            for sec in &self.secondaries {
+                sec.tree.flush_sealed()?;
+            }
+            Ok(primary_comp.is_some())
+        }
+    }
+
+    /// Post-flush bookkeeping: count it and force the WAL (flushed
+    /// components only ever contain committed operations).
+    fn note_flush_durable(&self) -> Result<()> {
+        self.stats.bump(&self.stats.flushes);
+        if let Some(wal) = &self.wal {
+            wal.force()?;
+        }
+        Ok(())
+    }
+
+    /// The Mutable-bitmap flush: build the primary and pk-index components,
+    /// share the primary's bitmap (Section 5.1 — both sealed under one
+    /// drain lock, so entries are pk-ordered with coinciding ordinals),
+    /// then atomically — under the drain lock, with no writer mid-op —
+    /// close the flush side-file, mark the routed deletes in the new
+    /// bitmap, and publish both components. A concurrent delete probe
+    /// therefore either appends to the open side-file or sees the fully
+    /// installed component; it can never lose its mark.
+    fn flush_sealed_mutable_bitmap(&self) -> Result<bool> {
+        let primary_comp = self.primary.build_sealed()?;
         let pk_comp = match &self.pk_index {
-            Some(t) => t.flush()?,
+            Some(t) => t.build_sealed()?,
             None => None,
         };
         for sec in &self.secondaries {
-            sec.tree.flush()?;
+            sec.tree.flush_sealed()?;
         }
-        // Mutable-bitmap: the primary and pk-index components formed by one
-        // flush share a single bitmap (Section 5.1) — entries of both are
-        // pk-ordered, so ordinals coincide.
-        if self.cfg.strategy == StrategyKind::MutableBitmap {
-            if let (Some(p), Some(k)) = (&primary_comp, &pk_comp) {
-                assert_eq!(p.num_entries(), k.num_entries());
-                k.set_bitmap(p.bitmap().expect("primary flush makes a bitmap"));
+        if let (Some(p), Some(k)) = (&primary_comp, &pk_comp) {
+            let bitmap = p
+                .bitmap()
+                .ok_or_else(|| Error::corruption("primary flush produced no bitmap"))?;
+            k.set_bitmap(bitmap)?;
+        }
+        let _drain = self.dataset_lock.write();
+        let routed = self.flush_deletes.lock().take().unwrap_or_default();
+        if let Some(p) = &primary_comp {
+            if let Some(bitmap) = p.bitmap() {
+                for key in &routed {
+                    if let Some((_, ordinal)) = p.search(key)? {
+                        bitmap.set(ordinal);
+                    }
+                }
             }
         }
-        if primary_comp.is_some() {
-            self.stats.bump(&self.stats.flushes);
-            if let Some(wal) = &self.wal {
-                wal.force()?;
-            }
+        if let Some(p) = &primary_comp {
+            self.primary.install_sealed(p.clone());
+        }
+        if let (Some(pk_tree), Some(k)) = (&self.pk_index, pk_comp) {
+            pk_tree.install_sealed(k);
         }
         Ok(primary_comp.is_some())
     }
 
-    /// Runs policy-driven merges until quiescent.
-    pub fn run_merges(&self) -> Result<()> {
+    /// Applies the merge policy to the current component lists and returns
+    /// the work it calls for — one plan per index (or one correlated plan)
+    /// — without executing anything. Schedulers queue these; inline callers
+    /// use [`Dataset::run_merges`], which plans and executes to quiescence.
+    pub fn plan_merges(&self) -> Vec<MergePlan> {
         let policy = self.cfg.merge.policy();
+        let mut plans = Vec::new();
         if self.cfg.requires_correlated_merges() {
-            while let Some(range) = self.primary.select_merge(&policy) {
-                self.merge_correlated(range)?;
+            if let Some(range) = self.primary.select_merge(&policy) {
+                plans.push(MergePlan {
+                    target: MergeTarget::Correlated,
+                    range,
+                });
             }
         } else {
-            while let Some(range) = self.primary.select_merge(&policy) {
-                self.primary.merge_range(range)?;
-                self.stats.bump(&self.stats.merges);
+            if let Some(range) = self.primary.select_merge(&policy) {
+                plans.push(MergePlan {
+                    target: MergeTarget::Primary,
+                    range,
+                });
             }
             if let Some(pk_tree) = &self.pk_index {
-                while let Some(range) = pk_tree.select_merge(&policy) {
-                    pk_tree.merge_range(range)?;
-                    self.stats.bump(&self.stats.merges);
+                if let Some(range) = pk_tree.select_merge(&policy) {
+                    plans.push(MergePlan {
+                        target: MergeTarget::PkIndex,
+                        range,
+                    });
                 }
             }
-            for sec in &self.secondaries {
-                while let Some(range) = sec.tree.select_merge(&policy) {
-                    self.merge_secondary(sec, range)?;
+            for (i, sec) in self.secondaries.iter().enumerate() {
+                if let Some(range) = sec.tree.select_merge(&policy) {
+                    plans.push(MergePlan {
+                        target: MergeTarget::Secondary(i),
+                        range,
+                    });
                 }
             }
         }
-        Ok(())
+        plans
+    }
+
+    /// Executes one planned merge, serialized against all other merges on
+    /// this dataset. Returns `false` (doing nothing) when the plan went
+    /// stale — its range no longer fits the component list because another
+    /// merge got there first.
+    ///
+    /// Under background maintenance, a correlated merge of a Mutable-bitmap
+    /// dataset races live writers that mutate the very bitmaps being
+    /// merged, so it runs through the Section 5.3 concurrency-control path
+    /// ([`crate::cc::merge_primary_with_cc`]) with the configured
+    /// [`CcMethod`](crate::cc::CcMethod); inline merges have no concurrent
+    /// rebuild and use the plain path.
+    pub fn execute_merge_plan(&self, plan: &MergePlan) -> Result<bool> {
+        let _merges = self.merge_mutex.lock();
+        self.execute_merge_plan_locked(plan)
+    }
+
+    fn execute_merge_plan_locked(&self, plan: &MergePlan) -> Result<bool> {
+        let stale = |tree: &LsmTree| tree.num_disk_components() <= plan.range.end;
+        match plan.target {
+            MergeTarget::Correlated => {
+                if stale(&self.primary) {
+                    return Ok(false);
+                }
+                if self.cfg.strategy == StrategyKind::MutableBitmap && self.is_background() {
+                    crate::cc::merge_primary_with_cc(self, plan.range, self.cfg.cc_method)?;
+                    for sec in &self.secondaries {
+                        if !stale(&sec.tree) {
+                            self.merge_secondary(sec, plan.range)?;
+                        }
+                    }
+                } else {
+                    self.merge_correlated(plan.range)?;
+                }
+            }
+            MergeTarget::Primary => {
+                if stale(&self.primary) {
+                    return Ok(false);
+                }
+                self.primary.merge_range(plan.range)?;
+                self.stats.bump(&self.stats.merges);
+            }
+            MergeTarget::PkIndex => {
+                let Some(pk_tree) = &self.pk_index else {
+                    return Ok(false);
+                };
+                if stale(pk_tree) {
+                    return Ok(false);
+                }
+                pk_tree.merge_range(plan.range)?;
+                self.stats.bump(&self.stats.merges);
+            }
+            MergeTarget::Secondary(i) => {
+                let Some(sec) = self.secondaries.get(i) else {
+                    return Ok(false);
+                };
+                if stale(&sec.tree) {
+                    return Ok(false);
+                }
+                self.merge_secondary(sec, plan.range)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs policy-driven merges until quiescent. Merges are serialized per
+    /// dataset (they re-index components); flushes may proceed in parallel.
+    pub fn run_merges(&self) -> Result<()> {
+        let _merges = self.merge_mutex.lock();
+        loop {
+            let plans = self.plan_merges();
+            if plans.is_empty() {
+                return Ok(());
+            }
+            for plan in &plans {
+                self.execute_merge_plan_locked(plan)?;
+            }
+        }
     }
 
     /// Merges all of the dataset's indexes over the same component range
@@ -656,8 +1122,17 @@ impl Dataset {
                 let new_pk = pk_tree.merge_range(range)?;
                 self.stats.bump(&self.stats.merges);
                 if self.cfg.strategy == StrategyKind::MutableBitmap {
-                    assert_eq!(new_primary.num_entries(), new_pk.num_entries());
-                    new_pk.set_bitmap(new_primary.bitmap().expect("merged primary has a bitmap"));
+                    if new_primary.num_entries() != new_pk.num_entries() {
+                        return Err(Error::corruption(format!(
+                            "correlated merge misalignment: primary has {} entries, pk index {}",
+                            new_primary.num_entries(),
+                            new_pk.num_entries()
+                        )));
+                    }
+                    let bitmap = new_primary
+                        .bitmap()
+                        .ok_or_else(|| Error::corruption("merged primary has no bitmap"))?;
+                    new_pk.set_bitmap(bitmap)?;
                 }
             }
         }
@@ -680,7 +1155,10 @@ impl Dataset {
         };
         if repair {
             let mode = self.cfg.default_repair_mode();
-            let pk_tree = self.pk_index.as_ref().expect("repair needs the pk index");
+            let pk_tree = self
+                .pk_index
+                .as_ref()
+                .ok_or_else(|| Error::invalid("merge repair requires the primary key index"))?;
             merge_repair(
                 &sec.tree,
                 pk_tree,
@@ -739,7 +1217,7 @@ mod tests {
         cfg
     }
 
-    fn dataset(strategy: StrategyKind) -> Dataset {
+    fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
         Dataset::open(Storage::new(StorageOptions::test()), None, config(strategy)).unwrap()
     }
 
@@ -852,6 +1330,43 @@ mod tests {
             ds.get(&Value::Int(101)).unwrap().unwrap(),
             rec(101, "NY", 2018)
         );
+    }
+
+    #[test]
+    fn mutable_bitmap_delete_during_flush_window_is_routed() {
+        // Reproduce the background-flush race deterministically: seal the
+        // memory components (what flush_all does before building), delete a
+        // sealed version mid-window, then finish the flush. The delete must
+        // reach the new component's bitmap via the flush side-file.
+        let ds = dataset(StrategyKind::MutableBitmap);
+        ds.insert(&rec(1, "CA", 2015)).unwrap();
+        ds.insert(&rec(2, "NY", 2016)).unwrap();
+        {
+            let _drain = ds.dataset_lock.write();
+            ds.primary.seal_mem().unwrap();
+            ds.pk_index.as_ref().unwrap().seal_mem().unwrap();
+            for sec in &ds.secondaries {
+                sec.tree.seal_mem().unwrap();
+            }
+            *ds.flush_deletes.lock() = Some(Vec::new());
+        }
+        // The old version of key 1 now sits in the immutable sealed
+        // snapshot: the delete must be routed, not dropped.
+        ds.delete(&Value::Int(1)).unwrap();
+        assert_eq!(ds.flush_deletes.lock().as_ref().unwrap().len(), 1);
+        ds.flush_sealed_mutable_bitmap().unwrap();
+        assert!(ds.flush_deletes.lock().is_none(), "side-file closed");
+
+        let comp = &ds.primary().disk_components()[0];
+        assert_eq!(comp.bitmap().unwrap().count_set(), 1);
+        let (_, ordinal) = comp.search(&encode_pk(&Value::Int(1))).unwrap().unwrap();
+        assert!(!comp.is_valid(ordinal), "routed delete marked the bit");
+        assert!(ds.get(&Value::Int(1)).unwrap().is_none());
+        assert!(ds.get(&Value::Int(2)).unwrap().is_some());
+        // The MB filter scan counts without reconciliation — exactly the
+        // path that would overcount if the bit were missed.
+        let report = crate::query::filter_scan::filter_scan_count(&ds, None, None).unwrap();
+        assert_eq!(report.matches, 1);
     }
 
     #[test]

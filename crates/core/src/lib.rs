@@ -79,6 +79,33 @@
 //! for mutable bitmaps implements both the Lock and Side-file methods
 //! (§5.3).
 //!
+//! ## Background maintenance
+//!
+//! Structural maintenance (flush + merge) runs in one of two modes
+//! ([`MaintenanceMode`], configured per dataset):
+//!
+//! * **`Inline`** (default): the writer that trips the memory budget pays
+//!   for the flush and the follow-up merges synchronously. Deterministic,
+//!   used by the `sim_clock` experiments and most tests.
+//! * **`Background { workers }`**: a [`MaintenanceScheduler`] worker pool
+//!   owns the rebuilds. Writers only *enqueue* jobs — one flush job per
+//!   dataset, merge jobs deduped by `(target, range)` — and the §5.3
+//!   machinery (`BuildLink` redirection, bitmap sharing before
+//!   installation, retire-on-drop components) makes concurrent writes
+//!   during rebuilds correct. Activate it via
+//!   `ds.maintenance().background(n)` or by opening the dataset with the
+//!   mode preset; `ds.maintenance().quiesce()` drains the queue, and
+//!   `flush_now()` forces a synchronous flush in either mode.
+//!
+//! The **backpressure contract**: writers never block on the queue.
+//! Crossing the memory *budget* only schedules a flush; a writer stalls
+//! solely when active + flushing memory exceeds the hard *ceiling*
+//! (`DatasetConfig::memory_ceiling`, default 2× the budget), and resumes
+//! as soon as a flush frees memory. A failed or panicked job **poisons**
+//! the dataset — the next write (and `quiesce`) returns the stored error
+//! instead of the process aborting; queue depth, executed job, and stall
+//! counts are exposed through [`EngineStats`].
+//!
 //! # Deprecation path
 //!
 //! The historical free functions — [`query::secondary_query`],
@@ -95,16 +122,18 @@ pub mod maintenance;
 pub mod query;
 pub mod recovery;
 pub mod repair;
+pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
-pub use config::{DatasetConfig, MergeConfig, SecondaryIndexDef, StrategyKind};
-pub use dataset::{Dataset, SecondaryIndex};
+pub use config::{DatasetConfig, MaintenanceMode, MergeConfig, SecondaryIndexDef, StrategyKind};
+pub use dataset::{Dataset, MergePlan, MergeTarget, SecondaryIndex};
 pub use maintenance::{Maintenance, RepairPlan};
 pub use query::{
     PreparedQuery, QueryBuilder, QueryOptions, QueryResult, RecordStream, ValidationMethod,
 };
 pub use repair::{RepairMode, RepairOptions, RepairReport};
+pub use scheduler::MaintenanceScheduler;
 pub use stats::{EngineStats, EngineStatsSnapshot};
 
 // Deprecated free functions, re-exported for backwards compatibility.

@@ -67,14 +67,55 @@ impl<'a> Maintenance<'a> {
         self.plan().repair_primary()
     }
 
-    /// Flushes all memory components together.
+    /// Flushes all memory components together (alias of
+    /// [`Maintenance::flush_now`]: synchronous in either maintenance mode,
+    /// handing follow-up merges to the background pool when one runs).
     pub fn flush(&self) -> Result<bool> {
-        self.ds.flush_all()
+        self.flush_now()
     }
 
     /// Runs policy-driven merges until quiescent.
     pub fn run_merges(&self) -> Result<()> {
         self.ds.run_merges()
+    }
+
+    // ---- background maintenance -------------------------------------------
+
+    /// Moves maintenance off the writer's critical path: spawns a pool of
+    /// `workers` background threads that execute flush and merge jobs.
+    /// Writers then only *enqueue* work when the memory budget trips, and
+    /// stall solely at the hard ceiling
+    /// ([`DatasetConfig::memory_ceiling`](crate::DatasetConfig)). Errors if
+    /// a pool is already running or `workers` is zero.
+    ///
+    /// Datasets opened with
+    /// [`MaintenanceMode::Background`](crate::MaintenanceMode) start their
+    /// pool automatically.
+    pub fn background(&self, workers: usize) -> Result<()> {
+        self.ds.start_background(workers)
+    }
+
+    /// Blocks until the background queue is drained and every in-flight
+    /// flush/merge has completed (a no-op in inline mode), then surfaces
+    /// any background failure. The dataset is structurally quiescent
+    /// afterwards — the state multi-threaded tests verify against.
+    pub fn quiesce(&self) -> Result<()> {
+        if let Some(shared) = self.ds.scheduler_shared() {
+            shared.wait_idle();
+        }
+        self.ds.maintenance_stats_refresh();
+        self.ds.check_poisoned()
+    }
+
+    /// Flushes synchronously on the calling thread regardless of mode,
+    /// handing any follow-up merge work to the background pool when one is
+    /// running. Returns `true` if anything was flushed.
+    pub fn flush_now(&self) -> Result<bool> {
+        let flushed = self.ds.flush_all()?;
+        if let Some(shared) = self.ds.scheduler_shared() {
+            self.ds.schedule_planned_merges(shared);
+        }
+        Ok(flushed)
     }
 }
 
@@ -150,6 +191,10 @@ impl RepairPlan<'_> {
             .pk_index()
             .ok_or_else(|| Error::invalid("index repair requires the primary key index"))?;
         if self.with_merge {
+            // Merge-repair splices the index's component list, so it must
+            // not race a background merge; the count is derived under the
+            // same lock.
+            let _merges = self.ds.merge_serialization().lock();
             let n = sec.tree.num_disk_components();
             if n == 0 {
                 return Ok(RepairReport::default());

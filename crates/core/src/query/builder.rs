@@ -4,7 +4,7 @@
 //! The builder's job is to make queries **correct by construction** across
 //! all four maintenance strategies: unless the caller overrides it, the
 //! candidate-validation method (Section 4.3) is resolved from the dataset's
-//! [`StrategyKind`](crate::StrategyKind) at [`QueryBuilder::build`] time:
+//! [`StrategyKind`] at [`QueryBuilder::build`] time:
 //!
 //! | strategy          | index-only  | record-fetching            |
 //! |-------------------|-------------|----------------------------|

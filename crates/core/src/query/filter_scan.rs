@@ -54,14 +54,19 @@ pub fn filter_scan_count(
         .filter_field
         .ok_or_else(|| lsm_common::Error::invalid("dataset has no filter field"))?;
     let primary = ds.primary();
-    let comps = primary.disk_components();
     // Filter scans read the full primary-key range; pruning happens per
     // component through the range filters on the *filter* key.
     let (scan_lo, scan_hi): (Bound<&[u8]>, Bound<&[u8]>) = (Bound::Unbounded, Bound::Unbounded);
-    let mem_overlaps = {
-        let mem_filter = primary.mem_filter();
-        primary.mem_len() > 0 && overlaps(mem_filter.as_ref(), lo, hi)
-    };
+    // Atomic memory+disk capture: an entry mid-flush appears in exactly
+    // one of the two, which the Mutable-bitmap branch (no reconciliation)
+    // depends on — a separate capture could see it twice or not at all.
+    // The memory prune is evaluated under the capture locks against the
+    // filter describing the captured entries (the live filter would be
+    // wrong: a flush may have rotated the memtable in between).
+    let (mem_snapshot, comps) =
+        primary.mem_and_disk_snapshot_if(scan_lo, scan_hi, |f| overlaps(f, lo, hi));
+    let mem_all = mem_snapshot.unwrap_or_default();
+    let mem_overlaps = !mem_all.is_empty();
 
     let mut report = FilterScanReport::default();
     let matches_pred = |record: &Record| -> bool {
@@ -79,7 +84,7 @@ pub fn filter_scan_count(
                 .collect();
             report.components_scanned = included.len() as u64;
             report.components_pruned = (comps.len() - included.len()) as u64;
-            let mem = mem_overlaps.then(|| primary.mem_snapshot_range(scan_lo, scan_hi));
+            let mem = mem_overlaps.then_some(mem_all);
             let mut matches = 0u64;
             scan_components_sequential(mem, &included, |_k, e| {
                 if let Ok(r) = Record::decode(&e.value) {
@@ -99,7 +104,7 @@ pub fn filter_scan_count(
                 .collect();
             report.components_scanned = included.len() as u64;
             report.components_pruned = (comps.len() - included.len()) as u64;
-            let mem = mem_overlaps.then(|| primary.mem_snapshot_range(scan_lo, scan_hi));
+            let mem = mem_overlaps.then_some(mem_all);
             let mut scan = LsmScan::new(
                 ds.storage().clone(),
                 mem,
@@ -127,8 +132,7 @@ pub fn filter_scan_count(
             report.components_scanned = included.len() as u64;
             report.components_pruned = (comps.len() - included.len()) as u64;
             let include_mem = mem_overlaps || !included.is_empty();
-            let mem = (include_mem && primary.mem_len() > 0)
-                .then(|| primary.mem_snapshot_range(scan_lo, scan_hi));
+            let mem = (include_mem && !mem_all.is_empty()).then_some(mem_all);
             let mut scan = LsmScan::new(
                 ds.storage().clone(),
                 mem,
@@ -153,8 +157,9 @@ mod tests {
     use crate::config::{DatasetConfig, StrategyKind};
     use lsm_common::{FieldType, Schema};
     use lsm_storage::{Storage, StorageOptions};
+    use std::sync::Arc;
 
-    fn dataset(strategy: StrategyKind) -> Dataset {
+    fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
         let schema = Schema::new(vec![("id", FieldType::Int), ("time", FieldType::Int)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);
         cfg.strategy = strategy;

@@ -162,8 +162,9 @@ mod tests {
     use crate::config::{DatasetConfig, SecondaryIndexDef, StrategyKind};
     use lsm_common::{FieldType, Schema};
     use lsm_storage::{Storage, StorageOptions};
+    use std::sync::Arc;
 
-    fn dataset(strategy: StrategyKind) -> Dataset {
+    fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
         let schema =
             Schema::new(vec![("id", FieldType::Int), ("user_id", FieldType::Int)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);

@@ -85,12 +85,12 @@ pub fn simulate_crash(ds: &Dataset, state: &CheckpointState) -> Result<()> {
                 }
             }
             let fresh = std::sync::Arc::new(fresh);
-            comp.set_bitmap(fresh.clone());
+            comp.set_bitmap(fresh.clone())?;
             // Keep the paired pk-index component on the shared bitmap.
             if let Some(pk) = ds.pk_index() {
                 for kc in pk.disk_components() {
                     if kc.id() == comp.id() {
-                        kc.set_bitmap(fresh.clone());
+                        kc.set_bitmap(fresh.clone())?;
                     }
                 }
             }
@@ -173,8 +173,9 @@ mod tests {
     use crate::config::{DatasetConfig, StrategyKind};
     use lsm_common::{FieldType, Schema, Value};
     use lsm_storage::{Storage, StorageOptions};
+    use std::sync::Arc;
 
-    fn dataset(strategy: StrategyKind) -> Dataset {
+    fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
         let schema = Schema::new(vec![("id", FieldType::Int), ("v", FieldType::Int)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);
         cfg.strategy = strategy;

@@ -282,7 +282,7 @@ pub(crate) fn merge_repair(
         &mut report,
     )?;
     if bitmap.count_set() > 0 {
-        new_comp.set_bitmap(bitmap);
+        new_comp.set_bitmap(bitmap)?;
     }
     new_comp.set_repaired_ts(new_repaired_ts(pk_tree, prune_ts));
 
@@ -352,7 +352,7 @@ pub(crate) fn standalone_repair(
             opts,
             &mut report,
         )?;
-        comp.set_bitmap(bitmap);
+        comp.set_bitmap(bitmap)?;
         comp.set_repaired_ts(new_repaired_ts(pk_tree, prune_ts));
     }
     Ok(report)
@@ -484,16 +484,27 @@ pub(crate) fn deli_primary_repair(dataset: &Dataset, with_merge: bool) -> Result
         // lazy deletes are validated by queries.
     }
 
-    // Flush the anti-matter produced into the secondary memory components.
-    for sec in dataset.secondaries() {
-        sec.tree.flush()?;
+    // Flush the anti-matter produced into the secondary memory components,
+    // serialized against dataset-wide flushes (a background flush may have
+    // these trees' snapshots sealed).
+    {
+        let _flush = dataset.flush_serialization().lock();
+        for sec in dataset.secondaries() {
+            sec.tree.flush()?;
+        }
     }
 
-    if with_merge && comps.len() >= 2 {
-        primary.merge_range(MergeRange {
-            start: 0,
-            end: comps.len() - 1,
-        })?;
+    if with_merge {
+        // Re-derive the component count under the merge lock: a background
+        // merge may have shrunk the list since the repair scan.
+        let _merges = dataset.merge_serialization().lock();
+        let n = primary.num_disk_components();
+        if n >= 2 {
+            primary.merge_range(MergeRange {
+                start: 0,
+                end: n - 1,
+            })?;
+        }
     }
     Ok(repaired)
 }
@@ -504,6 +515,13 @@ pub(crate) fn deli_primary_repair(dataset: &Dataset, with_merge: bool) -> Result
 // migrate at their own pace; new code goes through `Dataset::maintenance()`.
 
 /// Merge repair (Figure 7) of the secondary components in `range`.
+///
+/// NOT safe on a dataset running background maintenance
+/// ([`MaintenanceMode::Background`](crate::MaintenanceMode)): this shim
+/// splices the tree's component list without the dataset's merge lock and
+/// can race a scheduler-driven merge. The
+/// [`Dataset::maintenance`](crate::Dataset::maintenance) replacement
+/// serializes correctly.
 #[deprecated(
     since = "0.2.0",
     note = "use `Dataset::maintenance().plan().with_merge(true).repair_index(name)` instead"
@@ -559,7 +577,7 @@ mod tests {
     use lsm_common::{FieldType, Schema, Value};
     use lsm_storage::{Storage, StorageOptions};
 
-    fn dataset(strategy: StrategyKind) -> Dataset {
+    fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
         let schema =
             Schema::new(vec![("id", FieldType::Int), ("location", FieldType::Str)]).unwrap();
         let mut cfg = DatasetConfig::new(schema, 0);

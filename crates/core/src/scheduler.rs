@@ -1,0 +1,426 @@
+//! Background maintenance: a worker pool executing flush and merge jobs
+//! off the writer's critical path.
+//!
+//! Luo & Carey design the maintenance strategies so that writers proceed
+//! *concurrently* with flush/merge rebuilds (Section 5.3 — the `BuildLink`
+//! machinery, bitmap redirection, and the timestamp protocol). The
+//! [`MaintenanceScheduler`] exploits that: in
+//! [`MaintenanceMode::Background`](crate::MaintenanceMode) writers only
+//! *enqueue* work when the memory budget trips, and a pool of worker
+//! threads seals memory components, builds disk components, and runs
+//! policy-driven merges while ingestion continues.
+//!
+//! Contracts:
+//!
+//! * **Dedup** — at most one flush job per dataset is queued at a time, and
+//!   merge jobs are keyed by `(target, MergeRange)`; re-enqueueing queued
+//!   work is a no-op.
+//! * **Backpressure** — writers never block on the queue itself; they stall
+//!   only when active + flushing memory exceeds the hard ceiling
+//!   ([`DatasetConfig::memory_ceiling`](crate::DatasetConfig), default 2×
+//!   the budget), preserving the paper's shared-memory-budget semantics.
+//! * **Error propagation** — a job error (or panic) poisons the dataset;
+//!   the next write fails with the stored cause instead of the process
+//!   aborting.
+//! * **Graceful shutdown** — dropping the dataset (or calling
+//!   [`Maintenance::quiesce`](crate::Maintenance)) drains in-flight
+//!   rebuilds before the workers exit.
+
+use crate::dataset::{Dataset, MergePlan};
+use lsm_common::Result;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a stalled writer sleeps between ceiling re-checks. The flush
+/// worker notifies the stall condvar on completion, so this is only a
+/// safety net against lost wakeups.
+const STALL_RECHECK: Duration = Duration::from_millis(20);
+
+/// A unit of background maintenance work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Job {
+    /// Seal and flush all of the dataset's memory components.
+    Flush,
+    /// Run the merge planned for the dataset (the embedded plan is the
+    /// dedup key; execution re-plans under the merge lock, so a stale range
+    /// is never applied).
+    Merge(MergePlan),
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Dedup: one flush job per dataset.
+    flush_queued: bool,
+    /// Dedup: merges keyed by `(target, range)`.
+    merges_queued: HashSet<MergePlan>,
+    /// Jobs popped but not yet finished.
+    in_flight: usize,
+    shutdown: bool,
+}
+
+/// State shared between the scheduler handle, its workers, and stalled
+/// writers.
+#[derive(Debug, Default)]
+pub(crate) struct SchedulerShared {
+    state: Mutex<QueueState>,
+    /// Workers wait here for jobs.
+    work_cv: Condvar,
+    /// `quiesce` waits here for the queue to drain.
+    idle_cv: Condvar,
+    /// Backpressured writers wait here for a flush to free memory.
+    stall_lock: Mutex<()>,
+    stall_cv: Condvar,
+}
+
+impl SchedulerShared {
+    /// Enqueues a flush job unless one is already queued. Returns `true`
+    /// if a job was added.
+    pub(crate) fn schedule_flush(&self) -> bool {
+        let mut s = self.state.lock();
+        if s.shutdown || s.flush_queued {
+            return false;
+        }
+        s.flush_queued = true;
+        s.jobs.push_back(Job::Flush);
+        drop(s);
+        self.work_cv.notify_one();
+        true
+    }
+
+    /// Enqueues a merge job unless an identical `(target, range)` job is
+    /// already queued. Returns `true` if a job was added.
+    pub(crate) fn schedule_merge(&self, plan: MergePlan) -> bool {
+        let mut s = self.state.lock();
+        if s.shutdown || !s.merges_queued.insert(plan) {
+            return false;
+        }
+        s.jobs.push_back(Job::Merge(plan));
+        drop(s);
+        self.work_cv.notify_one();
+        true
+    }
+
+    /// Jobs currently queued (not counting in-flight ones).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.state.lock().jobs.len()
+    }
+
+    /// Blocks until the queue is empty and no job is in flight.
+    pub(crate) fn wait_idle(&self) {
+        let mut s = self.state.lock();
+        while !(s.jobs.is_empty() && s.in_flight == 0) {
+            self.idle_cv.wait(&mut s);
+        }
+    }
+
+    /// Blocks until `done()` holds, waking on flush completions (plus a
+    /// periodic recheck so a dead worker cannot strand the writer).
+    pub(crate) fn stall_until(&self, done: impl Fn() -> bool) {
+        let mut g = self.stall_lock.lock();
+        while !done() {
+            self.stall_cv.wait_for(&mut g, STALL_RECHECK);
+        }
+    }
+
+    /// Wakes every stalled writer (after a flush completed or the dataset
+    /// was poisoned). Taking `stall_lock` first means a writer between its
+    /// predicate check and its wait cannot miss the signal — the 20ms
+    /// recheck in `stall_until` is a true safety net, not the common path.
+    pub(crate) fn notify_stalled(&self) {
+        let _guard = self.stall_lock.lock();
+        self.stall_cv.notify_all();
+    }
+
+    fn pop_job(&self) -> Option<Job> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(job) = s.jobs.pop_front() {
+                // Clear the dedup key immediately: work arriving while this
+                // job runs must be re-queueable (the job mutexes in
+                // `Dataset` serialize actual execution).
+                match &job {
+                    Job::Flush => s.flush_queued = false,
+                    Job::Merge(plan) => {
+                        s.merges_queued.remove(plan);
+                    }
+                }
+                s.in_flight += 1;
+                return Some(job);
+            }
+            if s.shutdown {
+                return None;
+            }
+            self.work_cv.wait(&mut s);
+        }
+    }
+
+    fn finish_job(&self) {
+        let mut s = self.state.lock();
+        s.in_flight -= 1;
+        if s.jobs.is_empty() && s.in_flight == 0 {
+            drop(s);
+            self.idle_cv.notify_all();
+        }
+    }
+}
+
+/// A worker pool executing flush/merge jobs for one dataset.
+///
+/// Owned by the [`Dataset`] it serves; created through
+/// [`Maintenance::background`](crate::Maintenance) (or automatically when
+/// the dataset is opened with
+/// [`MaintenanceMode::Background`](crate::MaintenanceMode)). Workers hold
+/// only a [`Weak`] reference to the dataset, so dropping the last user
+/// handle shuts the pool down.
+#[derive(Debug)]
+pub struct MaintenanceScheduler {
+    shared: Arc<SchedulerShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MaintenanceScheduler {
+    /// Spawns `workers` threads serving `ds`.
+    pub(crate) fn start(ds: &Arc<Dataset>, workers: usize) -> Self {
+        let shared = Arc::new(SchedulerShared::default());
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let weak = Arc::downgrade(ds);
+                std::thread::Builder::new()
+                    .name(format!("lsm-maint-{i}"))
+                    .spawn(move || worker_loop(&shared, &weak))
+                    .expect("spawn maintenance worker")
+            })
+            .collect();
+        MaintenanceScheduler {
+            shared,
+            workers: handles,
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<SchedulerShared> {
+        &self.shared
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Signals shutdown and joins the workers, draining queued jobs first.
+    /// Safe to call from a worker thread (its own handle is detached
+    /// instead of joined — this happens when a job holds the last strong
+    /// reference to the dataset and `Dataset::drop` runs on the worker).
+    pub(crate) fn shutdown_and_join(mut self) {
+        {
+            let mut s = self.shared.state.lock();
+            s.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.notify_stalled();
+        let me = std::thread::current().id();
+        for handle in self.workers.drain(..) {
+            if handle.thread().id() == me {
+                continue; // drop = detach; the thread is about to exit
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<SchedulerShared>, ds: &Weak<Dataset>) {
+    while let Some(job) = shared.pop_job() {
+        let dataset = ds.upgrade();
+        if let Some(dataset) = &dataset {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(dataset, shared, job)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => dataset.poison(e),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".into());
+                    dataset.poison(lsm_common::Error::invalid(format!(
+                        "maintenance worker panicked: {msg}"
+                    )));
+                }
+            }
+        }
+        shared.finish_job();
+        // Wake stalled writers after every job: flushes free memory, and a
+        // poisoned dataset must fail fast rather than hang its writers.
+        shared.notify_stalled();
+        drop(dataset);
+    }
+}
+
+fn run_job(ds: &Arc<Dataset>, shared: &Arc<SchedulerShared>, job: Job) -> Result<()> {
+    match job {
+        Job::Flush => {
+            let flushed = ds.flush_all()?;
+            ds.stats().record_flush_job();
+            shared.notify_stalled();
+            // Flushes create merge work; enqueue it (deduped) rather than
+            // blocking this worker's next flush on a long merge.
+            ds.schedule_planned_merges(shared);
+            // Writers that raced past the budget while we flushed would
+            // only re-trigger on their next write — but stalled writers
+            // make no writes, so the flush job re-arms itself.
+            if flushed
+                && ds.mem_total_bytes() > ds.config().memory_budget
+                && shared.schedule_flush()
+            {
+                ds.stats().bump(&ds.stats().jobs_enqueued);
+            }
+            Ok(())
+        }
+        Job::Merge(plan) => {
+            ds.stats().record_merge_job();
+            // Execute the planned merge (serialized by the dataset's merge
+            // lock; a stale plan is skipped), then enqueue whatever the
+            // policy calls for next — the queue converges to quiescence
+            // one targeted job at a time instead of holding the merge lock
+            // for a full cascade.
+            ds.execute_merge_plan(&plan)?;
+            ds.schedule_planned_merges(shared);
+            Ok(())
+        }
+    }
+}
+
+impl Dataset {
+    pub(crate) fn maintenance_stats_refresh(&self) {
+        if let Some(shared) = self.scheduler_shared() {
+            self.stats()
+                .queue_depth
+                .store(shared.queue_depth() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetConfig, MaintenanceMode, SecondaryIndexDef, StrategyKind};
+    use lsm_common::{FieldType, Record, Schema, Value};
+    use lsm_storage::{Storage, StorageOptions};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", FieldType::Int),
+            ("location", FieldType::Str),
+            ("time", FieldType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn config(strategy: StrategyKind) -> DatasetConfig {
+        let mut cfg = DatasetConfig::new(schema(), 0);
+        cfg.strategy = strategy;
+        cfg.secondary_indexes = vec![SecondaryIndexDef {
+            name: "location".into(),
+            field: 1,
+        }];
+        cfg.memory_budget = 32 * 1024;
+        cfg.maintenance = MaintenanceMode::Background { workers: 2 };
+        cfg
+    }
+
+    fn rec(id: i64, loc: &str, time: i64) -> Record {
+        Record::new(vec![
+            Value::Int(id),
+            Value::Str(loc.into()),
+            Value::Int(time),
+        ])
+    }
+
+    #[test]
+    fn background_mode_flushes_off_the_writer_path() {
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            config(StrategyKind::Validation),
+        )
+        .unwrap();
+        for i in 0..4000 {
+            ds.insert(&rec(i, "CA", i)).unwrap();
+        }
+        ds.maintenance().quiesce().unwrap();
+        let snap = ds.stats().snapshot();
+        assert!(snap.flushes > 0, "background flushes ran");
+        assert!(snap.flush_jobs > 0, "flush jobs recorded");
+        assert!(snap.jobs_enqueued > 0, "jobs were enqueued");
+        for i in [0, 1999, 3999] {
+            assert!(ds.get(&Value::Int(i)).unwrap().is_some(), "id {i}");
+        }
+    }
+
+    #[test]
+    fn dedup_one_flush_job_at_a_time() {
+        let shared = SchedulerShared::default();
+        assert!(shared.schedule_flush());
+        assert!(!shared.schedule_flush(), "second flush deduped");
+        let plan = MergePlan {
+            target: crate::dataset::MergeTarget::Primary,
+            range: lsm_tree::MergeRange { start: 0, end: 1 },
+        };
+        assert!(shared.schedule_merge(plan));
+        assert!(!shared.schedule_merge(plan), "same range deduped");
+        assert_eq!(shared.queue_depth(), 2);
+    }
+
+    #[test]
+    fn quiesce_waits_for_queue_drain() {
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            config(StrategyKind::Eager),
+        )
+        .unwrap();
+        for i in 0..3000 {
+            ds.insert(&rec(i, "NY", i)).unwrap();
+        }
+        ds.maintenance().quiesce().unwrap();
+        let shared = ds.scheduler_shared().unwrap();
+        assert_eq!(shared.queue_depth(), 0);
+    }
+
+    #[test]
+    fn drop_shuts_down_workers() {
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            config(StrategyKind::Validation),
+        )
+        .unwrap();
+        for i in 0..2000 {
+            ds.insert(&rec(i, "CA", i)).unwrap();
+        }
+        drop(ds); // must not hang or leak panicking workers
+    }
+
+    #[test]
+    fn poisoned_dataset_fails_next_write() {
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            config(StrategyKind::Validation),
+        )
+        .unwrap();
+        ds.poison(lsm_common::Error::invalid("simulated worker failure"));
+        let err = ds.insert(&rec(1, "CA", 1)).unwrap_err();
+        assert!(
+            err.to_string().contains("simulated worker failure"),
+            "{err}"
+        );
+    }
+}

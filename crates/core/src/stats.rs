@@ -21,6 +21,16 @@ pub struct EngineStats {
     pub repairs: AtomicU64,
     /// Point lookups performed for maintenance (the Eager strategy's cost).
     pub maintenance_lookups: AtomicU64,
+    /// Maintenance jobs enqueued on the background scheduler.
+    pub jobs_enqueued: AtomicU64,
+    /// Flush jobs executed by background workers.
+    pub flush_jobs: AtomicU64,
+    /// Merge jobs executed by background workers.
+    pub merge_jobs: AtomicU64,
+    /// Times a writer stalled on the hard memory ceiling (backpressure).
+    pub backpressure_stalls: AtomicU64,
+    /// Jobs waiting in the scheduler queue (gauge, refreshed on writes).
+    pub queue_depth: AtomicU64,
 }
 
 impl EngineStats {
@@ -31,6 +41,16 @@ impl EngineStats {
 
     pub(crate) fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a background flush job execution.
+    pub(crate) fn record_flush_job(&self) {
+        self.bump(&self.flush_jobs);
+    }
+
+    /// Counts a background merge job execution.
+    pub(crate) fn record_merge_job(&self) {
+        self.bump(&self.merge_jobs);
     }
 
     /// Total records that entered the dataset (inserts + upserts).
@@ -49,6 +69,11 @@ impl EngineStats {
             merges: self.merges.load(Ordering::Relaxed),
             repairs: self.repairs.load(Ordering::Relaxed),
             maintenance_lookups: self.maintenance_lookups.load(Ordering::Relaxed),
+            jobs_enqueued: self.jobs_enqueued.load(Ordering::Relaxed),
+            flush_jobs: self.flush_jobs.load(Ordering::Relaxed),
+            merge_jobs: self.merge_jobs.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -65,6 +90,11 @@ pub struct EngineStatsSnapshot {
     pub merges: u64,
     pub repairs: u64,
     pub maintenance_lookups: u64,
+    pub jobs_enqueued: u64,
+    pub flush_jobs: u64,
+    pub merge_jobs: u64,
+    pub backpressure_stalls: u64,
+    pub queue_depth: u64,
 }
 
 #[cfg(test)]

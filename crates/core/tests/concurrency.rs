@@ -18,7 +18,7 @@ fn dataset() -> Arc<Dataset> {
     cfg.strategy = StrategyKind::MutableBitmap;
     cfg.memory_budget = usize::MAX; // flush manually
     cfg.secondary_indexes = vec![];
-    Arc::new(Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap())
+    Dataset::open(Storage::new(StorageOptions::test()), None, cfg).unwrap()
 }
 
 fn rec(id: i64, v: i64) -> Record {

@@ -8,8 +8,9 @@ use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use lsm_workload::{TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-fn dataset(strategy: StrategyKind) -> Dataset {
+fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
     let mut cfg = DatasetConfig::new(TweetGenerator::schema(), 0);
     cfg.strategy = strategy;
     cfg.secondary_indexes = vec![SecondaryIndexDef {

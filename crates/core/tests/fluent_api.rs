@@ -9,8 +9,9 @@ use lsm_common::{FieldType, Record, Schema, Value};
 use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-fn dataset(strategy: StrategyKind, memory_budget: usize) -> Dataset {
+fn dataset(strategy: StrategyKind, memory_budget: usize) -> Arc<Dataset> {
     let schema = Schema::new(vec![("id", FieldType::Int), ("group", FieldType::Int)]).unwrap();
     let mut cfg = DatasetConfig::new(schema, 0);
     cfg.strategy = strategy;

@@ -9,6 +9,7 @@ use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum WOp {
@@ -30,7 +31,7 @@ fn arb_workload() -> impl Strategy<Value = Vec<WOp>> {
     )
 }
 
-fn dataset(strategy: StrategyKind) -> Dataset {
+fn dataset(strategy: StrategyKind) -> Arc<Dataset> {
     let schema = Schema::new(vec![("id", FieldType::Int), ("group", FieldType::Int)]).unwrap();
     let mut cfg = DatasetConfig::new(schema, 0);
     cfg.strategy = strategy;

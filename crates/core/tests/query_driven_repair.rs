@@ -9,8 +9,9 @@ use lsm_engine::query::{QueryResult, ValidationMethod};
 use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{Storage, StorageOptions};
 use lsm_tree::MergeRange;
+use std::sync::Arc;
 
-fn dataset() -> Dataset {
+fn dataset() -> Arc<Dataset> {
     let schema = Schema::new(vec![("id", FieldType::Int), ("group", FieldType::Int)]).unwrap();
     let mut cfg = DatasetConfig::new(schema, 0);
     cfg.strategy = StrategyKind::Validation;
@@ -42,7 +43,7 @@ fn group_result(ds: &Dataset, group: i64, query_driven: bool) -> QueryResult {
 
 /// 100 records in group 1, then 40 of them moved to group 2 — the group-1
 /// index entries for those 40 are obsolete.
-fn setup() -> Dataset {
+fn setup() -> Arc<Dataset> {
     let ds = dataset();
     for i in 0..100 {
         ds.insert(&rec(i, 1)).unwrap();

@@ -35,6 +35,9 @@ pub struct DiskComponent {
     /// Link to the successor component being built from this one, if a
     /// flush/merge is in progress (Section 5.3).
     successor: RwLock<Option<Arc<BuildLink>>>,
+    /// Set when a merge replaced this component: the backing file is
+    /// destroyed once the last reference drops (see [`DiskComponent::retire`]).
+    retired: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for DiskComponent {
@@ -65,6 +68,7 @@ impl DiskComponent {
             bitmap: RwLock::new(bitmap),
             repaired_ts: AtomicU64::new(0),
             successor: RwLock::new(None),
+            retired: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -135,13 +139,19 @@ impl DiskComponent {
     /// Installs (or replaces) the validity bitmap. Standalone repair
     /// (Section 4.4) replaces the bitmap of an existing component; the
     /// Mutable-bitmap strategy installs a shared bitmap at build time.
-    pub fn set_bitmap(&self, bitmap: Arc<AtomicBitmap>) {
-        assert_eq!(
-            bitmap.len(),
-            self.num_entries(),
-            "bitmap must cover every entry"
-        );
+    /// Errors (rather than panicking — flushes and merges may run on
+    /// background maintenance workers) if the bitmap does not cover every
+    /// entry.
+    pub fn set_bitmap(&self, bitmap: Arc<AtomicBitmap>) -> Result<()> {
+        if bitmap.len() != self.num_entries() {
+            return Err(lsm_common::Error::invalid(format!(
+                "bitmap must cover every entry ({} bits for {} entries)",
+                bitmap.len(),
+                self.num_entries()
+            )));
+        }
         *self.bitmap.write() = Some(bitmap);
+        Ok(())
     }
 
     /// Returns the validity bitmap, creating an all-zero one if absent —
@@ -201,6 +211,23 @@ impl DiskComponent {
     /// Deletes the backing file (component dropped after a merge).
     pub fn destroy(&self) -> Result<()> {
         self.btree.destroy()
+    }
+
+    /// Marks the component for destruction when the last reference drops.
+    /// Merges retire replaced components instead of destroying them
+    /// eagerly, so a concurrent reader still holding the `Arc` (a point
+    /// lookup, a scan, a mutable-bitmap delete probe) finishes against
+    /// intact files.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for DiskComponent {
+    fn drop(&mut self) {
+        if self.retired.load(Ordering::Acquire) {
+            let _ = self.btree.destroy();
+        }
     }
 }
 
@@ -276,17 +303,18 @@ mod tests {
         assert_eq!(c.invalid_fraction(), 0.0);
         let bm = Arc::new(AtomicBitmap::new(10));
         bm.set(3);
-        c.set_bitmap(bm);
+        c.set_bitmap(bm).unwrap();
         assert!(!c.is_valid(3));
         assert!(c.is_valid(4));
         assert!((c.invalid_fraction() - 0.1).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "bitmap must cover")]
     fn wrong_sized_bitmap_rejected() {
         let (_s, c) = component(10, false);
-        c.set_bitmap(Arc::new(AtomicBitmap::new(5)));
+        let err = c.set_bitmap(Arc::new(AtomicBitmap::new(5))).unwrap_err();
+        assert!(err.to_string().contains("bitmap must cover"), "{err}");
+        assert!(c.bitmap().is_none());
     }
 
     #[test]

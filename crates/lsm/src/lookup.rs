@@ -433,7 +433,7 @@ mod tests {
         let (comp, ordinal, _) = locate_valid(&t, &key(40)).unwrap().unwrap();
         let bm = Arc::new(crate::bitmap::AtomicBitmap::new(comp.num_entries()));
         bm.set(ordinal);
-        comp.set_bitmap(bm);
+        comp.set_bitmap(bm).unwrap();
         assert!(locate_valid(&t, &key(40)).unwrap().is_none());
         // point_lookup treats the invalidated entry as deleted too.
         assert!(point_lookup(&t, &key(40)).unwrap().is_none());

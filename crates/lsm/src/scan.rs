@@ -394,7 +394,7 @@ mod tests {
         );
         let bm = Arc::new(AtomicBitmap::new(3));
         bm.set(1); // invalidate "b"
-        comp.set_bitmap(bm);
+        comp.set_bitmap(bm).unwrap();
         let mut scan = LsmScan::new(
             s.clone(),
             None,
@@ -477,7 +477,7 @@ mod tests {
         );
         let bm = Arc::new(AtomicBitmap::new(2));
         bm.set(0); // "a" deleted in place
-        c1.set_bitmap(bm);
+        c1.set_bitmap(bm).unwrap();
         let mem = vec![
             (b"d".to_vec(), LsmEntry::put(b"4".to_vec())),
             (b"e".to_vec(), LsmEntry::anti_matter()),

@@ -143,11 +143,19 @@ impl ComponentBuilder {
     }
 }
 
+/// A captured in-memory run (key-ordered, active merged over sealed) plus
+/// the disk component list — see [`LsmTree::mem_and_disk_snapshot_if`].
+pub type TreeSnapshot = (Option<Vec<(Key, LsmEntry)>>, Vec<Arc<DiskComponent>>);
+
 /// An LSM-tree index.
 pub struct LsmTree {
     opts: LsmOptions,
     storage: Arc<Storage>,
     mem: Mutex<MemComponent>,
+    /// Memory component sealed for an in-progress flush. Writers fill a
+    /// fresh active component while the builder turns this immutable
+    /// snapshot into a disk component; readers see both (active wins).
+    sealed: RwLock<Option<Arc<MemComponent>>>,
     /// Disk components, newest first (as drawn in Figure 1, reading
     /// right-to-left).
     disk: RwLock<Vec<Arc<DiskComponent>>>,
@@ -169,6 +177,7 @@ impl LsmTree {
             opts,
             storage,
             mem: Mutex::new(MemComponent::new()),
+            sealed: RwLock::new(None),
             disk: RwLock::new(Vec::new()),
         }
     }
@@ -192,20 +201,59 @@ impl LsmTree {
         self.mem.lock().put(key, entry, op_ts)
     }
 
-    /// Reads the memory component.
+    /// Reads the memory component: the active component first, then the
+    /// sealed snapshot of an in-progress flush (the active entry, being
+    /// newer, shadows the sealed one).
     pub fn mem_get(&self, key: &[u8]) -> Option<LsmEntry> {
+        self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
+        if let Some(e) = self.mem.lock().get(key).cloned() {
+            return Some(e);
+        }
+        self.sealed
+            .read()
+            .as_ref()
+            .and_then(|s| s.get(key).cloned())
+    }
+
+    /// Reads the *active* memory component only — writers that must
+    /// distinguish "replaced in place" from "immutable, mid-flush" (the
+    /// Mutable-bitmap delete probe) use this together with
+    /// [`LsmTree::sealed_get`].
+    pub fn mem_get_active(&self, key: &[u8]) -> Option<LsmEntry> {
         self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
         self.mem.lock().get(key).cloned()
     }
 
-    /// Approximate memory component size in bytes.
+    /// Reads the sealed (flushing) snapshot only.
+    pub fn sealed_get(&self, key: &[u8]) -> Option<LsmEntry> {
+        self.sealed
+            .read()
+            .as_ref()
+            .and_then(|s| s.get(key).cloned())
+    }
+
+    /// True if a sealed snapshot is pending (a flush is mid-build, or a
+    /// previous flush attempt failed and should be retried).
+    pub fn has_sealed(&self) -> bool {
+        self.sealed.read().is_some()
+    }
+
+    /// Approximate size of the *active* memory component in bytes (the
+    /// flush-trigger metric; a sealed snapshot is already on its way out).
     pub fn mem_bytes(&self) -> usize {
         self.mem.lock().bytes()
     }
 
-    /// Number of keys in the memory component.
+    /// Approximate bytes of the sealed (flushing) snapshot, if any — memory
+    /// that is still held but no longer accepts writes. Backpressure counts
+    /// this on top of [`LsmTree::mem_bytes`].
+    pub fn sealed_bytes(&self) -> usize {
+        self.sealed.read().as_ref().map_or(0, |s| s.bytes())
+    }
+
+    /// Number of keys buffered in memory (active + sealed).
     pub fn mem_len(&self) -> usize {
-        self.mem.lock().len()
+        self.mem.lock().len() + self.sealed.read().as_ref().map_or(0, |s| s.len())
     }
 
     /// Widens the memory component's range filter.
@@ -213,22 +261,101 @@ impl LsmTree {
         self.mem.lock().widen_filter(v);
     }
 
-    /// The memory component's range filter.
+    /// The in-memory range filter: the union of the active component's
+    /// filter and the sealed snapshot's, so filter pruning never hides
+    /// entries that are mid-flush.
     pub fn mem_filter(&self) -> Option<RangeFilter> {
-        self.mem.lock().filter().cloned()
+        let active = self.mem.lock().filter().cloned();
+        let sealed = self
+            .sealed
+            .read()
+            .as_ref()
+            .and_then(|s| s.filter().cloned());
+        match (active, sealed) {
+            (Some(mut a), Some(s)) => {
+                a.union(&s);
+                Some(a)
+            }
+            (a, s) => a.or(s),
+        }
     }
 
-    /// Copies the memory component's entries in `[lo, hi]`, in key order.
+    /// Copies the in-memory entries in `[lo, hi]` in key order, merging the
+    /// active component over the sealed snapshot (active entries win).
+    ///
+    /// The active lock is taken FIRST and held while the sealed slot is
+    /// read — the same order `seal_mem` uses for its transition — so the
+    /// snapshot can never observe the torn state where entries have left
+    /// the active component but the sealed slot still reads empty.
     pub fn mem_snapshot_range(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> Vec<(Key, LsmEntry)> {
         let mem = self.mem.lock();
-        mem.range(lo, hi)
+        let sealed = self.sealed.read().clone();
+        let active: Vec<(Key, LsmEntry)> = mem
+            .range(lo, hi)
             .map(|(k, e)| (k.clone(), e.clone()))
-            .collect()
+            .collect();
+        drop(mem);
+        merge_mem_runs(active, sealed, lo, hi)
     }
 
-    /// Discards the memory component (crash simulation in recovery tests).
+    /// An atomically consistent view of the tree: the merged in-memory
+    /// entries of `[lo, hi]` plus the disk components, captured so that an
+    /// entry mid-flush appears in exactly one of the two (lock order
+    /// mem → sealed → disk matches `seal_mem` and `install_sealed`, whose
+    /// transitions therefore cannot interleave with the capture). Scans
+    /// that do NOT reconcile duplicates (the Mutable-bitmap filter scan)
+    /// need this; reconciling readers can capture memory and disk
+    /// separately.
+    ///
+    /// `include_mem` is evaluated under the capture locks against the
+    /// in-memory range filter (active ∪ sealed, so it describes exactly
+    /// the entries being captured); returning `false` skips materializing
+    /// the memory run — the filter-scan prune. `None` means no entries are
+    /// buffered.
+    pub fn mem_and_disk_snapshot_if(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        include_mem: impl FnOnce(Option<&RangeFilter>) -> bool,
+    ) -> TreeSnapshot {
+        let mem = self.mem.lock();
+        let sealed_guard = self.sealed.read();
+        let disk = self.disk.read().clone();
+        let mut filter = mem.filter().cloned();
+        if let Some(sf) = sealed_guard.as_ref().and_then(|s| s.filter()) {
+            match &mut filter {
+                Some(f) => f.union(sf),
+                None => filter = Some(sf.clone()),
+            }
+        }
+        let has_entries = !mem.is_empty() || sealed_guard.is_some();
+        let snapshot = (has_entries && include_mem(filter.as_ref())).then(|| {
+            let active: Vec<(Key, LsmEntry)> = mem
+                .range(lo, hi)
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect();
+            merge_mem_runs(active, sealed_guard.clone(), lo, hi)
+        });
+        drop(sealed_guard);
+        drop(mem);
+        (snapshot, disk)
+    }
+
+    /// [`LsmTree::mem_and_disk_snapshot_if`] with the memory run always
+    /// included.
+    pub fn mem_and_disk_snapshot(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> (Vec<(Key, LsmEntry)>, Vec<Arc<DiskComponent>>) {
+        let (snapshot, disk) = self.mem_and_disk_snapshot_if(lo, hi, |_| true);
+        (snapshot.unwrap_or_default(), disk)
+    }
+
+    /// Discards the memory components (crash simulation in recovery tests).
     pub fn clear_mem(&self) {
         self.mem.lock().clear();
+        *self.sealed.write() = None;
     }
 
     // ---- disk components ---------------------------------------------------
@@ -258,13 +385,54 @@ impl LsmTree {
         self.disk.write().insert(0, comp);
     }
 
-    /// Flushes the memory component into a new disk component.
-    /// Returns `None` if the memory component was empty.
-    pub fn flush(&self) -> Result<Option<Arc<DiskComponent>>> {
+    /// Seals the active memory component for flushing: writers continue
+    /// into a fresh active component while [`LsmTree::flush_sealed`] builds
+    /// the snapshot into a disk component. Returns `false` (and seals
+    /// nothing) if the active component is empty. Errors if a sealed
+    /// snapshot is already pending — callers must serialize flushes (the
+    /// engine holds a per-dataset flush lock).
+    pub fn seal_mem(&self) -> Result<bool> {
         let mut mem = self.mem.lock();
-        let Some(id) = mem.id() else {
+        if mem.id().is_none() {
+            return Ok(false);
+        }
+        let mut sealed = self.sealed.write();
+        if sealed.is_some() {
+            return Err(Error::invalid(format!(
+                "{}: flush already in progress (sealed snapshot pending)",
+                self.opts.name
+            )));
+        }
+        *sealed = Some(Arc::new(std::mem::take(&mut *mem)));
+        Ok(true)
+    }
+
+    /// Builds the sealed snapshot into a disk component and installs it as
+    /// the newest. Returns `None` when no snapshot is sealed. The snapshot
+    /// stays visible to readers throughout, so there is no window where its
+    /// entries are neither in memory nor on disk.
+    pub fn flush_sealed(&self) -> Result<Option<Arc<DiskComponent>>> {
+        match self.build_sealed()? {
+            None => Ok(None),
+            Some(comp) => {
+                self.install_sealed(comp.clone());
+                Ok(Some(comp))
+            }
+        }
+    }
+
+    /// Builds the sealed snapshot into a disk component WITHOUT installing
+    /// it — the engine uses this when the component needs preparation
+    /// before becoming visible (shared-bitmap attachment, routed deletes
+    /// of the Mutable-bitmap strategy), followed by
+    /// [`LsmTree::install_sealed`].
+    pub fn build_sealed(&self) -> Result<Option<Arc<DiskComponent>>> {
+        let Some(snapshot) = self.sealed.read().clone() else {
             return Ok(None);
         };
+        let id = snapshot.id().ok_or_else(|| {
+            Error::invalid(format!("{}: sealed an empty snapshot", self.opts.name))
+        })?;
         let mut builder = ComponentBuilder::new(
             self.storage.clone(),
             id,
@@ -272,18 +440,43 @@ impl LsmTree {
                 with_bloom: self.opts.with_bloom,
                 bloom_kind: self.opts.bloom_kind,
                 bloom_fpr: self.opts.bloom_fpr,
-                expected_keys: mem.len(),
-                filter: mem.filter().cloned(),
+                expected_keys: snapshot.len(),
+                filter: snapshot.filter().cloned(),
                 make_mutable_bitmap: self.opts.mutable_bitmaps,
             },
         )?;
-        for (k, e) in mem.iter() {
+        for (k, e) in snapshot.iter() {
             builder.add(k, e)?;
         }
         let comp = Arc::new(builder.finish()?);
-        mem.clear();
-        self.disk.write().insert(0, comp.clone());
         Ok(Some(comp))
+    }
+
+    /// Publishes a component built by [`LsmTree::build_sealed`] and
+    /// releases the sealed snapshot. The sealed lock is held across the
+    /// disk insert (lock order sealed → disk), and the component is
+    /// inserted before the snapshot clears: a reconciling reader that
+    /// captures memory first either sees the entries in the sealed
+    /// snapshot, on disk, or both (never neither), while the atomic
+    /// [`LsmTree::mem_and_disk_snapshot`] capture sees them exactly once.
+    pub fn install_sealed(&self, comp: Arc<DiskComponent>) {
+        let mut sealed = self.sealed.write();
+        self.disk.write().insert(0, comp);
+        *sealed = None;
+    }
+
+    /// Flushes the memory component into a new disk component.
+    /// Returns `None` if the memory component was empty. A snapshot left
+    /// sealed by a previous failed attempt is flushed first, so transient
+    /// build errors stay retryable.
+    pub fn flush(&self) -> Result<Option<Arc<DiskComponent>>> {
+        if self.has_sealed() {
+            self.flush_sealed()?;
+        }
+        if !self.seal_mem()? {
+            return Ok(None);
+        }
+        self.flush_sealed()
     }
 
     // ---- merging -----------------------------------------------------------
@@ -297,9 +490,14 @@ impl LsmTree {
     }
 
     /// Components of `range` (oldest-first indexing), returned newest-first.
+    /// Returns an empty vector when the range no longer fits the component
+    /// list (a stale plan after a concurrent merge).
     pub fn components_in_range(&self, range: MergeRange) -> Vec<Arc<DiskComponent>> {
         let disk = self.disk.read();
         let n = disk.len();
+        if range.end >= n || range.start > range.end {
+            return Vec::new();
+        }
         // oldest-first index i ↔ newest-first index n-1-i
         let lo = n - 1 - range.end;
         let hi = n - 1 - range.start;
@@ -324,7 +522,8 @@ impl LsmTree {
             return Err(Error::invalid("merge needs at least two components"));
         }
         let drop_anti = self.range_includes_oldest(range);
-        let id = ComponentId::merged(inputs.iter().map(|c| c.id())).expect("non-empty merge input");
+        let id = ComponentId::merged(inputs.iter().map(|c| c.id()))
+            .ok_or_else(|| Error::invalid("merge inputs carry no component IDs"))?;
         let mut filter: Option<RangeFilter> = None;
         for c in &inputs {
             if let Some(f) = c.range_filter() {
@@ -370,7 +569,8 @@ impl LsmTree {
     }
 
     /// Replaces the components of `range` with `new_comp`, optionally
-    /// destroying the old files.
+    /// retiring the old components (their files are destroyed once the last
+    /// concurrent reader drops its reference).
     pub fn replace_range(
         &self,
         range: MergeRange,
@@ -380,14 +580,19 @@ impl LsmTree {
         let removed: Vec<Arc<DiskComponent>> = {
             let mut disk = self.disk.write();
             let n = disk.len();
-            assert!(range.end < n, "merge range out of bounds");
+            if range.end >= n {
+                return Err(Error::invalid(format!(
+                    "{}: merge range {}..={} out of bounds ({n} components)",
+                    self.opts.name, range.start, range.end
+                )));
+            }
             let lo = n - 1 - range.end;
             let hi = n - 1 - range.start;
             disk.splice(lo..=hi, [new_comp]).collect()
         };
         if destroy_old {
             for c in removed {
-                c.destroy()?;
+                c.retire();
             }
         }
         Ok(())
@@ -420,6 +625,40 @@ impl LsmTree {
             opts,
         )
     }
+}
+
+/// Merges the active-component run over the sealed snapshot's `[lo, hi]`
+/// range; both are key-ordered, and the active entry wins a collision.
+fn merge_mem_runs(
+    active: Vec<(Key, LsmEntry)>,
+    sealed: Option<Arc<MemComponent>>,
+    lo: Bound<&[u8]>,
+    hi: Bound<&[u8]>,
+) -> Vec<(Key, LsmEntry)> {
+    let Some(sealed) = sealed else {
+        return active;
+    };
+    let mut out = Vec::with_capacity(active.len() + sealed.len());
+    let mut old = sealed.range(lo, hi).peekable();
+    for (k, e) in active {
+        while let Some((ok, _)) = old.peek() {
+            match ok.as_slice().cmp(&k) {
+                std::cmp::Ordering::Less => {
+                    let (ok, oe) = old.next().unwrap();
+                    out.push((ok.clone(), oe.clone()));
+                }
+                std::cmp::Ordering::Equal => {
+                    old.next(); // shadowed by the active entry
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        out.push((k, e));
+    }
+    for (ok, oe) in old {
+        out.push((ok.clone(), oe.clone()));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -563,7 +802,7 @@ mod tests {
         let bm = Arc::new(crate::bitmap::AtomicBitmap::new(older.num_entries()));
         let (_, ord) = older.search(&key(2)).unwrap().unwrap();
         bm.set(ord);
-        older.set_bitmap(bm);
+        older.set_bitmap(bm).unwrap();
 
         let merged = t.merge_range(MergeRange { start: 0, end: 1 }).unwrap();
         assert_eq!(merged.num_entries(), 4); // 0,1,3,9

@@ -14,8 +14,9 @@ use lsm_storage::{Storage, StorageOptions};
 use lsm_workload::{
     SelectivityQueries, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload,
 };
+use std::sync::Arc;
 
-fn build(strategy: StrategyKind, n: usize) -> Dataset {
+fn build(strategy: StrategyKind, n: usize) -> Arc<Dataset> {
     let dataset_bytes = n as u64 * 550;
     let mut cfg = DatasetConfig::new(TweetGenerator::schema(), 0);
     cfg.strategy = strategy;

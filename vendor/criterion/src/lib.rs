@@ -210,6 +210,9 @@ mod tests {
             .sample_size(3)
             .warm_up_time(Duration::ZERO)
             .measurement_time(Duration::ZERO);
+        // `cargo bench -- --test` leaks `--test` into this harness's args;
+        // these tests assert multi-sample behavior, so pin the mode.
+        c.test_mode = false;
         let mut calls = 0u32;
         c.bench_function("smoke", |b| {
             b.iter(|| {
@@ -225,6 +228,7 @@ mod tests {
         let mut c = Criterion::default()
             .sample_size(4)
             .warm_up_time(Duration::ZERO);
+        c.test_mode = false;
         let mut group = c.benchmark_group("g");
         let mut setups = 0u32;
         group.bench_function("batched", |b| {

@@ -106,6 +106,23 @@ impl Condvar {
         replace_with(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
     }
 
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
     pub fn notify_one(&self) -> bool {
         self.0.notify_one();
         true
@@ -114,6 +131,17 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.0.notify_all();
         0 // parking_lot returns the woken count; callers here ignore it
+    }
+}
+
+/// Result of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

@@ -38,7 +38,7 @@ pub mod strategy {
         }
     }
 
-    /// A type-erased strategy (what [`prop_oneof!`] builds on).
+    /// A type-erased strategy (what `prop_oneof!` builds on).
     pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
 
     impl<T> Clone for BoxedStrategy<T> {
@@ -79,7 +79,7 @@ pub mod strategy {
         }
     }
 
-    /// Weighted union of boxed strategies ([`prop_oneof!`]).
+    /// Weighted union of boxed strategies (`prop_oneof!`).
     pub struct Union<T> {
         entries: Vec<(u32, BoxedStrategy<T>)>,
         total: u64,
