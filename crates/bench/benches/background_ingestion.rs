@@ -12,8 +12,10 @@
 //! default configuration here; inline is the baseline it is compared
 //! against.
 
-use lsm_bench::{row, scaled, table_header, tweet_dataset_config, Env, EnvConfig};
-use lsm_engine::{Dataset, MaintenanceMode, StrategyKind};
+use lsm_bench::{
+    row, run_shared_runtime_scenario, scaled, table_header, tweet_dataset_config, Env, EnvConfig,
+};
+use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
 use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
 
@@ -72,4 +74,37 @@ fn main() {
         values.push(throughput);
         row(label, &values);
     }
+
+    // Maintenance-heavy: 8 small datasets, inline vs one shared bounded
+    // runtime (the per-dataset-pool design would run 16+ threads here; the
+    // shared runtime is capped at 4).
+    let datasets = 8;
+    let n_per = scaled(40_000) / datasets;
+    table_header(
+        "Shared maintenance runtime",
+        &format!("{datasets} datasets × {n_per} upserts each"),
+        &["variant", "aggregate ops/s", "quiesce", "peak workers"],
+    );
+    let r = run_shared_runtime_scenario(None, datasets, n_per);
+    row(
+        "multi-inline",
+        &[r.ingest_ops_per_sec, r.quiesce_wall_secs, 0.0],
+    );
+    let rt = MaintenanceRuntime::start(
+        EngineConfig::builder()
+            .min_workers(1)
+            .max_workers(4)
+            .build()
+            .expect("runtime config"),
+    )
+    .expect("runtime");
+    let r = run_shared_runtime_scenario(Some(&rt), datasets, n_per);
+    row(
+        "multi-shared-4w",
+        &[
+            r.ingest_ops_per_sec,
+            r.quiesce_wall_secs,
+            r.peak_workers as f64,
+        ],
+    );
 }

@@ -1,6 +1,7 @@
 //! CI perf snapshot: ingest throughput and point-lookup latency, inline vs
-//! background maintenance, written as JSON so the perf trajectory
-//! accumulates across commits.
+//! background maintenance, plus a maintenance-heavy scenario — many small
+//! datasets against one shared [`MaintenanceRuntime`] vs inline — written
+//! as JSON so the perf trajectory accumulates across commits.
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -10,9 +11,12 @@
 //! with `BENCH_OUT`, the workload size with `LSM_BENCH_SCALE`). CI uploads
 //! the file as a build artifact.
 
-use lsm_bench::{pk_of, scale, scaled, tweet_dataset_config, Env, EnvConfig};
+use lsm_bench::{
+    pk_of, run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, Env, EnvConfig,
+    SharedRuntimeRun,
+};
 use lsm_common::Value;
-use lsm_engine::{Dataset, MaintenanceMode, StrategyKind};
+use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
 use lsm_workload::{Op, TweetConfig, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
 use std::time::Instant;
@@ -92,6 +96,40 @@ fn run(mode: &'static str, maintenance: MaintenanceMode, n: usize) -> VariantRes
     }
 }
 
+struct MultiResult {
+    mode: &'static str,
+    datasets: usize,
+    records_per_dataset: usize,
+    run: SharedRuntimeRun,
+}
+
+fn json_multi(v: &MultiResult) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"{}\",\n",
+            "      \"datasets\": {},\n",
+            "      \"records_per_dataset\": {},\n",
+            "      \"ingest_wall_secs\": {:.4},\n",
+            "      \"ingest_ops_per_sec\": {:.1},\n",
+            "      \"quiesce_wall_secs\": {:.4},\n",
+            "      \"flush_jobs\": {},\n",
+            "      \"merge_jobs\": {},\n",
+            "      \"peak_workers\": {}\n",
+            "    }}"
+        ),
+        v.mode,
+        v.datasets,
+        v.records_per_dataset,
+        v.run.ingest_wall_secs,
+        v.run.ingest_ops_per_sec,
+        v.run.quiesce_wall_secs,
+        v.run.flush_jobs,
+        v.run.merge_jobs,
+        v.run.peak_workers,
+    )
+}
+
 fn json_variant(v: &VariantResult) -> String {
     format!(
         concat!(
@@ -133,11 +171,41 @@ fn main() {
             n,
         ),
     ];
+
+    // Maintenance-heavy scenario: many small datasets, inline vs one
+    // shared 4-worker runtime serving all of them.
+    let multi_datasets = 8;
+    let n_per = scaled(40_000) / multi_datasets;
+    let shared_rt = MaintenanceRuntime::start(
+        EngineConfig::builder()
+            .min_workers(1)
+            .max_workers(4)
+            .build()
+            .expect("runtime config"),
+    )
+    .expect("runtime");
+    let multi = [
+        MultiResult {
+            mode: "multi-inline",
+            datasets: multi_datasets,
+            records_per_dataset: n_per,
+            run: run_shared_runtime_scenario(None, multi_datasets, n_per),
+        },
+        MultiResult {
+            mode: "multi-shared-4w",
+            datasets: multi_datasets,
+            records_per_dataset: n_per,
+            run: run_shared_runtime_scenario(Some(&shared_rt), multi_datasets, n_per),
+        },
+    ];
+
     let body: Vec<String> = variants.iter().map(json_variant).collect();
+    let multi_body: Vec<String> = multi.iter().map(json_multi).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 2,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ]\n}}\n",
         scale(),
-        body.join(",\n")
+        body.join(",\n"),
+        multi_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -146,6 +214,12 @@ fn main() {
         eprintln!(
             "{}: {:.0} ops/s ingest, {:.2}us lookup, {} stalls",
             v.mode, v.ingest_ops_per_sec, v.lookup_wall_us, v.backpressure_stalls
+        );
+    }
+    for m in &multi {
+        eprintln!(
+            "{}: {} datasets × {} recs, {:.0} ops/s aggregate, peak {} workers",
+            m.mode, m.datasets, m.records_per_dataset, m.run.ingest_ops_per_sec, m.run.peak_workers
         );
     }
     eprintln!("wrote {out}");

@@ -22,7 +22,7 @@
 //! shapes.
 
 use lsm_common::{Record, Value};
-use lsm_engine::{Dataset, DatasetConfig, SecondaryIndexDef, StrategyKind};
+use lsm_engine::{Dataset, DatasetConfig, MaintenanceRuntime, SecondaryIndexDef, StrategyKind};
 use lsm_storage::{SimClock, Storage, StorageOptions};
 use lsm_workload::{Op, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
@@ -174,6 +174,103 @@ pub fn prepare_dataset(
     }
     ds.flush_all().expect("flush");
     (ds, workload)
+}
+
+/// What one maintenance-heavy multi-dataset run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedRuntimeRun {
+    /// Wall seconds for the concurrent ingest phase.
+    pub ingest_wall_secs: f64,
+    /// Aggregate writer throughput across all datasets.
+    pub ingest_ops_per_sec: f64,
+    /// Wall seconds draining every dataset's background queue.
+    pub quiesce_wall_secs: f64,
+    /// Background flush jobs executed, summed over the datasets.
+    pub flush_jobs: u64,
+    /// Background merge jobs executed, summed over the datasets.
+    pub merge_jobs: u64,
+    /// The runtime's maintenance-thread high-water mark (0 inline).
+    pub peak_workers: usize,
+}
+
+/// The maintenance-heavy scenario shared by `perf_snapshot` and the
+/// `background_ingestion` bench: `datasets` small tweet datasets ingest
+/// `n_per` upserts each on one writer thread apiece (distinct workload
+/// seeds), either maintaining inline (`runtime` = `None` — every writer
+/// pays its own flush/merge cost) or all registered on one shared
+/// [`MaintenanceRuntime`].
+pub fn run_shared_runtime_scenario(
+    runtime: Option<&Arc<MaintenanceRuntime>>,
+    datasets: usize,
+    n_per: usize,
+) -> SharedRuntimeRun {
+    let dataset_bytes = (n_per as u64) * 550;
+    let handles: Vec<Arc<Dataset>> = (0..datasets)
+        .map(|_| {
+            let env = Env::new(&EnvConfig {
+                dataset_bytes,
+                ssd: true,
+                ..Default::default()
+            });
+            let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+            // The scenario exists to exercise maintenance: size the budget
+            // below the ingested data even at bench-smoke scale, where the
+            // tweet config's 256KB floor would otherwise mean zero flushes.
+            cfg.memory_budget = ((dataset_bytes / 16) as usize).max(16 * 1024);
+            match runtime {
+                Some(rt) => Dataset::open_with_runtime(
+                    env.storage.clone(),
+                    Some(env.log_storage.clone()),
+                    cfg,
+                    rt,
+                )
+                .expect("dataset"),
+                None => Dataset::open(env.storage.clone(), Some(env.log_storage.clone()), cfg)
+                    .expect("dataset"),
+            }
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for (d, ds) in handles.iter().enumerate() {
+            scope.spawn(move || {
+                let mut workload = UpsertWorkload::new(
+                    TweetConfig {
+                        seed: d as u64 + 1,
+                        ..TweetConfig::default()
+                    },
+                    0.5,
+                    UpdateDistribution::Uniform,
+                );
+                for _ in 0..n_per {
+                    apply(ds, &workload.next_op());
+                }
+            });
+        }
+    });
+    let ingest_wall_secs = start.elapsed().as_secs_f64();
+    let q = std::time::Instant::now();
+    for ds in &handles {
+        ds.maintenance().quiesce().expect("quiesce");
+    }
+    let quiesce_wall_secs = q.elapsed().as_secs_f64();
+
+    let mut flush_jobs = 0;
+    let mut merge_jobs = 0;
+    for ds in &handles {
+        let snap = ds.stats().snapshot();
+        flush_jobs += snap.flush_jobs;
+        merge_jobs += snap.merge_jobs;
+    }
+    SharedRuntimeRun {
+        ingest_wall_secs,
+        ingest_ops_per_sec: (datasets * n_per) as f64 / ingest_wall_secs,
+        quiesce_wall_secs,
+        flush_jobs,
+        merge_jobs,
+        peak_workers: runtime.map_or(0, |rt| rt.stats().peak_workers),
+    }
 }
 
 /// A stopwatch pairing simulated and wall-clock time.

@@ -52,6 +52,15 @@ impl LogicalClock {
     pub fn advance_to(&self, ts: Timestamp) {
         self.next.fetch_max(ts + 1, Ordering::Relaxed);
     }
+
+    /// Forces the clock so the next tick returns `ts + 1`, going *backwards*
+    /// if needed. Only for crash simulation: a restarted process has no
+    /// memory of the pre-crash clock, and recovery is responsible for
+    /// advancing past everything durable. Ordinary code must use
+    /// [`LogicalClock::advance_to`], which never rewinds.
+    pub fn reset_for_crash(&self, ts: Timestamp) {
+        self.next.store(ts + 1, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]

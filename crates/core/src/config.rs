@@ -48,14 +48,159 @@ pub enum MaintenanceMode {
     /// memory budget trips. Deterministic — the mode used by the simulated
     /// (`sim_clock`) experiments and most tests.
     Inline,
-    /// Enqueue flush/merge jobs on a
-    /// [`MaintenanceScheduler`](crate::MaintenanceScheduler) worker pool;
-    /// writers only stall when
-    /// memory exceeds the hard ceiling ([`DatasetConfig::memory_ceiling`]).
+    /// Enqueue flush/merge jobs on a private
+    /// [`MaintenanceRuntime`](crate::MaintenanceRuntime) with exactly
+    /// `workers` threads; writers only stall when memory exceeds the hard
+    /// ceiling ([`DatasetConfig::memory_ceiling`]). To share one runtime
+    /// across many datasets, open them with
+    /// [`Dataset::open_with_runtime`](crate::Dataset::open_with_runtime)
+    /// instead.
     Background {
         /// Worker threads in the pool (at least 1).
         workers: usize,
     },
+}
+
+/// Configuration of an engine-wide
+/// [`MaintenanceRuntime`](crate::MaintenanceRuntime): one bounded worker
+/// pool serving every registered dataset, instead of one pool per dataset.
+///
+/// Build with [`EngineConfig::builder`]:
+///
+/// ```
+/// use lsm_engine::EngineConfig;
+/// let cfg = EngineConfig::builder()
+///     .min_workers(1)
+///     .max_workers(4)
+///     .io_read_limit(64 * 1024 * 1024) // throttle rebuild scans to 64MB/s
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.max_workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Permanent worker threads (spawned at startup, always running).
+    pub min_workers: usize,
+    /// Hard cap on concurrent maintenance threads. When the queue is deeper
+    /// than the live worker count, transient workers are spawned up to this
+    /// cap and retire once the queue drains.
+    pub max_workers: usize,
+    /// Token-bucket rate limit on device bytes *read* by maintenance jobs
+    /// (flush builds and merge/rebuild scans). `None` disables throttling.
+    pub io_read_bytes_per_sec: Option<u64>,
+    /// Token-bucket burst capacity in bytes. `None` defaults to one second
+    /// of the configured rate.
+    pub io_burst_bytes: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            min_workers: 1,
+            max_workers: 4,
+            io_read_bytes_per_sec: None,
+            io_burst_bytes: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Starts building a runtime configuration from the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+
+    /// A fixed-size pool: `min_workers == max_workers == workers`, no
+    /// throttling (the shape of the per-dataset
+    /// [`MaintenanceMode::Background`] pool).
+    pub fn fixed(workers: usize) -> Self {
+        EngineConfig {
+            min_workers: workers,
+            max_workers: workers,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The effective token-bucket burst: configured value, or one second of
+    /// the rate.
+    pub fn effective_burst_bytes(&self) -> Option<u64> {
+        self.io_read_bytes_per_sec
+            .map(|rate| self.io_burst_bytes.unwrap_or(rate).max(1))
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_workers == 0 {
+            return Err(Error::invalid("runtime requires at least one worker"));
+        }
+        if self.max_workers < self.min_workers {
+            return Err(Error::invalid("max_workers must be at least min_workers"));
+        }
+        if self.io_read_bytes_per_sec == Some(0) {
+            return Err(Error::invalid("io_read_bytes_per_sec must be non-zero"));
+        }
+        if self.io_burst_bytes.is_some() && self.io_read_bytes_per_sec.is_none() {
+            return Err(Error::invalid(
+                "io_burst_bytes requires io_read_bytes_per_sec (a burst without a rate \
+                 would silently leave maintenance I/O unthrottled)",
+            ));
+        }
+        if self.io_burst_bytes == Some(0) {
+            return Err(Error::invalid(
+                "io_burst_bytes must be non-zero (a zero burst would collapse maintenance \
+                 reads to one byte per refill regardless of the rate)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`]; obtained from [`EngineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the permanent worker count.
+    pub fn min_workers(mut self, n: usize) -> Self {
+        self.cfg.min_workers = n;
+        self
+    }
+
+    /// Sets the maintenance-thread cap.
+    pub fn max_workers(mut self, n: usize) -> Self {
+        self.cfg.max_workers = n;
+        self
+    }
+
+    /// Fixes the pool size: `min_workers = max_workers = n` (no adaptive
+    /// scaling).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.min_workers = n;
+        self.cfg.max_workers = n;
+        self
+    }
+
+    /// Throttles maintenance device reads to `bytes_per_sec`.
+    pub fn io_read_limit(mut self, bytes_per_sec: u64) -> Self {
+        self.cfg.io_read_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets the throttle burst capacity.
+    pub fn io_burst(mut self, bytes: u64) -> Self {
+        self.cfg.io_burst_bytes = Some(bytes);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 /// Definition of one secondary index.
@@ -342,6 +487,39 @@ mod tests {
         c.validate().unwrap();
         c.memory_ceiling = None;
         assert_eq!(c.effective_memory_ceiling(), 2048);
+    }
+
+    #[test]
+    fn engine_config_builder_validates() {
+        assert!(EngineConfig::builder().min_workers(0).build().is_err());
+        assert!(EngineConfig::builder()
+            .min_workers(3)
+            .max_workers(2)
+            .build()
+            .is_err());
+        assert!(EngineConfig::builder().io_read_limit(0).build().is_err());
+        assert!(
+            EngineConfig::builder().io_burst(4096).build().is_err(),
+            "burst without a rate must not validate"
+        );
+        assert!(
+            EngineConfig::builder()
+                .io_read_limit(1024)
+                .io_burst(0)
+                .build()
+                .is_err(),
+            "zero burst must not validate"
+        );
+        let cfg = EngineConfig::builder()
+            .workers(2)
+            .io_read_limit(1024)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.min_workers, cfg.max_workers), (2, 2));
+        assert_eq!(cfg.effective_burst_bytes(), Some(1024));
+        let fixed = EngineConfig::fixed(3);
+        assert_eq!((fixed.min_workers, fixed.max_workers), (3, 3));
+        assert_eq!(fixed.effective_burst_bytes(), None);
     }
 
     #[test]

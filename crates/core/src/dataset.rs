@@ -7,9 +7,9 @@
 //! sharing one memory budget so they always flush together. Component IDs
 //! are `(minTS, maxTS)` intervals over a per-dataset logical clock.
 
-use crate::config::{DatasetConfig, MaintenanceMode, StrategyKind};
+use crate::config::{DatasetConfig, EngineConfig, MaintenanceMode, StrategyKind};
 use crate::keys::{encode_pk, encode_sk_pk};
-use crate::scheduler::{MaintenanceScheduler, SchedulerShared};
+use crate::scheduler::{MaintenanceRuntime, RuntimeHandle};
 use crate::stats::EngineStats;
 use crate::txn::{LockManager, LogOp, LogRecord, Wal};
 use lsm_common::{Error, LogicalClock, Record, Result, Timestamp, Value};
@@ -53,11 +53,13 @@ pub struct Dataset {
     /// flush only reads memory; a merge only reads disk components), but
     /// two merges racing would work from stale component indices.
     merge_mutex: Mutex<()>,
-    /// The background maintenance worker pool, when running.
-    scheduler: Mutex<Option<MaintenanceScheduler>>,
-    /// Lock-free handle to the scheduler's shared state (set once when the
-    /// pool starts) — the hot write path must not take a mutex per op.
-    sched_shared: std::sync::OnceLock<Arc<SchedulerShared>>,
+    /// This dataset's registration on a [`MaintenanceRuntime`] (set once,
+    /// lock-free thereafter — the hot write path must not take a mutex per
+    /// op). Holding the handle keeps the runtime alive; a dataset opened
+    /// with [`MaintenanceMode::Background`] owns a private fixed-size
+    /// runtime, one opened with [`Dataset::open_with_runtime`] shares the
+    /// caller's.
+    runtime: std::sync::OnceLock<RuntimeHandle>,
     /// Mutable-bitmap flushes: deletes of versions sitting in the sealed
     /// (immutable, mid-flush) snapshot are routed here and applied to the
     /// new component's bitmap before it becomes visible — the §5.3
@@ -113,13 +115,15 @@ impl std::fmt::Debug for Dataset {
 }
 
 impl Drop for Dataset {
-    /// Graceful shutdown of the background worker pool: signal, drain
-    /// in-flight rebuilds, join. Runs when the last `Arc<Dataset>` drops —
-    /// possibly on a worker thread (a job holds a temporary strong
-    /// reference), which `shutdown_and_join` handles by detaching itself.
+    /// Deregisters from the maintenance runtime (discarding this dataset's
+    /// queued jobs — workers hold only weak references, so none can be
+    /// mid-execution here). If this dataset owned the runtime's last
+    /// handle, the runtime itself then shuts down, draining in-flight
+    /// rebuilds — possibly on a worker thread (a job holds a temporary
+    /// strong reference), which the runtime handles by detaching itself.
     fn drop(&mut self) {
-        if let Some(sched) = self.scheduler.get_mut().take() {
-            sched.shutdown_and_join();
+        if let Some(handle) = self.runtime.get() {
+            handle.deregister();
         }
     }
 }
@@ -129,11 +133,42 @@ impl Dataset {
     /// given (the paper dedicates a second disk to the WAL).
     ///
     /// Returns an [`Arc`] so the dataset can be shared with concurrent
-    /// writers and with the background maintenance workers of
-    /// [`MaintenanceMode::Background`] (which is started automatically when
-    /// configured). Dropping the last handle shuts the worker pool down
-    /// after draining in-flight rebuilds.
+    /// writers and with background maintenance workers.
+    /// [`MaintenanceMode::Background`] starts a *private* fixed-size
+    /// [`MaintenanceRuntime`] for this dataset; to share one bounded
+    /// runtime across many datasets use [`Dataset::open_with_runtime`].
+    /// Dropping the last handle deregisters the dataset (and shuts a
+    /// private runtime down after draining in-flight rebuilds).
     pub fn open(
+        storage: Arc<Storage>,
+        log_storage: Option<Arc<Storage>>,
+        cfg: DatasetConfig,
+    ) -> Result<Arc<Self>> {
+        let ds = Self::build(storage, log_storage, cfg)?;
+        if let MaintenanceMode::Background { workers } = ds.cfg.maintenance {
+            ds.start_background(workers)?;
+        }
+        Ok(ds)
+    }
+
+    /// Opens an empty dataset registered on an existing shared
+    /// [`MaintenanceRuntime`]: flushes and merges are enqueued on the
+    /// runtime's prioritized queue and executed by its bounded worker pool
+    /// alongside every other registered dataset's jobs. Any
+    /// [`MaintenanceMode::Background`] worker count in `cfg` is ignored —
+    /// the shared runtime's [`EngineConfig`] governs.
+    pub fn open_with_runtime(
+        storage: Arc<Storage>,
+        log_storage: Option<Arc<Storage>>,
+        cfg: DatasetConfig,
+        runtime: &Arc<MaintenanceRuntime>,
+    ) -> Result<Arc<Self>> {
+        let ds = Self::build(storage, log_storage, cfg)?;
+        ds.attach_runtime(runtime.clone())?;
+        Ok(ds)
+    }
+
+    fn build(
         storage: Arc<Storage>,
         log_storage: Option<Arc<Storage>>,
         cfg: DatasetConfig,
@@ -193,8 +228,7 @@ impl Dataset {
             dataset_lock: RwLock::new(()),
             flush_mutex: Mutex::new(()),
             merge_mutex: Mutex::new(()),
-            scheduler: Mutex::new(None),
-            sched_shared: std::sync::OnceLock::new(),
+            runtime: std::sync::OnceLock::new(),
             flush_deletes: Mutex::new(None),
             poison: Mutex::new(None),
             poisoned: std::sync::atomic::AtomicBool::new(false),
@@ -202,45 +236,54 @@ impl Dataset {
             storage,
             cfg,
         });
-        if let MaintenanceMode::Background { workers } = ds.cfg.maintenance {
-            ds.start_background(workers)?;
-        }
         Ok(ds)
     }
 
     // ---- background maintenance --------------------------------------------
 
-    /// Starts the background worker pool ([`Maintenance::background`]
-    /// (crate::Maintenance::background) is the public entry point).
+    /// Starts a private fixed-size runtime for this dataset
+    /// ([`Maintenance::background`](crate::Maintenance::background) is the
+    /// public entry point).
     pub(crate) fn start_background(&self, workers: usize) -> Result<()> {
         if workers == 0 {
             return Err(Error::invalid(
                 "background maintenance requires at least one worker",
             ));
         }
+        self.attach_runtime(MaintenanceRuntime::start(EngineConfig::fixed(workers))?)
+    }
+
+    /// Registers this dataset on `runtime`. Errors if it is already
+    /// registered (on any runtime).
+    fn attach_runtime(&self, runtime: Arc<MaintenanceRuntime>) -> Result<()> {
         let arc = self
             .self_ref
             .upgrade()
             .ok_or_else(|| Error::invalid("dataset is shutting down"))?;
-        let mut slot = self.scheduler.lock();
-        if slot.is_some() {
+        let id = runtime.register(&arc);
+        let handle = RuntimeHandle::new(runtime, id);
+        if let Err(handle) = self.runtime.set(handle) {
+            handle.deregister();
             return Err(Error::invalid("background maintenance already running"));
         }
-        let sched = MaintenanceScheduler::start(&arc, workers);
-        let _ = self.sched_shared.set(sched.shared().clone());
-        *slot = Some(sched);
         Ok(())
     }
 
-    /// The scheduler's shared state, when background maintenance runs
-    /// (lock-free: read on every write operation).
-    pub(crate) fn scheduler_shared(&self) -> Option<&Arc<SchedulerShared>> {
-        self.sched_shared.get()
+    /// This dataset's runtime registration, when background maintenance
+    /// runs (lock-free: read on every write operation).
+    pub(crate) fn runtime_handle(&self) -> Option<&RuntimeHandle> {
+        self.runtime.get()
     }
 
-    /// True if a background worker pool is serving this dataset.
+    /// True if a background maintenance runtime is serving this dataset.
     pub fn is_background(&self) -> bool {
-        self.sched_shared.get().is_some()
+        self.runtime.get().is_some()
+    }
+
+    /// The maintenance runtime serving this dataset, if any (private or
+    /// shared) — e.g. for [`MaintenanceRuntime::stats`].
+    pub fn maintenance_runtime(&self) -> Option<&Arc<MaintenanceRuntime>> {
+        self.runtime.get().map(|h| h.runtime())
     }
 
     /// Records a fatal background-maintenance failure. The first error
@@ -256,8 +299,8 @@ impl Dataset {
         }
         self.poisoned
             .store(true, std::sync::atomic::Ordering::SeqCst);
-        if let Some(shared) = self.scheduler_shared() {
-            shared.notify_stalled();
+        if let Some(handle) = self.runtime_handle() {
+            handle.notify_stalled();
         }
     }
 
@@ -365,9 +408,43 @@ impl Dataset {
 
     /// Re-executes the bitmap mutation of a logged delete/upsert whose entry
     /// effects are already durable (recovery redo path).
-    pub(crate) fn redo_bitmap_mark(&self, pk_key: &[u8]) -> Result<()> {
-        if self.cfg.strategy == StrategyKind::MutableBitmap {
-            self.mark_old_version_deleted(pk_key)?;
+    ///
+    /// The live-path probe ([`Dataset::mark_old_version_deleted`]) marks
+    /// the newest valid version — correct *before* the operation's own
+    /// entry exists, but during redo that entry (timestamp == `lsn`) may
+    /// already sit in a flushed component, and marking it would delete the
+    /// operation's own effect. The mark belongs to the version the
+    /// operation replaced: the newest non-anti-matter entry *older* than
+    /// the operation itself. Idempotent; runs single-threaded (recovery),
+    /// so no successor-redirection is needed.
+    pub(crate) fn redo_bitmap_mark(&self, pk_key: &[u8], lsn: Timestamp) -> Result<()> {
+        if self.cfg.strategy != StrategyKind::MutableBitmap {
+            return Ok(());
+        }
+        let pk_tree = self
+            .pk_index
+            .as_ref()
+            .ok_or_else(|| Error::invalid("mutable-bitmap requires the primary key index"))?;
+        for comp in pk_tree.disk_components() {
+            if !comp.bloom_may_contain(self.storage.as_ref(), pk_key) {
+                continue;
+            }
+            let Some((entry, ordinal)) = comp.search(pk_key)? else {
+                continue;
+            };
+            if entry.ts >= lsn {
+                // The redone operation's own entry (or a later replayed
+                // one): the replaced version is in an older component.
+                continue;
+            }
+            if entry.anti_matter || !comp.is_valid(ordinal) {
+                return Ok(()); // already deleted/marked; older versions stale
+            }
+            let bitmap = comp
+                .bitmap()
+                .ok_or_else(|| Error::corruption("mutable-bitmap component carries no bitmap"))?;
+            bitmap.set(ordinal);
+            return Ok(());
         }
         Ok(())
     }
@@ -765,13 +842,58 @@ impl Dataset {
         &self.merge_mutex
     }
 
-    /// Plans the policy's current merge work and enqueues it on `shared`,
-    /// counting each job actually added.
-    pub(crate) fn schedule_planned_merges(&self, shared: &SchedulerShared) {
+    /// Plans the policy's current merge work and enqueues it on the
+    /// runtime through `handle`, counting each job actually added. Merges
+    /// are prioritized smallest-estimated-input-first on the shared queue.
+    pub(crate) fn schedule_planned_merges(&self, handle: &RuntimeHandle) {
         for plan in self.plan_merges() {
-            if shared.schedule_merge(plan) {
+            let est = self.estimate_merge_bytes(&plan);
+            if handle.schedule_merge(plan, est) {
                 self.stats.bump(&self.stats.jobs_enqueued);
             }
+        }
+    }
+
+    /// Estimated input bytes of a planned merge — the priority key that
+    /// orders merge jobs smallest-first on the shared runtime's queue.
+    /// Stale plans (range no longer fits) estimate to 0 and are skipped at
+    /// execution time anyway.
+    pub(crate) fn estimate_merge_bytes(&self, plan: &MergePlan) -> u64 {
+        fn range_bytes(tree: &LsmTree, range: MergeRange) -> u64 {
+            tree.components_in_range(range)
+                .iter()
+                .map(|c| c.byte_size())
+                .sum()
+        }
+        match plan.target {
+            MergeTarget::Correlated => {
+                let mut total = range_bytes(&self.primary, plan.range);
+                if let Some(pk_tree) = &self.pk_index {
+                    total += range_bytes(pk_tree, plan.range);
+                }
+                for sec in &self.secondaries {
+                    total += range_bytes(&sec.tree, plan.range);
+                }
+                total
+            }
+            MergeTarget::Primary => range_bytes(&self.primary, plan.range),
+            MergeTarget::PkIndex => self
+                .pk_index
+                .as_ref()
+                .map_or(0, |t| range_bytes(t, plan.range)),
+            MergeTarget::Secondary(i) => self
+                .secondaries
+                .get(i)
+                .map_or(0, |s| range_bytes(&s.tree, plan.range)),
+        }
+    }
+
+    /// Blocks until this dataset's background jobs (queued + in-flight)
+    /// are drained; a no-op in inline mode. Recovery uses this to pause
+    /// structural maintenance before touching component state.
+    pub(crate) fn drain_background(&self) {
+        if let Some(handle) = self.runtime_handle() {
+            handle.wait_idle();
         }
     }
 
@@ -826,7 +948,17 @@ impl Dataset {
     }
 
     fn maybe_flush_and_merge(&self) -> Result<()> {
-        let Some(shared) = self.scheduler_shared() else {
+        // Recovery replay rewinds the clock between operations
+        // (`advance_to` per log record); a background job racing that would
+        // stamp components and stall writers against a queue nobody else
+        // drains — recovery is single-threaded (Section 2.2), so replay
+        // always maintains inline.
+        let handle = if self.recovering.load(std::sync::atomic::Ordering::SeqCst) {
+            None
+        } else {
+            self.runtime_handle()
+        };
+        let Some(handle) = handle else {
             // Inline mode: the writer pays for maintenance synchronously.
             if self.mem_total_bytes() > self.cfg.memory_budget {
                 self.flush_all()?;
@@ -838,18 +970,22 @@ impl Dataset {
         // the hard ceiling, preserving the shared-memory-budget semantics.
         let (active, unflushed) = self.mem_usage();
         if active > self.cfg.memory_budget {
-            if shared.schedule_flush() {
+            // Refresh the depth gauge only when a job was actually added:
+            // the runtime's state mutex is engine-global now, and the
+            // over-budget window covers many writes — one lock per write
+            // (inside schedule_flush), not two.
+            if handle.schedule_flush() {
                 self.stats.bump(&self.stats.jobs_enqueued);
+                self.stats.queue_depth.store(
+                    handle.queue_depth() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
             }
-            self.stats.queue_depth.store(
-                shared.queue_depth() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
         }
         let ceiling = self.cfg.effective_memory_ceiling();
         if unflushed > ceiling {
             self.stats.bump(&self.stats.backpressure_stalls);
-            shared.stall_until(|| self.mem_unflushed_bytes() <= ceiling || self.is_poisoned());
+            handle.stall_until(|| self.mem_unflushed_bytes() <= ceiling || self.is_poisoned());
             self.check_poisoned()?;
         }
         Ok(())

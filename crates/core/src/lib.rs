@@ -81,38 +81,71 @@
 //!
 //! ## Background maintenance
 //!
-//! Structural maintenance (flush + merge) runs in one of two modes
-//! ([`MaintenanceMode`], configured per dataset):
+//! Structural maintenance (flush + merge) is either **inline** — the
+//! writer that trips the memory budget pays for the flush and the
+//! follow-up merges synchronously; deterministic, used by the `sim_clock`
+//! experiments and most tests — or runs on a [`MaintenanceRuntime`]: a
+//! bounded, engine-wide worker pool shared by every dataset registered
+//! with it.
 //!
-//! * **`Inline`** (default): the writer that trips the memory budget pays
-//!   for the flush and the follow-up merges synchronously. Deterministic,
-//!   used by the `sim_clock` experiments and most tests.
-//! * **`Background { workers }`**: a [`MaintenanceScheduler`] worker pool
-//!   owns the rebuilds. Writers only *enqueue* jobs — one flush job per
-//!   dataset, merge jobs deduped by `(target, range)` — and the §5.3
-//!   machinery (`BuildLink` redirection, bitmap sharing before
-//!   installation, retire-on-drop components) makes concurrent writes
-//!   during rebuilds correct. Activate it via
-//!   `ds.maintenance().background(n)` or by opening the dataset with the
-//!   mode preset; `ds.maintenance().quiesce()` drains the queue, and
-//!   `flush_now()` forces a synchronous flush in either mode.
+//! **Registration.** Build a runtime from an [`EngineConfig`]
+//! (`EngineConfig::builder().min_workers(1).max_workers(4).build()`) with
+//! [`MaintenanceRuntime::start`], then open datasets on it with
+//! [`Dataset::open_with_runtime`] — hundreds of datasets share one bounded
+//! pool instead of spawning one pool each. Opening with
+//! [`MaintenanceMode::Background`]`{ workers }` (or calling
+//! `ds.maintenance().background(n)`) instead gives the dataset a *private*
+//! fixed-size runtime, preserving the PR 2 per-dataset behaviour. A
+//! dataset deregisters on drop, discarding its queued jobs; the runtime
+//! shuts down, draining in-flight rebuilds, when its last handle drops.
 //!
-//! The **backpressure contract**: writers never block on the queue.
-//! Crossing the memory *budget* only schedules a flush; a writer stalls
-//! solely when active + flushing memory exceeds the hard *ceiling*
+//! **Priorities.** The queue is a priority queue, not FIFO: flush jobs run
+//! before merge jobs (flushes are what release stalled writer memory), and
+//! merges run smallest-estimated-input-first so cheap consolidations are
+//! never stuck behind a giant merge. Jobs stay deduped — one flush job per
+//! dataset, merges keyed by `(dataset, target, range)`. The §5.3 machinery
+//! (`BuildLink` redirection, bitmap sharing before installation,
+//! retire-on-drop components) makes concurrent writes during rebuilds
+//! correct.
+//!
+//! **Adaptive workers & throttling.** `min_workers` threads are permanent;
+//! when the queue outgrows the live workers, transient workers spawn up to
+//! `max_workers` — never beyond, which bounds maintenance threads for the
+//! whole engine — and retire once the queue drains. With
+//! `EngineConfig::io_read_bytes_per_sec` set, workers run every job under
+//! a token bucket ([`lsm_storage::IoThrottle`]) charged on device reads,
+//! so rebuild scans cannot monopolize read bandwidth; foreground queries
+//! are never throttled. Per-runtime counters (queue depth, worker
+//! high-water mark, throttle waits) come from
+//! [`MaintenanceRuntime::stats`], per-dataset ones from [`EngineStats`].
+//!
+//! **Backpressure.** Writers never block on the queue. Crossing the memory
+//! *budget* only schedules a flush; a writer stalls solely when active +
+//! flushing memory exceeds the hard *ceiling*
 //! (`DatasetConfig::memory_ceiling`, default 2× the budget), and resumes
 //! as soon as a flush frees memory. A failed or panicked job **poisons**
-//! the dataset — the next write (and `quiesce`) returns the stored error
-//! instead of the process aborting; queue depth, executed job, and stall
-//! counts are exposed through [`EngineStats`].
+//! its dataset — the next write (and `quiesce`) returns the stored error
+//! instead of the process aborting; other datasets on the runtime are
+//! unaffected.
+//!
+//! **Recovery interaction contract.** `ds.maintenance().quiesce()` drains
+//! *this dataset's* jobs only. [`recovery::checkpoint`] and
+//! [`recovery::simulate_crash`] serialize behind the dataset's flush and
+//! merge locks, so a checkpoint is a consistent snapshot even with a merge
+//! in flight; [`recovery::recover`] drains the dataset's background jobs,
+//! replays with maintenance forced *inline* (replay rewinds the logical
+//! clock — background jobs must not race it), and advances the clock past
+//! everything durable and replayed before returning.
 //!
 //! # Deprecation path
 //!
 //! The historical free functions — [`query::secondary_query`],
 //! [`repair::full_repair`], [`repair::merge_repair_secondary`],
 //! [`repair::standalone_repair_secondary`], [`repair::primary_repair`] —
-//! remain as `#[deprecated]` shims delegating to the builders and will be
-//! removed once external callers migrate.
+//! remain as `#[deprecated]` shims delegating to the builders, and the
+//! per-dataset `MaintenanceScheduler` name survives as a `#[deprecated]`
+//! alias of [`MaintenanceRuntime`]; all will be removed once external
+//! callers migrate.
 
 pub mod cc;
 pub mod config;
@@ -126,15 +159,26 @@ pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
-pub use config::{DatasetConfig, MaintenanceMode, MergeConfig, SecondaryIndexDef, StrategyKind};
+pub use config::{
+    DatasetConfig, EngineConfig, EngineConfigBuilder, MaintenanceMode, MergeConfig,
+    SecondaryIndexDef, StrategyKind,
+};
 pub use dataset::{Dataset, MergePlan, MergeTarget, SecondaryIndex};
 pub use maintenance::{Maintenance, RepairPlan};
 pub use query::{
     PreparedQuery, QueryBuilder, QueryOptions, QueryResult, RecordStream, ValidationMethod,
 };
 pub use repair::{RepairMode, RepairOptions, RepairReport};
-pub use scheduler::MaintenanceScheduler;
+pub use scheduler::{MaintenanceRuntime, RuntimeStatsSnapshot};
 pub use stats::{EngineStats, EngineStatsSnapshot};
+
+/// The per-dataset scheduler's old name, kept as an alias so downstream
+/// code migrates with a warning instead of a hard break.
+#[deprecated(
+    note = "renamed to MaintenanceRuntime — one engine-wide runtime now serves many datasets \
+            (register with Dataset::open_with_runtime)"
+)]
+pub type MaintenanceScheduler = MaintenanceRuntime;
 
 // Deprecated free functions, re-exported for backwards compatibility.
 #[allow(deprecated)]

@@ -81,39 +81,41 @@ impl<'a> Maintenance<'a> {
 
     // ---- background maintenance -------------------------------------------
 
-    /// Moves maintenance off the writer's critical path: spawns a pool of
-    /// `workers` background threads that execute flush and merge jobs.
+    /// Moves maintenance off the writer's critical path: starts a private
+    /// fixed-size [`MaintenanceRuntime`](crate::MaintenanceRuntime) with
+    /// `workers` threads executing this dataset's flush and merge jobs.
     /// Writers then only *enqueue* work when the memory budget trips, and
     /// stall solely at the hard ceiling
     /// ([`DatasetConfig::memory_ceiling`](crate::DatasetConfig)). Errors if
-    /// a pool is already running or `workers` is zero.
+    /// the dataset is already registered on a runtime or `workers` is zero.
     ///
     /// Datasets opened with
     /// [`MaintenanceMode::Background`](crate::MaintenanceMode) start their
-    /// pool automatically.
+    /// private runtime automatically; datasets opened with
+    /// [`Dataset::open_with_runtime`](crate::Dataset::open_with_runtime)
+    /// share the caller's.
     pub fn background(&self, workers: usize) -> Result<()> {
         self.ds.start_background(workers)
     }
 
-    /// Blocks until the background queue is drained and every in-flight
-    /// flush/merge has completed (a no-op in inline mode), then surfaces
-    /// any background failure. The dataset is structurally quiescent
+    /// Blocks until *this dataset's* background jobs — queued and
+    /// in-flight — have completed (a no-op in inline mode), then surfaces
+    /// any background failure. On a shared runtime, other datasets' queued
+    /// jobs are left untouched. The dataset is structurally quiescent
     /// afterwards — the state multi-threaded tests verify against.
     pub fn quiesce(&self) -> Result<()> {
-        if let Some(shared) = self.ds.scheduler_shared() {
-            shared.wait_idle();
-        }
+        self.ds.drain_background();
         self.ds.maintenance_stats_refresh();
         self.ds.check_poisoned()
     }
 
     /// Flushes synchronously on the calling thread regardless of mode,
-    /// handing any follow-up merge work to the background pool when one is
-    /// running. Returns `true` if anything was flushed.
+    /// handing any follow-up merge work to the background runtime when one
+    /// is attached. Returns `true` if anything was flushed.
     pub fn flush_now(&self) -> Result<bool> {
         let flushed = self.ds.flush_all()?;
-        if let Some(shared) = self.ds.scheduler_shared() {
-            self.ds.schedule_planned_merges(shared);
+        if let Some(handle) = self.ds.runtime_handle() {
+            self.ds.schedule_planned_merges(handle);
         }
         Ok(flushed)
     }

@@ -60,13 +60,27 @@ pub fn filter_scan_count(
     // Atomic memory+disk capture: an entry mid-flush appears in exactly
     // one of the two, which the Mutable-bitmap branch (no reconciliation)
     // depends on — a separate capture could see it twice or not at all.
-    // The memory prune is evaluated under the capture locks against the
-    // filter describing the captured entries (the live filter would be
-    // wrong: a flush may have rotated the memtable in between).
-    let (mem_snapshot, comps) =
-        primary.mem_and_disk_snapshot_if(scan_lo, scan_hi, |f| overlaps(f, lo, hi));
+    // The memory filter's overlap is evaluated under the capture locks
+    // against the filter describing the captured entries (the live filter
+    // would be wrong: a flush may have rotated the memtable in between),
+    // but whether a non-overlapping memory run can be *pruned* depends on
+    // the strategy: Eager widens the filter by old records and
+    // Mutable-bitmap deletes in place, so their filters are accurate;
+    // Validation covers new records only and must still read memory for
+    // overriding updates whenever an older component is read — the
+    // captured disk list decides that atomically, so a fully-pruned query
+    // still skips the memory copy.
+    let lazy_mem = matches!(
+        ds.config().strategy,
+        StrategyKind::Validation | StrategyKind::DeletedKeyBTree
+    );
+    let mut mem_filter_overlaps = false;
+    let (mem_snapshot, comps) = primary.mem_and_disk_snapshot_if(scan_lo, scan_hi, |f, disk| {
+        mem_filter_overlaps = overlaps(f, lo, hi);
+        mem_filter_overlaps || (lazy_mem && disk.iter().any(|c| overlaps(c.range_filter(), lo, hi)))
+    });
     let mem_all = mem_snapshot.unwrap_or_default();
-    let mem_overlaps = !mem_all.is_empty();
+    let mem_overlaps = mem_filter_overlaps && !mem_all.is_empty();
 
     let mut report = FilterScanReport::default();
     let matches_pred = |record: &Record| -> bool {
@@ -274,6 +288,27 @@ mod tests {
         let r = filter_scan_count(&ds, None, Some(&Value::Int(10))).unwrap();
         assert_eq!(r.components_pruned, 3); // two newer + ... of 4 comps
         assert_eq!(r.matches, 1);
+    }
+
+    /// Regression: an unflushed update whose new filter value does NOT
+    /// overlap the query must still override its old on-disk version under
+    /// Validation — the memory run cannot be pruned by its own filter when
+    /// an older component is read (the quickstart scenario).
+    #[test]
+    fn validation_reads_memory_even_when_its_filter_misses() {
+        for s in [StrategyKind::Validation, StrategyKind::DeletedKeyBTree] {
+            let ds = dataset(s);
+            for i in 0..3 {
+                ds.insert(&rec(i, i)).unwrap();
+            }
+            ds.flush_all().unwrap();
+            // Move id 0 to time 100 — stays in memory, mem filter [100,100].
+            ds.upsert(&rec(0, 100)).unwrap();
+            // Old-data query: mem filter misses, but the stale version of
+            // id 0 must still be overridden.
+            let r = filter_scan_count(&ds, None, Some(&Value::Int(10))).unwrap();
+            assert_eq!(r.matches, 2, "{s:?}: stale version leaked");
+        }
     }
 
     #[test]

@@ -1,36 +1,56 @@
-//! Background maintenance: a worker pool executing flush and merge jobs
-//! off the writer's critical path.
+//! Background maintenance: an engine-wide worker pool executing flush and
+//! merge jobs for every registered dataset.
 //!
 //! Luo & Carey design the maintenance strategies so that writers proceed
 //! *concurrently* with flush/merge rebuilds (Section 5.3 — the `BuildLink`
 //! machinery, bitmap redirection, and the timestamp protocol). The
-//! [`MaintenanceScheduler`] exploits that: in
-//! [`MaintenanceMode::Background`](crate::MaintenanceMode) writers only
-//! *enqueue* work when the memory budget trips, and a pool of worker
-//! threads seals memory components, builds disk components, and runs
-//! policy-driven merges while ingestion continues.
+//! [`MaintenanceRuntime`] exploits that: writers only *enqueue* work when
+//! the memory budget trips, and a bounded pool of worker threads seals
+//! memory components, builds disk components, and runs policy-driven merges
+//! while ingestion continues. Unlike a per-dataset pool, one runtime serves
+//! *all* datasets registered with it — a node hosting hundreds of datasets
+//! runs a handful of maintenance threads, not hundreds.
 //!
 //! Contracts:
 //!
+//! * **Registration** — datasets join on
+//!   [`Dataset::open_with_runtime`](crate::Dataset::open_with_runtime) (or
+//!   get a private fixed-size runtime from
+//!   [`MaintenanceMode::Background`](crate::MaintenanceMode)) and leave when
+//!   dropped; deregistration discards the dataset's queued jobs.
+//! * **Priorities** — the queue is a priority queue, not FIFO: flushes run
+//!   before merges (they release writer memory), and merges run
+//!   smallest-estimated-input-first so cheap consolidation is never stuck
+//!   behind a giant merge.
 //! * **Dedup** — at most one flush job per dataset is queued at a time, and
-//!   merge jobs are keyed by `(target, MergeRange)`; re-enqueueing queued
-//!   work is a no-op.
+//!   merge jobs are keyed by `(dataset, target, MergeRange)`; re-enqueueing
+//!   queued work is a no-op.
+//! * **Adaptive scaling** — [`EngineConfig::min_workers`] threads are
+//!   permanent; when the queue outgrows the live workers, transient workers
+//!   spawn up to [`EngineConfig::max_workers`] (never beyond) and retire
+//!   once the queue drains.
+//! * **I/O throttling** — when [`EngineConfig::io_read_bytes_per_sec`] is
+//!   set, workers install the runtime's token bucket
+//!   ([`lsm_storage::IoThrottle`]) for the duration of each job, so rebuild
+//!   scans cannot monopolize device read bandwidth.
 //! * **Backpressure** — writers never block on the queue itself; they stall
 //!   only when active + flushing memory exceeds the hard ceiling
 //!   ([`DatasetConfig::memory_ceiling`](crate::DatasetConfig), default 2×
 //!   the budget), preserving the paper's shared-memory-budget semantics.
-//! * **Error propagation** — a job error (or panic) poisons the dataset;
+//! * **Error propagation** — a job error (or panic) poisons its dataset;
 //!   the next write fails with the stored cause instead of the process
-//!   aborting.
-//! * **Graceful shutdown** — dropping the dataset (or calling
-//!   [`Maintenance::quiesce`](crate::Maintenance)) drains in-flight
-//!   rebuilds before the workers exit.
+//!   aborting. Other datasets on the runtime are unaffected.
+//! * **Graceful shutdown** — dropping a dataset discards its queued jobs
+//!   and dropping the runtime's last handle drains in-flight rebuilds
+//!   before the workers exit.
 
+use crate::config::EngineConfig;
 use crate::dataset::{Dataset, MergePlan};
 use lsm_common::Result;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::Ordering;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -51,180 +71,383 @@ pub enum Job {
     Merge(MergePlan),
 }
 
-#[derive(Debug, Default)]
-struct QueueState {
-    jobs: VecDeque<Job>,
+/// Job class half of the priority key: flushes (0) always pop before
+/// merges (1) — a flush is what releases stalled writer memory.
+const CLASS_FLUSH: u8 = 0;
+const CLASS_MERGE: u8 = 1;
+
+/// One queued job with its priority key. Ordered by `(class, est_bytes,
+/// seq)` ascending: flushes first, then merges smallest-estimated-first,
+/// FIFO within ties.
+#[derive(Debug)]
+struct QueuedJob {
+    class: u8,
+    est_bytes: u64,
+    seq: u64,
+    dataset: u64,
+    job: Job,
+}
+
+impl QueuedJob {
+    fn key(&self) -> (u8, u64, u64) {
+        (self.class, self.est_bytes, self.seq)
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Per-dataset bookkeeping inside the runtime.
+#[derive(Debug)]
+struct DatasetEntry {
+    ds: Weak<Dataset>,
     /// Dedup: one flush job per dataset.
     flush_queued: bool,
     /// Dedup: merges keyed by `(target, range)`.
     merges_queued: HashSet<MergePlan>,
-    /// Jobs popped but not yet finished.
+    /// This dataset's jobs currently in the queue.
+    queued: usize,
+    /// This dataset's jobs popped but not yet finished.
     in_flight: usize,
+}
+
+#[derive(Debug, Default)]
+struct RuntimeState {
+    queue: BinaryHeap<Reverse<QueuedJob>>,
+    next_seq: u64,
+    next_dataset: u64,
+    datasets: HashMap<u64, DatasetEntry>,
+    /// Live worker threads (permanent + transient).
+    cur_workers: usize,
+    /// High-water mark of `cur_workers` — asserted never to exceed
+    /// `max_workers`.
+    peak_workers: usize,
+    total_in_flight: usize,
     shutdown: bool,
 }
 
-/// State shared between the scheduler handle, its workers, and stalled
-/// writers.
 #[derive(Debug, Default)]
-pub(crate) struct SchedulerShared {
-    state: Mutex<QueueState>,
-    /// Workers wait here for jobs.
+struct RuntimeCounters {
+    jobs_executed: AtomicU64,
+    flush_jobs: AtomicU64,
+    merge_jobs: AtomicU64,
+    workers_spawned: AtomicU64,
+    workers_retired: AtomicU64,
+}
+
+/// State shared between the runtime handle, its workers, registered
+/// datasets, and stalled writers.
+#[derive(Debug)]
+pub(crate) struct RuntimeShared {
+    cfg: EngineConfig,
+    state: Mutex<RuntimeState>,
+    /// Permanent workers wait here for jobs.
     work_cv: Condvar,
-    /// `quiesce` waits here for the queue to drain.
+    /// Per-dataset and whole-runtime quiesce wait here for drains.
     idle_cv: Condvar,
     /// Backpressured writers wait here for a flush to free memory.
     stall_lock: Mutex<()>,
     stall_cv: Condvar,
+    /// Read-bandwidth token bucket installed by workers for each job.
+    throttle: Option<Arc<lsm_storage::IoThrottle>>,
+    /// Transient (adaptively spawned) worker handles, joined on shutdown.
+    extra: Mutex<Vec<JoinHandle<()>>>,
+    counters: RuntimeCounters,
 }
 
-impl SchedulerShared {
-    /// Enqueues a flush job unless one is already queued. Returns `true`
-    /// if a job was added.
-    pub(crate) fn schedule_flush(&self) -> bool {
+impl RuntimeShared {
+    fn new(cfg: EngineConfig) -> Self {
+        let throttle = cfg
+            .io_read_bytes_per_sec
+            .map(|rate| lsm_storage::IoThrottle::new(rate, cfg.effective_burst_bytes().unwrap()));
+        RuntimeShared {
+            cfg,
+            state: Mutex::new(RuntimeState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            stall_lock: Mutex::new(()),
+            stall_cv: Condvar::new(),
+            throttle,
+            extra: Mutex::new(Vec::new()),
+            counters: RuntimeCounters::default(),
+        }
+    }
+
+    fn register(&self, ds: &Arc<Dataset>) -> u64 {
         let mut s = self.state.lock();
-        if s.shutdown || s.flush_queued {
+        let id = s.next_dataset;
+        s.next_dataset += 1;
+        s.datasets.insert(
+            id,
+            DatasetEntry {
+                ds: Arc::downgrade(ds),
+                flush_queued: false,
+                merges_queued: HashSet::new(),
+                queued: 0,
+                in_flight: 0,
+            },
+        );
+        id
+    }
+
+    /// Removes a dataset and discards its queued jobs (a dropped dataset
+    /// cannot execute them anyway: workers hold only weak references).
+    fn deregister(&self, id: u64) {
+        let mut s = self.state.lock();
+        let Some(entry) = s.datasets.remove(&id) else {
+            return;
+        };
+        if entry.queued > 0 {
+            let old = std::mem::take(&mut s.queue);
+            s.queue = old
+                .into_iter()
+                .filter(|Reverse(q)| q.dataset != id)
+                .collect();
+        }
+        drop(s);
+        self.idle_cv.notify_all();
+    }
+
+    /// Enqueues a flush job for `id` unless one is already queued. Returns
+    /// `true` if a job was added.
+    fn schedule_flush(self: &Arc<Self>, id: u64) -> bool {
+        let mut s = self.state.lock();
+        if s.shutdown {
             return false;
         }
-        s.flush_queued = true;
-        s.jobs.push_back(Job::Flush);
+        let Some(entry) = s.datasets.get_mut(&id) else {
+            return false;
+        };
+        if entry.flush_queued {
+            return false;
+        }
+        entry.flush_queued = true;
+        entry.queued += 1;
+        let spawn = self.push_locked(&mut s, id, CLASS_FLUSH, 0, Job::Flush);
         drop(s);
         self.work_cv.notify_one();
+        if spawn {
+            self.spawn_transient();
+        }
         true
     }
 
-    /// Enqueues a merge job unless an identical `(target, range)` job is
-    /// already queued. Returns `true` if a job was added.
-    pub(crate) fn schedule_merge(&self, plan: MergePlan) -> bool {
+    /// Enqueues a merge job for `id` unless an identical `(target, range)`
+    /// job is already queued. `est_bytes` (estimated merge input size)
+    /// orders merges smallest-first. Returns `true` if a job was added.
+    fn schedule_merge(self: &Arc<Self>, id: u64, plan: MergePlan, est_bytes: u64) -> bool {
         let mut s = self.state.lock();
-        if s.shutdown || !s.merges_queued.insert(plan) {
+        if s.shutdown {
             return false;
         }
-        s.jobs.push_back(Job::Merge(plan));
+        let Some(entry) = s.datasets.get_mut(&id) else {
+            return false;
+        };
+        if !entry.merges_queued.insert(plan) {
+            return false;
+        }
+        entry.queued += 1;
+        let spawn = self.push_locked(&mut s, id, CLASS_MERGE, est_bytes, Job::Merge(plan));
         drop(s);
         self.work_cv.notify_one();
+        if spawn {
+            self.spawn_transient();
+        }
         true
     }
 
-    /// Jobs currently queued (not counting in-flight ones).
-    pub(crate) fn queue_depth(&self) -> usize {
-        self.state.lock().jobs.len()
+    /// Queues the job and decides (under the lock) whether a transient
+    /// worker slot should be claimed: the queue outgrew the live workers
+    /// and the hard `max_workers` cap is not reached. Requires the
+    /// permanent pool to be live (`cur_workers >= min_workers`) — a bare
+    /// `RuntimeShared` used for queue unit tests never spawns. Returns
+    /// `true` when a slot was reserved; the caller spawns the thread after
+    /// releasing the lock ([`RuntimeShared::spawn_transient`]).
+    fn push_locked(
+        self: &Arc<Self>,
+        s: &mut RuntimeState,
+        id: u64,
+        class: u8,
+        est: u64,
+        job: Job,
+    ) -> bool {
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.queue.push(Reverse(QueuedJob {
+            class,
+            est_bytes: est,
+            seq,
+            dataset: id,
+            job,
+        }));
+        // Demand counts queued AND in-flight jobs: a lone flush queued
+        // behind a long merge must still get a fresh worker, or a stalled
+        // writer waits out the whole merge with capacity idle.
+        if s.shutdown
+            || s.cur_workers < self.cfg.min_workers
+            || s.queue.len() + s.total_in_flight <= s.cur_workers
+            || s.cur_workers >= self.cfg.max_workers
+        {
+            return false;
+        }
+        s.cur_workers += 1;
+        s.peak_workers = s.peak_workers.max(s.cur_workers);
+        true
     }
 
-    /// Blocks until the queue is empty and no job is in flight.
-    pub(crate) fn wait_idle(&self) {
+    /// Spawns the transient worker whose slot `push_locked` reserved. Runs
+    /// outside the state lock (thread creation is a syscall every enqueuer
+    /// would otherwise contend on). Spawn failure — e.g. a process thread
+    /// limit — releases the slot and carries on: the permanent workers
+    /// still drain the queue, so degraded throughput, not a panicked
+    /// writer.
+    fn spawn_transient(self: &Arc<Self>) {
+        // Defensive: an enqueuer always belongs to a registered dataset
+        // whose handle keeps the runtime alive, so shutdown cannot begin
+        // between the slot reservation and here — but a released slot is
+        // cheaper than reasoning about that forever.
+        {
+            let mut s = self.state.lock();
+            if s.shutdown {
+                s.cur_workers -= 1;
+                return;
+            }
+        }
+        let n = self
+            .counters
+            .workers_spawned
+            .fetch_add(1, Ordering::Relaxed);
+        let shared = self.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("lsm-maint-x{n}"))
+            .spawn(move || transient_loop(&shared));
+        match spawned {
+            Ok(handle) => {
+                let mut extra = self.extra.lock();
+                // Sweep handles of already-retired transients so the list
+                // stays bounded by the live worker count, not by the
+                // spawn count over the runtime's lifetime.
+                extra.retain(|h| !h.is_finished());
+                extra.push(handle);
+            }
+            Err(_) => {
+                self.counters
+                    .workers_spawned
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.state.lock().cur_workers -= 1;
+            }
+        }
+    }
+
+    fn try_pop_locked(s: &mut RuntimeState) -> Option<(u64, Job, Weak<Dataset>)> {
+        while let Some(Reverse(q)) = s.queue.pop() {
+            // The entry can be gone if the dataset deregistered after this
+            // job was queued (deregistration filters the queue, but a
+            // concurrent pop may already hold the job).
+            let Some(entry) = s.datasets.get_mut(&q.dataset) else {
+                continue;
+            };
+            match &q.job {
+                Job::Flush => entry.flush_queued = false,
+                Job::Merge(plan) => {
+                    // Clear the dedup key immediately: work arriving while
+                    // this job runs must be re-queueable (the job mutexes in
+                    // `Dataset` serialize actual execution).
+                    entry.merges_queued.remove(plan);
+                }
+            }
+            entry.queued -= 1;
+            entry.in_flight += 1;
+            s.total_in_flight += 1;
+            let weak = entry.ds.clone();
+            return Some((q.dataset, q.job, weak));
+        }
+        None
+    }
+
+    fn finish_job(&self, id: u64) {
         let mut s = self.state.lock();
-        while !(s.jobs.is_empty() && s.in_flight == 0) {
+        s.total_in_flight -= 1;
+        if let Some(entry) = s.datasets.get_mut(&id) {
+            entry.in_flight -= 1;
+        }
+        drop(s);
+        self.idle_cv.notify_all();
+    }
+
+    /// Jobs currently queued for dataset `id`.
+    fn queue_depth_for(&self, id: u64) -> usize {
+        self.state.lock().datasets.get(&id).map_or(0, |e| e.queued)
+    }
+
+    /// Blocks until dataset `id` has no queued and no in-flight jobs.
+    /// Other datasets' jobs are not waited for (beyond those ahead in the
+    /// queue finishing naturally).
+    fn wait_idle_for(&self, id: u64) {
+        let mut s = self.state.lock();
+        loop {
+            match s.datasets.get(&id) {
+                None => return,
+                Some(e) if e.queued == 0 && e.in_flight == 0 => return,
+                Some(_) => self.idle_cv.wait(&mut s),
+            }
+        }
+    }
+
+    /// Blocks until the whole queue is empty and no job is in flight.
+    fn wait_idle_all(&self) {
+        let mut s = self.state.lock();
+        while !(s.queue.is_empty() && s.total_in_flight == 0) {
             self.idle_cv.wait(&mut s);
         }
     }
 
     /// Blocks until `done()` holds, waking on flush completions (plus a
     /// periodic recheck so a dead worker cannot strand the writer).
-    pub(crate) fn stall_until(&self, done: impl Fn() -> bool) {
+    fn stall_until(&self, done: impl Fn() -> bool) {
         let mut g = self.stall_lock.lock();
         while !done() {
             self.stall_cv.wait_for(&mut g, STALL_RECHECK);
         }
     }
 
-    /// Wakes every stalled writer (after a flush completed or the dataset
+    /// Wakes every stalled writer (after a flush completed or a dataset
     /// was poisoned). Taking `stall_lock` first means a writer between its
     /// predicate check and its wait cannot miss the signal — the 20ms
     /// recheck in `stall_until` is a true safety net, not the common path.
-    pub(crate) fn notify_stalled(&self) {
+    fn notify_stalled(&self) {
         let _guard = self.stall_lock.lock();
         self.stall_cv.notify_all();
     }
 
-    fn pop_job(&self) -> Option<Job> {
-        let mut s = self.state.lock();
-        loop {
-            if let Some(job) = s.jobs.pop_front() {
-                // Clear the dedup key immediately: work arriving while this
-                // job runs must be re-queueable (the job mutexes in
-                // `Dataset` serialize actual execution).
-                match &job {
-                    Job::Flush => s.flush_queued = false,
-                    Job::Merge(plan) => {
-                        s.merges_queued.remove(plan);
-                    }
-                }
-                s.in_flight += 1;
-                return Some(job);
-            }
-            if s.shutdown {
-                return None;
-            }
-            self.work_cv.wait(&mut s);
-        }
-    }
-
-    fn finish_job(&self) {
-        let mut s = self.state.lock();
-        s.in_flight -= 1;
-        if s.jobs.is_empty() && s.in_flight == 0 {
-            drop(s);
-            self.idle_cv.notify_all();
-        }
-    }
-}
-
-/// A worker pool executing flush/merge jobs for one dataset.
-///
-/// Owned by the [`Dataset`] it serves; created through
-/// [`Maintenance::background`](crate::Maintenance) (or automatically when
-/// the dataset is opened with
-/// [`MaintenanceMode::Background`](crate::MaintenanceMode)). Workers hold
-/// only a [`Weak`] reference to the dataset, so dropping the last user
-/// handle shuts the pool down.
-#[derive(Debug)]
-pub struct MaintenanceScheduler {
-    shared: Arc<SchedulerShared>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl MaintenanceScheduler {
-    /// Spawns `workers` threads serving `ds`.
-    pub(crate) fn start(ds: &Arc<Dataset>, workers: usize) -> Self {
-        let shared = Arc::new(SchedulerShared::default());
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                let weak = Arc::downgrade(ds);
-                std::thread::Builder::new()
-                    .name(format!("lsm-maint-{i}"))
-                    .spawn(move || worker_loop(&shared, &weak))
-                    .expect("spawn maintenance worker")
-            })
-            .collect();
-        MaintenanceScheduler {
-            shared,
-            workers: handles,
-        }
-    }
-
-    pub(crate) fn shared(&self) -> &Arc<SchedulerShared> {
-        &self.shared
-    }
-
-    /// Number of worker threads.
-    pub fn num_workers(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Signals shutdown and joins the workers, draining queued jobs first.
+    /// Signals shutdown and joins all workers, draining queued jobs first.
     /// Safe to call from a worker thread (its own handle is detached
     /// instead of joined — this happens when a job holds the last strong
-    /// reference to the dataset and `Dataset::drop` runs on the worker).
-    pub(crate) fn shutdown_and_join(mut self) {
+    /// reference to a dataset holding the last runtime handle).
+    fn shutdown_and_join(&self, permanent: Vec<JoinHandle<()>>) {
         {
-            let mut s = self.shared.state.lock();
+            let mut s = self.state.lock();
             s.shutdown = true;
         }
-        self.shared.work_cv.notify_all();
-        self.shared.notify_stalled();
+        self.work_cv.notify_all();
+        self.notify_stalled();
+        let extra: Vec<JoinHandle<()>> = self.extra.lock().drain(..).collect();
         let me = std::thread::current().id();
-        for handle in self.workers.drain(..) {
+        for handle in permanent.into_iter().chain(extra) {
             if handle.thread().id() == me {
                 continue; // drop = detach; the thread is about to exit
             }
@@ -233,57 +456,300 @@ impl MaintenanceScheduler {
     }
 }
 
-fn worker_loop(shared: &Arc<SchedulerShared>, ds: &Weak<Dataset>) {
-    while let Some(job) = shared.pop_job() {
-        let dataset = ds.upgrade();
-        if let Some(dataset) = &dataset {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job(dataset, shared, job)
-            }));
-            match outcome {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => dataset.poison(e),
-                Err(panic) => {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "worker panicked".into());
-                    dataset.poison(lsm_common::Error::invalid(format!(
-                        "maintenance worker panicked: {msg}"
-                    )));
-                }
-            }
+/// An engine-wide maintenance worker pool shared by every dataset
+/// registered with it.
+///
+/// Create one with [`MaintenanceRuntime::start`] and pass it to
+/// [`Dataset::open_with_runtime`](crate::Dataset::open_with_runtime); each
+/// dataset keeps a handle, so the runtime outlives all of its datasets and
+/// shuts down (draining in-flight rebuilds) when the last handle drops.
+/// Datasets opened with
+/// [`MaintenanceMode::Background`](crate::MaintenanceMode) get a private
+/// fixed-size runtime automatically.
+#[derive(Debug)]
+pub struct MaintenanceRuntime {
+    shared: Arc<RuntimeShared>,
+    permanent: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl MaintenanceRuntime {
+    /// Validates `cfg`, spawns the permanent workers, and returns the
+    /// runtime handle.
+    pub fn start(cfg: EngineConfig) -> Result<Arc<Self>> {
+        cfg.validate()?;
+        let shared = Arc::new(RuntimeShared::new(cfg));
+        {
+            let mut s = shared.state.lock();
+            s.cur_workers = shared.cfg.min_workers;
+            s.peak_workers = shared.cfg.min_workers;
         }
-        shared.finish_job();
-        // Wake stalled writers after every job: flushes free memory, and a
-        // poisoned dataset must fail fast rather than hang its writers.
-        shared.notify_stalled();
-        drop(dataset);
+        let handles = (0..shared.cfg.min_workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lsm-maint-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn maintenance worker")
+            })
+            .collect();
+        Ok(Arc::new(MaintenanceRuntime {
+            shared,
+            permanent: Mutex::new(handles),
+        }))
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
+    }
+
+    /// Blocks until every registered dataset's queue is drained and all
+    /// in-flight jobs have completed.
+    pub fn quiesce(&self) {
+        self.shared.wait_idle_all();
+    }
+
+    /// Point-in-time runtime statistics.
+    pub fn stats(&self) -> RuntimeStatsSnapshot {
+        let s = self.shared.state.lock();
+        let c = &self.shared.counters;
+        RuntimeStatsSnapshot {
+            datasets: s.datasets.len(),
+            queue_depth: s.queue.len(),
+            in_flight: s.total_in_flight,
+            cur_workers: s.cur_workers,
+            peak_workers: s.peak_workers,
+            min_workers: self.shared.cfg.min_workers,
+            max_workers: self.shared.cfg.max_workers,
+            jobs_executed: c.jobs_executed.load(Ordering::Relaxed),
+            flush_jobs: c.flush_jobs.load(Ordering::Relaxed),
+            merge_jobs: c.merge_jobs.load(Ordering::Relaxed),
+            workers_spawned: c.workers_spawned.load(Ordering::Relaxed),
+            workers_retired: c.workers_retired.load(Ordering::Relaxed),
+            throttle_wait_ns: self.shared.throttle.as_ref().map_or(0, |t| t.waited_ns()),
+            throttled_bytes: self
+                .shared
+                .throttle
+                .as_ref()
+                .map_or(0, |t| t.throttled_bytes()),
+        }
+    }
+
+    pub(crate) fn register(&self, ds: &Arc<Dataset>) -> u64 {
+        self.shared.register(ds)
+    }
+
+    pub(crate) fn deregister(&self, id: u64) {
+        self.shared.deregister(id);
     }
 }
 
-fn run_job(ds: &Arc<Dataset>, shared: &Arc<SchedulerShared>, job: Job) -> Result<()> {
+impl Drop for MaintenanceRuntime {
+    /// Graceful shutdown: signal, drain in-flight rebuilds, join. Runs when
+    /// the last handle drops — possibly on a worker thread (a job holds a
+    /// temporary strong reference to the last dataset, which holds the last
+    /// runtime handle), which `shutdown_and_join` handles by detaching
+    /// itself.
+    fn drop(&mut self) {
+        let handles = std::mem::take(&mut *self.permanent.get_mut());
+        self.shared.shutdown_and_join(handles);
+    }
+}
+
+/// Point-in-time statistics of a [`MaintenanceRuntime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct RuntimeStatsSnapshot {
+    pub datasets: usize,
+    pub queue_depth: usize,
+    pub in_flight: usize,
+    pub cur_workers: usize,
+    /// High-water mark of concurrent maintenance threads — never exceeds
+    /// `max_workers`.
+    pub peak_workers: usize,
+    pub min_workers: usize,
+    pub max_workers: usize,
+    pub jobs_executed: u64,
+    pub flush_jobs: u64,
+    pub merge_jobs: u64,
+    pub workers_spawned: u64,
+    pub workers_retired: u64,
+    /// Wall-clock nanoseconds jobs spent waiting in the read throttle.
+    pub throttle_wait_ns: u64,
+    /// Bytes accounted against the read throttle.
+    pub throttled_bytes: u64,
+}
+
+/// A dataset's registration on a runtime: the shared state plus the
+/// dataset's id. Held in the dataset (keeping the runtime alive) and used
+/// by the hot write path, so every method is lock-light.
+#[derive(Debug, Clone)]
+pub(crate) struct RuntimeHandle {
+    runtime: Arc<MaintenanceRuntime>,
+    id: u64,
+}
+
+impl RuntimeHandle {
+    pub(crate) fn new(runtime: Arc<MaintenanceRuntime>, id: u64) -> Self {
+        RuntimeHandle { runtime, id }
+    }
+
+    pub(crate) fn runtime(&self) -> &Arc<MaintenanceRuntime> {
+        &self.runtime
+    }
+
+    pub(crate) fn schedule_flush(&self) -> bool {
+        self.runtime.shared.schedule_flush(self.id)
+    }
+
+    pub(crate) fn schedule_merge(&self, plan: MergePlan, est_bytes: u64) -> bool {
+        self.runtime.shared.schedule_merge(self.id, plan, est_bytes)
+    }
+
+    /// Jobs queued for this dataset (not the whole runtime).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.runtime.shared.queue_depth_for(self.id)
+    }
+
+    /// Blocks until this dataset's jobs (queued + in-flight) are drained.
+    pub(crate) fn wait_idle(&self) {
+        self.runtime.shared.wait_idle_for(self.id);
+    }
+
+    pub(crate) fn stall_until(&self, done: impl Fn() -> bool) {
+        self.runtime.shared.stall_until(done);
+    }
+
+    pub(crate) fn notify_stalled(&self) {
+        self.runtime.shared.notify_stalled();
+    }
+
+    pub(crate) fn deregister(&self) {
+        self.runtime.deregister(self.id);
+    }
+}
+
+/// Permanent worker: blocks on the queue until shutdown, then drains.
+fn worker_loop(shared: &Arc<RuntimeShared>) {
+    loop {
+        let popped = {
+            let mut s = shared.state.lock();
+            loop {
+                if let Some(p) = RuntimeShared::try_pop_locked(&mut s) {
+                    break Some(p);
+                }
+                if s.shutdown {
+                    break None;
+                }
+                shared.work_cv.wait(&mut s);
+            }
+        };
+        let Some((id, job, weak)) = popped else {
+            return;
+        };
+        execute_job(shared, id, job, &weak);
+    }
+}
+
+/// Transient worker: executes while the queue is non-empty, then retires.
+fn transient_loop(shared: &Arc<RuntimeShared>) {
+    loop {
+        let popped = {
+            let mut s = shared.state.lock();
+            match RuntimeShared::try_pop_locked(&mut s) {
+                Some(p) => Some(p),
+                None => {
+                    s.cur_workers -= 1;
+                    None
+                }
+            }
+        };
+        let Some((id, job, weak)) = popped else {
+            shared
+                .counters
+                .workers_retired
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        execute_job(shared, id, job, &weak);
+    }
+}
+
+fn execute_job(shared: &Arc<RuntimeShared>, id: u64, job: Job, weak: &Weak<Dataset>) {
+    let dataset = weak.upgrade();
+    if let Some(dataset) = &dataset {
+        shared
+            .counters
+            .jobs_executed
+            .fetch_add(1, Ordering::Relaxed);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &shared.throttle {
+                Some(t) => lsm_storage::throttle::with_throttle(t.clone(), || {
+                    run_job(dataset, shared, job)
+                }),
+                None => run_job(dataset, shared, job),
+            }));
+        let waited = lsm_storage::throttle::take_scope_wait_ns();
+        if waited > 0 {
+            dataset
+                .stats()
+                .throttle_wait_ns
+                .fetch_add(waited, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => dataset.poison(e),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".into());
+                dataset.poison(lsm_common::Error::invalid(format!(
+                    "maintenance worker panicked: {msg}"
+                )));
+            }
+        }
+    }
+    shared.finish_job(id);
+    // Wake stalled writers after every job: flushes free memory, and a
+    // poisoned dataset must fail fast rather than hang its writers.
+    shared.notify_stalled();
+    // Dropped LAST (after the in-flight bookkeeping): if this is the final
+    // strong reference, `Dataset::drop` deregisters on this thread and must
+    // see its own job already finished.
+    drop(dataset);
+}
+
+fn run_job(ds: &Arc<Dataset>, shared: &Arc<RuntimeShared>, job: Job) -> Result<()> {
+    // The dataset's own handle points at this runtime — jobs re-arm
+    // through it so follow-up work lands on the same shared queue.
+    let handle = ds
+        .runtime_handle()
+        .cloned()
+        .ok_or_else(|| lsm_common::Error::invalid("dataset lost its runtime registration"))?;
     match job {
         Job::Flush => {
+            shared.counters.flush_jobs.fetch_add(1, Ordering::Relaxed);
             let flushed = ds.flush_all()?;
             ds.stats().record_flush_job();
             shared.notify_stalled();
             // Flushes create merge work; enqueue it (deduped) rather than
             // blocking this worker's next flush on a long merge.
-            ds.schedule_planned_merges(shared);
+            ds.schedule_planned_merges(&handle);
             // Writers that raced past the budget while we flushed would
             // only re-trigger on their next write — but stalled writers
             // make no writes, so the flush job re-arms itself.
             if flushed
                 && ds.mem_total_bytes() > ds.config().memory_budget
-                && shared.schedule_flush()
+                && handle.schedule_flush()
             {
                 ds.stats().bump(&ds.stats().jobs_enqueued);
             }
             Ok(())
         }
         Job::Merge(plan) => {
+            shared.counters.merge_jobs.fetch_add(1, Ordering::Relaxed);
             ds.stats().record_merge_job();
             // Execute the planned merge (serialized by the dataset's merge
             // lock; a stale plan is skipped), then enqueue whatever the
@@ -291,7 +757,7 @@ fn run_job(ds: &Arc<Dataset>, shared: &Arc<SchedulerShared>, job: Job) -> Result
             // one targeted job at a time instead of holding the merge lock
             // for a full cascade.
             ds.execute_merge_plan(&plan)?;
-            ds.schedule_planned_merges(shared);
+            ds.schedule_planned_merges(&handle);
             Ok(())
         }
     }
@@ -299,10 +765,10 @@ fn run_job(ds: &Arc<Dataset>, shared: &Arc<SchedulerShared>, job: Job) -> Result
 
 impl Dataset {
     pub(crate) fn maintenance_stats_refresh(&self) {
-        if let Some(shared) = self.scheduler_shared() {
+        if let Some(handle) = self.runtime_handle() {
             self.stats()
                 .queue_depth
-                .store(shared.queue_depth() as u64, Ordering::Relaxed);
+                .store(handle.queue_depth() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -365,17 +831,113 @@ mod tests {
     }
 
     #[test]
+    fn private_runtime_is_fixed_size() {
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            config(StrategyKind::Eager),
+        )
+        .unwrap();
+        let rt = ds.runtime_handle().unwrap().runtime().clone();
+        assert_eq!(rt.config().min_workers, 2);
+        assert_eq!(rt.config().max_workers, 2);
+        assert_eq!(rt.stats().datasets, 1);
+    }
+
+    #[test]
+    fn priority_queue_orders_flush_first_then_smallest_merge() {
+        // Exercise the queue on a workerless shared state: jobs pushed in
+        // "worst" order must pop flush-first, then merges smallest-first.
+        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            DatasetConfig::new(schema(), 0),
+        )
+        .unwrap();
+        let id = shared.register(&ds);
+        let plan = |end: usize| MergePlan {
+            target: crate::dataset::MergeTarget::Primary,
+            range: lsm_tree::MergeRange { start: 0, end },
+        };
+        assert!(shared.schedule_merge(id, plan(1), 900));
+        assert!(shared.schedule_merge(id, plan(2), 100));
+        assert!(shared.schedule_flush(id));
+        assert!(shared.schedule_merge(id, plan(3), 500));
+
+        let mut order = Vec::new();
+        let mut s = shared.state.lock();
+        while let Some((_, job, _)) = RuntimeShared::try_pop_locked(&mut s) {
+            order.push(job);
+        }
+        assert_eq!(
+            order,
+            vec![
+                Job::Flush,
+                Job::Merge(plan(2)),
+                Job::Merge(plan(3)),
+                Job::Merge(plan(1)),
+            ]
+        );
+    }
+
+    #[test]
     fn dedup_one_flush_job_at_a_time() {
-        let shared = SchedulerShared::default();
-        assert!(shared.schedule_flush());
-        assert!(!shared.schedule_flush(), "second flush deduped");
+        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            DatasetConfig::new(schema(), 0),
+        )
+        .unwrap();
+        let id = shared.register(&ds);
+        assert!(shared.schedule_flush(id));
+        assert!(!shared.schedule_flush(id), "second flush deduped");
         let plan = MergePlan {
             target: crate::dataset::MergeTarget::Primary,
             range: lsm_tree::MergeRange { start: 0, end: 1 },
         };
-        assert!(shared.schedule_merge(plan));
-        assert!(!shared.schedule_merge(plan), "same range deduped");
-        assert_eq!(shared.queue_depth(), 2);
+        assert!(shared.schedule_merge(id, plan, 10));
+        assert!(!shared.schedule_merge(id, plan, 10), "same range deduped");
+        assert_eq!(shared.queue_depth_for(id), 2);
+    }
+
+    #[test]
+    fn deregister_discards_queued_jobs() {
+        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            DatasetConfig::new(schema(), 0),
+        )
+        .unwrap();
+        let a = shared.register(&ds);
+        let b = shared.register(&ds);
+        shared.schedule_flush(a);
+        shared.schedule_flush(b);
+        shared.deregister(a);
+        let mut s = shared.state.lock();
+        let popped = RuntimeShared::try_pop_locked(&mut s).unwrap();
+        assert_eq!(popped.0, b, "only b's job survives");
+        assert!(RuntimeShared::try_pop_locked(&mut s).is_none());
+    }
+
+    #[test]
+    fn wait_idle_for_ignores_other_datasets_jobs() {
+        // Workerless shared state: dataset b has a queued job forever, yet
+        // waiting on a must return immediately (a hang fails the test run).
+        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            DatasetConfig::new(schema(), 0),
+        )
+        .unwrap();
+        let a = shared.register(&ds);
+        let b = shared.register(&ds);
+        assert!(shared.schedule_flush(b));
+        shared.wait_idle_for(a);
+        assert_eq!(shared.queue_depth_for(b), 1, "b's job untouched");
     }
 
     #[test]
@@ -390,8 +952,8 @@ mod tests {
             ds.insert(&rec(i, "NY", i)).unwrap();
         }
         ds.maintenance().quiesce().unwrap();
-        let shared = ds.scheduler_shared().unwrap();
-        assert_eq!(shared.queue_depth(), 0);
+        let handle = ds.runtime_handle().unwrap();
+        assert_eq!(handle.queue_depth(), 0);
     }
 
     #[test]

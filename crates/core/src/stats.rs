@@ -29,8 +29,12 @@ pub struct EngineStats {
     pub merge_jobs: AtomicU64,
     /// Times a writer stalled on the hard memory ceiling (backpressure).
     pub backpressure_stalls: AtomicU64,
-    /// Jobs waiting in the scheduler queue (gauge, refreshed on writes).
+    /// This dataset's jobs waiting in the runtime queue (gauge, refreshed
+    /// on writes).
     pub queue_depth: AtomicU64,
+    /// Wall-clock nanoseconds this dataset's background jobs spent waiting
+    /// in the runtime's I/O read throttle.
+    pub throttle_wait_ns: AtomicU64,
 }
 
 impl EngineStats {
@@ -74,6 +78,7 @@ impl EngineStats {
             merge_jobs: self.merge_jobs.load(Ordering::Relaxed),
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            throttle_wait_ns: self.throttle_wait_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -95,6 +100,7 @@ pub struct EngineStatsSnapshot {
     pub merge_jobs: u64,
     pub backpressure_stalls: u64,
     pub queue_depth: u64,
+    pub throttle_wait_ns: u64,
 }
 
 #[cfg(test)]

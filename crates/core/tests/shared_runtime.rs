@@ -1,0 +1,339 @@
+//! Integration tests for the engine-wide shared [`MaintenanceRuntime`]:
+//! many datasets, one bounded worker pool.
+//!
+//! The stress test is the scaling-cliff regression: 10 datasets × 1 writer
+//! thread each churn upserts/deletes against a runtime capped at 4 workers,
+//! then every dataset is verified against a single-threaded oracle and the
+//! runtime's thread high-water mark is asserted never to have exceeded the
+//! cap — the per-dataset-pool design this replaces would have run 20+
+//! maintenance threads.
+
+use lsm_common::{FieldType, Record, Schema, Value};
+use lsm_engine::cc::CcMethod;
+use lsm_engine::{
+    Dataset, DatasetConfig, EngineConfig, MaintenanceRuntime, SecondaryIndexDef, StrategyKind,
+};
+use lsm_storage::{Storage, StorageOptions};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+const DATASETS: usize = 10;
+const OPS_PER_DATASET: usize = 1500;
+const GROUPS: i64 = 5;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ("id", FieldType::Int),
+        ("round", FieldType::Int),
+        ("grp", FieldType::Str),
+    ])
+    .unwrap()
+}
+
+fn grp(id: i64) -> String {
+    format!("g{}", id % GROUPS)
+}
+
+fn rec(id: i64, round: i64) -> Record {
+    Record::new(vec![Value::Int(id), Value::Int(round), Value::Str(grp(id))])
+}
+
+fn config(strategy: StrategyKind, cc: CcMethod) -> DatasetConfig {
+    let mut cfg = DatasetConfig::new(schema(), 0);
+    cfg.strategy = strategy;
+    cfg.secondary_indexes = vec![SecondaryIndexDef {
+        name: "grp".into(),
+        field: 2,
+    }];
+    // Small budget + uncapped tiering so flushes and merges churn hard
+    // under the writers.
+    cfg.memory_budget = 16 * 1024;
+    cfg.merge.max_mergeable_bytes = u64::MAX;
+    cfg.cc_method = cc;
+    cfg
+}
+
+fn strategy_for(d: usize) -> (StrategyKind, CcMethod) {
+    match d % 4 {
+        0 => (StrategyKind::Eager, CcMethod::SideFile),
+        1 => (StrategyKind::Validation, CcMethod::SideFile),
+        2 => (StrategyKind::MutableBitmap, CcMethod::SideFile),
+        _ => (StrategyKind::MutableBitmap, CcMethod::Lock),
+    }
+}
+
+/// Dataset `d`'s deterministic op sequence: `(id, None)` = delete,
+/// `(id, Some(round))` = upsert. Shared by the executing writer and the
+/// oracle so they cannot diverge.
+fn dataset_ops(d: usize) -> Vec<(i64, Option<i64>)> {
+    let mut x: i64 = 0x9E3779B9 ^ (d as i64);
+    (0..OPS_PER_DATASET)
+        .map(|op| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = x.rem_euclid(300);
+            (id, (op % 5 != 4).then_some(op as i64))
+        })
+        .collect()
+}
+
+/// The final per-key state: the last operation applied to the key.
+fn oracle(d: usize) -> HashMap<i64, Option<i64>> {
+    dataset_ops(d).into_iter().collect()
+}
+
+#[test]
+fn ten_datasets_share_a_four_worker_runtime() {
+    let runtime = MaintenanceRuntime::start(
+        EngineConfig::builder()
+            .min_workers(2)
+            .max_workers(4)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    let datasets: Vec<Arc<Dataset>> = (0..DATASETS)
+        .map(|d| {
+            let (strategy, cc) = strategy_for(d);
+            Dataset::open_with_runtime(
+                Storage::new(StorageOptions::test()),
+                None,
+                config(strategy, cc),
+                &runtime,
+            )
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(runtime.stats().datasets, DATASETS);
+
+    // One writer thread per dataset, all contending for the shared pool.
+    std::thread::scope(|scope| {
+        for (d, ds) in datasets.iter().enumerate() {
+            scope.spawn(move || {
+                for (id, op) in dataset_ops(d) {
+                    match op {
+                        None => {
+                            ds.delete(&Value::Int(id)).unwrap();
+                        }
+                        Some(round) => ds.upsert(&rec(id, round)).unwrap(),
+                    }
+                }
+            });
+        }
+    });
+    for ds in &datasets {
+        ds.maintenance().quiesce().unwrap();
+    }
+
+    let stats = runtime.stats();
+    assert!(
+        stats.peak_workers <= 4,
+        "maintenance threads exceeded max_workers: {stats:?}"
+    );
+    assert!(stats.flush_jobs > 0, "shared pool ran flushes: {stats:?}");
+    assert!(stats.merge_jobs > 0, "shared pool ran merges: {stats:?}");
+    assert_eq!(stats.queue_depth, 0, "drained after quiesce");
+    assert_eq!(stats.in_flight, 0, "nothing mid-job after quiesce");
+
+    // Every dataset matches its single-threaded oracle.
+    for (d, ds) in datasets.iter().enumerate() {
+        let (strategy, cc) = strategy_for(d);
+        let expect = oracle(d);
+        for (&id, state) in &expect {
+            let got = ds.get(&Value::Int(id)).unwrap();
+            match state {
+                None => assert!(
+                    got.is_none(),
+                    "{strategy:?}/{cc:?} ds{d}: id {id} resurrected"
+                ),
+                Some(round) => {
+                    let r = got
+                        .unwrap_or_else(|| panic!("{strategy:?}/{cc:?} ds{d}: id {id} vanished"));
+                    assert_eq!(
+                        r.get(1),
+                        &Value::Int(*round),
+                        "{strategy:?}/{cc:?} ds{d}: id {id} stale"
+                    );
+                }
+            }
+        }
+        // Secondary-index queries: each group returns exactly the live ids
+        // of that group (validated per the strategy by the query builder).
+        for g in 0..GROUPS {
+            let want: HashSet<i64> = expect
+                .iter()
+                .filter(|(id, v)| v.is_some() && *id % GROUPS == g)
+                .map(|(id, _)| *id)
+                .collect();
+            let result = ds.query("grp").eq(format!("g{g}")).execute().unwrap();
+            let got: HashSet<i64> = result
+                .records()
+                .iter()
+                .map(|r| r.get(0).as_int().unwrap())
+                .collect();
+            assert_eq!(got, want, "{strategy:?}/{cc:?} ds{d}: group g{g} mismatch");
+        }
+    }
+
+    // Dropping the datasets deregisters them; the runtime survives.
+    drop(datasets);
+    assert_eq!(runtime.stats().datasets, 0);
+}
+
+#[test]
+fn adaptive_workers_spawn_under_load_and_retire() {
+    let runtime = MaintenanceRuntime::start(
+        EngineConfig::builder()
+            .min_workers(1)
+            .max_workers(4)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let datasets: Vec<Arc<Dataset>> = (0..8)
+        .map(|_| {
+            Dataset::open_with_runtime(
+                Storage::new(StorageOptions::test()),
+                None,
+                config(StrategyKind::Validation, CcMethod::SideFile),
+                &runtime,
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Concurrent writers on 8 datasets flood the single permanent worker
+    // with flush jobs; the queue must outgrow it and spawn transients.
+    std::thread::scope(|scope| {
+        for ds in &datasets {
+            scope.spawn(move || {
+                for i in 0..1200i64 {
+                    ds.upsert(&rec(i % 200, i)).unwrap();
+                }
+            });
+        }
+    });
+    runtime.quiesce();
+
+    let stats = runtime.stats();
+    assert!(
+        stats.workers_spawned > 0,
+        "queue pressure never spawned a transient worker: {stats:?}"
+    );
+    assert!(stats.peak_workers > 1, "never scaled past min: {stats:?}");
+    assert!(stats.peak_workers <= 4, "exceeded the cap: {stats:?}");
+
+    // Transients retire once the queue is dry (each exits on its next
+    // empty pop; poll briefly to absorb that scheduling delay).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let s = runtime.stats();
+        if s.workers_retired == s.workers_spawned && s.cur_workers == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "transient workers never retired: {s:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn io_throttle_limits_rebuild_scans_and_is_accounted() {
+    // A tiny cache forces merge scans to the device, and a low rate with a
+    // small burst forces the token bucket to actually wait.
+    let runtime = MaintenanceRuntime::start(
+        EngineConfig::builder()
+            .workers(2)
+            .io_read_limit(16 * 1024 * 1024)
+            .io_burst(16 * 1024)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let storage = Storage::new(StorageOptions {
+        cache_pages: 4,
+        ..StorageOptions::test()
+    });
+    let mut cfg = config(StrategyKind::Validation, CcMethod::SideFile);
+    cfg.memory_budget = 8 * 1024;
+    let ds = Dataset::open_with_runtime(storage.clone(), None, cfg, &runtime).unwrap();
+
+    for i in 0..4000i64 {
+        ds.upsert(&rec(i % 800, i)).unwrap();
+    }
+    ds.maintenance().quiesce().unwrap();
+
+    let rt = runtime.stats();
+    assert!(rt.throttled_bytes > 0, "no reads were accounted: {rt:?}");
+    assert!(rt.throttle_wait_ns > 0, "the bucket never waited: {rt:?}");
+    // The wait is attributed to the dataset and to the device too.
+    assert!(ds.stats().snapshot().throttle_wait_ns > 0);
+    assert!(storage.stats().throttle_wait_ns > 0);
+    // Foreground reads are NOT throttled: a query performs device reads
+    // without growing the throttle accounting.
+    let before = runtime.stats().throttled_bytes;
+    storage.clear_cache();
+    let result = ds.query("grp").eq("g1").execute().unwrap();
+    assert!(!result.records().is_empty());
+    assert_eq!(
+        runtime.stats().throttled_bytes,
+        before,
+        "foreground query was charged to the maintenance throttle"
+    );
+    // Everything is still readable.
+    for i in [0, 399, 799] {
+        assert!(ds.get(&Value::Int(i)).unwrap().is_some(), "id {i}");
+    }
+}
+
+#[test]
+fn per_dataset_quiesce_ignores_other_datasets() {
+    let runtime = MaintenanceRuntime::start(EngineConfig::fixed(1)).unwrap();
+    let a = Dataset::open_with_runtime(
+        Storage::new(StorageOptions::test()),
+        None,
+        config(StrategyKind::Eager, CcMethod::SideFile),
+        &runtime,
+    )
+    .unwrap();
+    let b = Dataset::open_with_runtime(
+        Storage::new(StorageOptions::test()),
+        None,
+        config(StrategyKind::Eager, CcMethod::SideFile),
+        &runtime,
+    )
+    .unwrap();
+    for i in 0..2000i64 {
+        a.upsert(&rec(i, i)).unwrap();
+        b.upsert(&rec(i, i)).unwrap();
+    }
+    // Quiescing `a` must terminate even though `b` keeps producing work —
+    // it waits for a's jobs only.
+    a.maintenance().quiesce().unwrap();
+    b.maintenance().quiesce().unwrap();
+    assert!(a.stats().snapshot().flushes > 0);
+    assert!(b.stats().snapshot().flushes > 0);
+}
+
+#[test]
+fn runtime_shuts_down_with_last_dataset() {
+    let runtime = MaintenanceRuntime::start(EngineConfig::fixed(2)).unwrap();
+    let ds = Dataset::open_with_runtime(
+        Storage::new(StorageOptions::test()),
+        None,
+        config(StrategyKind::Validation, CcMethod::SideFile),
+        &runtime,
+    )
+    .unwrap();
+    for i in 0..2000i64 {
+        ds.upsert(&rec(i, i)).unwrap();
+    }
+    // Dropping the user handle first, then the dataset: the dataset's
+    // handle keeps the pool alive until the very end. Must not hang.
+    drop(runtime);
+    drop(ds);
+}

@@ -309,14 +309,16 @@ impl LsmTree {
     ///
     /// `include_mem` is evaluated under the capture locks against the
     /// in-memory range filter (active ∪ sealed, so it describes exactly
-    /// the entries being captured); returning `false` skips materializing
-    /// the memory run — the filter-scan prune. `None` means no entries are
-    /// buffered.
+    /// the entries being captured) and the captured disk-component list
+    /// (so strategy rules like "read memory whenever an older component
+    /// is read" can be decided atomically); returning `false` skips
+    /// materializing the memory run — the filter-scan prune. `None` means
+    /// no entries are buffered.
     pub fn mem_and_disk_snapshot_if(
         &self,
         lo: Bound<&[u8]>,
         hi: Bound<&[u8]>,
-        include_mem: impl FnOnce(Option<&RangeFilter>) -> bool,
+        include_mem: impl FnOnce(Option<&RangeFilter>, &[Arc<DiskComponent>]) -> bool,
     ) -> TreeSnapshot {
         let mem = self.mem.lock();
         let sealed_guard = self.sealed.read();
@@ -329,7 +331,7 @@ impl LsmTree {
             }
         }
         let has_entries = !mem.is_empty() || sealed_guard.is_some();
-        let snapshot = (has_entries && include_mem(filter.as_ref())).then(|| {
+        let snapshot = (has_entries && include_mem(filter.as_ref(), &disk)).then(|| {
             let active: Vec<(Key, LsmEntry)> = mem
                 .range(lo, hi)
                 .map(|(k, e)| (k.clone(), e.clone()))
@@ -348,7 +350,7 @@ impl LsmTree {
         lo: Bound<&[u8]>,
         hi: Bound<&[u8]>,
     ) -> (Vec<(Key, LsmEntry)>, Vec<Arc<DiskComponent>>) {
-        let (snapshot, disk) = self.mem_and_disk_snapshot_if(lo, hi, |_| true);
+        let (snapshot, disk) = self.mem_and_disk_snapshot_if(lo, hi, |_, _| true);
         (snapshot.unwrap_or_default(), disk)
     }
 

@@ -13,7 +13,10 @@
 //! * read-ahead batches sequential scans the way the paper's 4MB read-ahead
 //!   does;
 //! * a [`SimClock`] accumulates simulated nanoseconds of I/O and CPU work,
-//!   and [`IoStats`] counts every event for assertions and reporting.
+//!   and [`IoStats`] counts every event for assertions and reporting;
+//! * an opt-in [`IoThrottle`] token bucket rate-limits the device reads of
+//!   threads that install it (background rebuild scans), leaving foreground
+//!   reads untouched.
 //!
 //! Everything above this crate (B+-trees, LSM components, the engine) does
 //! real work on real bytes; only the *timing* is simulated. Benchmarks report
@@ -24,8 +27,10 @@ pub mod profile;
 pub mod sim_clock;
 pub mod stats;
 pub mod storage;
+pub mod throttle;
 
 pub use profile::{CpuCosts, DiskProfile};
 pub use sim_clock::SimClock;
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use storage::{FileId, PageNo, Storage, StorageOptions};
+pub use throttle::IoThrottle;

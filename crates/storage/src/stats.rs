@@ -29,6 +29,9 @@ pub struct IoStats {
     pub bloom_negatives: AtomicU64,
     /// Simulated CPU nanoseconds charged.
     pub cpu_ns: AtomicU64,
+    /// Wall-clock nanoseconds reads on this device spent waiting in an
+    /// [`IoThrottle`](crate::IoThrottle) bucket (background rebuild scans).
+    pub throttle_wait_ns: AtomicU64,
 }
 
 impl IoStats {
@@ -49,6 +52,7 @@ impl IoStats {
             bloom_checks: self.bloom_checks.load(Ordering::Relaxed),
             bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
             cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+            throttle_wait_ns: self.throttle_wait_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -77,6 +81,7 @@ pub struct IoStatsSnapshot {
     pub bloom_checks: u64,
     pub bloom_negatives: u64,
     pub cpu_ns: u64,
+    pub throttle_wait_ns: u64,
 }
 
 impl IoStatsSnapshot {
@@ -97,6 +102,7 @@ impl IoStatsSnapshot {
             bloom_checks: self.bloom_checks - earlier.bloom_checks,
             bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
             cpu_ns: self.cpu_ns - earlier.cpu_ns,
+            throttle_wait_ns: self.throttle_wait_ns - earlier.throttle_wait_ns,
         }
     }
 

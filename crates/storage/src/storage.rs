@@ -251,6 +251,15 @@ impl Storage {
 
     /// Charges a device read of `count` pages starting at `(file, page)`.
     fn charge_read(&self, file: FileId, page: PageNo, count: u32) {
+        // Rate-limit first: threads that installed an IoThrottle (background
+        // rebuild scans) pay for the bytes before the device model runs, so
+        // foreground readers see the bandwidth the bucket reserved for them.
+        let waited = crate::throttle::consume_active(u64::from(count) * self.opts.page_size as u64);
+        if waited > 0 {
+            self.stats
+                .throttle_wait_ns
+                .fetch_add(waited, std::sync::atomic::Ordering::Relaxed);
+        }
         let sequential = {
             let mut head = self.head.lock();
             let seq = page > 0 && *head == Some((file, page - 1));

@@ -1,0 +1,231 @@
+//! I/O read throttling for background rebuild scans.
+//!
+//! Flush builds and merge scans read entire components; on a shared
+//! maintenance runtime serving many datasets those scans would otherwise
+//! monopolize the device and starve foreground queries. An [`IoThrottle`]
+//! is a token bucket over *bytes read from the device* (cache hits are
+//! free): each maintenance worker installs the runtime's throttle for the
+//! duration of a job via [`with_throttle`], and [`Storage`](crate::Storage)
+//! charges every cache-missing read against the installed bucket, sleeping
+//! the worker until tokens are available.
+//!
+//! Foreground reads (queries, writer-path point lookups) run on threads
+//! with no installed throttle and are never delayed.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A token bucket limiting device-read bandwidth for the threads that opt
+/// in via [`with_throttle`].
+#[derive(Debug)]
+pub struct IoThrottle {
+    /// Sustained refill rate.
+    bytes_per_sec: u64,
+    /// Bucket capacity: reads up to this size pass without waiting when the
+    /// bucket is full.
+    burst_bytes: u64,
+    state: Mutex<BucketState>,
+    /// Total nanoseconds throttled threads spent waiting for tokens.
+    waited_ns: AtomicU64,
+    /// Total bytes accounted against the bucket.
+    throttled_bytes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl IoThrottle {
+    /// Creates a bucket refilling at `bytes_per_sec`, holding at most
+    /// `burst_bytes`. Both are clamped to ≥ 1 to keep the arithmetic
+    /// well-defined; callers should size the burst to at least a typical
+    /// read (a tiny burst still charges correctly but wakes up per chunk).
+    pub fn new(bytes_per_sec: u64, burst_bytes: u64) -> Arc<Self> {
+        let burst = burst_bytes.max(1);
+        Arc::new(IoThrottle {
+            bytes_per_sec: bytes_per_sec.max(1),
+            burst_bytes: burst,
+            state: Mutex::new(BucketState {
+                tokens: burst as f64,
+                last_refill: Instant::now(),
+            }),
+            waited_ns: AtomicU64::new(0),
+            throttled_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// The sustained rate.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Total nanoseconds threads have waited on this bucket.
+    pub fn waited_ns(&self) -> u64 {
+        self.waited_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes accounted against this bucket.
+    pub fn throttled_bytes(&self) -> u64 {
+        self.throttled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Takes `bytes` tokens, sleeping until the bucket refills. Returns the
+    /// nanoseconds spent waiting. Every byte is charged — a request larger
+    /// than the burst capacity drains the bucket in burst-sized chunks,
+    /// sleeping between refills, so sustained throughput honours the rate
+    /// no matter how large individual reads are (read-ahead bursts can be
+    /// megabytes against a kilobyte bucket).
+    pub fn consume(&self, bytes: u64) -> u64 {
+        self.throttled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let mut remaining = bytes as f64;
+        let mut waited = Duration::ZERO;
+        loop {
+            let wait = {
+                let mut s = self.state.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+                s.last_refill = now;
+                s.tokens =
+                    (s.tokens + elapsed * self.bytes_per_sec as f64).min(self.burst_bytes as f64);
+                let take = s.tokens.min(remaining);
+                s.tokens -= take;
+                remaining -= take;
+                if remaining <= 0.0 {
+                    None
+                } else {
+                    // Sleep until the next chunk (at most one bucketful)
+                    // has accrued; the loop re-takes and continues.
+                    Some(Duration::from_secs_f64(
+                        remaining.min(self.burst_bytes as f64) / self.bytes_per_sec as f64,
+                    ))
+                }
+            };
+            match wait {
+                None => {
+                    let ns = waited.as_nanos() as u64;
+                    if ns > 0 {
+                        self.waited_ns.fetch_add(ns, Ordering::Relaxed);
+                    }
+                    return ns;
+                }
+                Some(d) => {
+                    // Measure the sleep rather than trusting the request:
+                    // the scheduler routinely oversleeps, and operators
+                    // tune rates from these counters.
+                    let slept = Instant::now();
+                    std::thread::sleep(d.max(Duration::from_micros(50)));
+                    waited += slept.elapsed();
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<IoThrottle>>> = const { RefCell::new(None) };
+    static SCOPE_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with `throttle` installed as this thread's read throttle:
+/// every device read charged by [`Storage`](crate::Storage) inside `f`
+/// consumes tokens (and may sleep). The previous installation is restored
+/// on exit, so scopes nest.
+pub fn with_throttle<T>(throttle: Arc<IoThrottle>, f: impl FnOnce() -> T) -> T {
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(throttle));
+    struct Restore(Option<Arc<IoThrottle>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            ACTIVE.with(|a| *a.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Charges `bytes` against the thread's installed throttle, if any.
+/// Returns the nanoseconds slept (0 when unthrottled). Called by the
+/// storage layer on every device read.
+pub(crate) fn consume_active(bytes: u64) -> u64 {
+    let throttle = ACTIVE.with(|a| a.borrow().clone());
+    match throttle {
+        None => 0,
+        Some(t) => {
+            let ns = t.consume(bytes);
+            if ns > 0 {
+                SCOPE_WAIT_NS.with(|w| w.set(w.get() + ns));
+            }
+            ns
+        }
+    }
+}
+
+/// Returns and resets this thread's accumulated throttle wait since the
+/// last call — maintenance workers use it to attribute waits to the
+/// dataset whose job they just ran.
+pub fn take_scope_wait_ns() -> u64 {
+    SCOPE_WAIT_NS.with(|w| w.replace(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bucket_passes_without_waiting() {
+        let t = IoThrottle::new(1_000_000, 64 * 1024);
+        assert_eq!(t.consume(4096), 0);
+        assert_eq!(t.throttled_bytes(), 4096);
+        assert_eq!(t.waited_ns(), 0);
+    }
+
+    #[test]
+    fn drained_bucket_forces_a_wait() {
+        // 1MB/s, 4KB burst: the second 4KB read must wait ~4ms.
+        let t = IoThrottle::new(1_000_000, 4096);
+        t.consume(4096);
+        let waited = t.consume(4096);
+        assert!(waited > 0, "drained bucket should block");
+        assert!(t.waited_ns() >= waited);
+    }
+
+    #[test]
+    fn oversized_request_charges_every_byte() {
+        let t = IoThrottle::new(1_000_000_000, 4096);
+        // 1MB read against a 4KB bucket: must not deadlock, and must pay
+        // for the full megabyte in chunks rather than one bucketful.
+        let waited = t.consume(1024 * 1024);
+        assert_eq!(t.throttled_bytes(), 1024 * 1024);
+        assert!(waited > 0, "a read far beyond the burst must wait");
+    }
+
+    #[test]
+    fn scoped_install_restores_previous() {
+        let t = IoThrottle::new(1_000_000_000, 1 << 20);
+        assert_eq!(consume_active(100), 0, "unthrottled outside scope");
+        with_throttle(t.clone(), || {
+            consume_active(100);
+        });
+        assert_eq!(t.throttled_bytes(), 100);
+        consume_active(100);
+        assert_eq!(t.throttled_bytes(), 100, "scope exited");
+    }
+
+    #[test]
+    fn scope_wait_accumulates_and_resets() {
+        take_scope_wait_ns();
+        let t = IoThrottle::new(1_000_000, 1024);
+        with_throttle(t, || {
+            consume_active(1024);
+            consume_active(1024); // forces a wait
+        });
+        assert!(take_scope_wait_ns() > 0);
+        assert_eq!(take_scope_wait_ns(), 0, "reset after take");
+    }
+}
