@@ -1,7 +1,10 @@
 //! CI perf snapshot: ingest throughput and point-lookup latency, inline vs
-//! background maintenance, plus a maintenance-heavy scenario — many small
-//! datasets against one shared [`MaintenanceRuntime`] vs inline — written
-//! as JSON so the perf trajectory accumulates across commits.
+//! background maintenance, a maintenance-heavy scenario — many small
+//! datasets against one shared [`MaintenanceRuntime`] vs inline — and a
+//! fairness scenario (hot flooding dataset vs quiet datasets on a
+//! quota-limited runtime), written as JSON so the perf trajectory
+//! accumulates across commits. Schema history is documented in
+//! `docs/OPERATIONS.md` (`schema_version` 3: adds the `fairness` array).
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -12,8 +15,8 @@
 //! the file as a build artifact.
 
 use lsm_bench::{
-    pk_of, run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, Env, EnvConfig,
-    SharedRuntimeRun,
+    pk_of, run_fairness_scenario, run_shared_runtime_scenario, scale, scaled, tweet_dataset_config,
+    Env, EnvConfig, FairnessRun, SharedRuntimeRun,
 };
 use lsm_common::Value;
 use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
@@ -130,6 +133,32 @@ fn json_multi(v: &MultiResult) -> String {
     )
 }
 
+fn json_fairness(f: &FairnessRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"hot-vs-quiet-quota1\",\n",
+            "      \"hot_records\": {},\n",
+            "      \"quiet_datasets\": {},\n",
+            "      \"quiet_records_per_dataset\": {},\n",
+            "      \"quiet_latency_secs_mean\": {:.4},\n",
+            "      \"quiet_latency_secs_max\": {:.4},\n",
+            "      \"hot_backlog_at_quiet_done\": {},\n",
+            "      \"quota_deferrals\": {},\n",
+            "      \"peak_workers\": {}\n",
+            "    }}"
+        ),
+        f.hot_records,
+        f.quiet_datasets,
+        f.quiet_records_per_dataset,
+        f.quiet_latency_secs_mean,
+        f.quiet_latency_secs_max,
+        f.hot_backlog_at_quiet_done,
+        f.quota_deferrals,
+        f.peak_workers,
+    )
+}
+
 fn json_variant(v: &VariantResult) -> String {
     format!(
         concat!(
@@ -199,13 +228,21 @@ fn main() {
         },
     ];
 
+    // Fairness scenario (schema_version 3): one hot dataset floods a
+    // quota-limited shared runtime while 9 quiet datasets each need a
+    // flush — the starvation case the deficit-round-robin scheduler
+    // bounds.
+    let fairness = [run_fairness_scenario(9, scaled(30_000), scaled(3_000))];
+
     let body: Vec<String> = variants.iter().map(json_variant).collect();
     let multi_body: Vec<String> = multi.iter().map(json_multi).collect();
+    let fairness_body: Vec<String> = fairness.iter().map(json_fairness).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 2,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 3,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n"),
-        multi_body.join(",\n")
+        multi_body.join(",\n"),
+        fairness_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -220,6 +257,19 @@ fn main() {
         eprintln!(
             "{}: {} datasets × {} recs, {:.0} ops/s aggregate, peak {} workers",
             m.mode, m.datasets, m.records_per_dataset, m.run.ingest_ops_per_sec, m.run.peak_workers
+        );
+    }
+    for f in &fairness {
+        eprintln!(
+            "fairness: {} quiet × {} recs vs hot {} recs — quiet latency mean {:.3}s max {:.3}s, \
+             {} quota deferrals, hot backlog {}",
+            f.quiet_datasets,
+            f.quiet_records_per_dataset,
+            f.hot_records,
+            f.quiet_latency_secs_mean,
+            f.quiet_latency_secs_max,
+            f.quota_deferrals,
+            f.hot_backlog_at_quiet_done
         );
     }
     eprintln!("wrote {out}");

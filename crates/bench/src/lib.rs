@@ -273,6 +273,121 @@ pub fn run_shared_runtime_scenario(
     }
 }
 
+/// What one fairness run measured: a hot flooding dataset vs a set of
+/// quiet datasets on a shared, quota-limited runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct FairnessRun {
+    /// Records the hot dataset ingested.
+    pub hot_records: usize,
+    /// Number of quiet datasets.
+    pub quiet_datasets: usize,
+    /// Records each quiet dataset ingested.
+    pub quiet_records_per_dataset: usize,
+    /// Mean wall seconds a quiet dataset took to ingest its burst and
+    /// drain its own background jobs while the hot dataset flooded.
+    pub quiet_latency_secs_mean: f64,
+    /// Worst-case quiet-dataset latency — the starvation signal: under
+    /// fair scheduling it stays within a small factor of the mean.
+    pub quiet_latency_secs_max: f64,
+    /// Jobs the hot dataset still had queued or running when the last
+    /// quiet dataset finished (> 0 means quiet progress happened under
+    /// real contention).
+    pub hot_backlog_at_quiet_done: usize,
+    /// Times the per-dataset quota deferred a dataset with runnable work.
+    pub quota_deferrals: u64,
+    /// The runtime's maintenance-thread high-water mark.
+    pub peak_workers: usize,
+}
+
+/// The fairness scenario shared by `perf_snapshot`: one hot dataset floods
+/// a shared runtime (`max_workers` 4, per-dataset quota 1) from a
+/// dedicated writer thread while `quiet` datasets each ingest a flush-
+/// tripping burst and quiesce, one after another, measuring the latency
+/// each experienced. Deficit-round-robin + the quota keep those latencies
+/// bounded no matter how much work the hot dataset has queued.
+pub fn run_fairness_scenario(quiet: usize, n_hot: usize, n_quiet: usize) -> FairnessRun {
+    use lsm_engine::EngineConfig;
+    let runtime = MaintenanceRuntime::start(
+        EngineConfig::builder()
+            .min_workers(2)
+            .max_workers(4)
+            .max_jobs_per_dataset(1)
+            .build()
+            .expect("runtime config"),
+    )
+    .expect("runtime");
+    let mk = |n: usize, seed: u64| {
+        let dataset_bytes = (n as u64) * 550;
+        let env = Env::new(&EnvConfig {
+            dataset_bytes,
+            ssd: true,
+            ..Default::default()
+        });
+        let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+        cfg.memory_budget = ((dataset_bytes / 16) as usize).max(16 * 1024);
+        let ds = Dataset::open_with_runtime(
+            env.storage.clone(),
+            Some(env.log_storage.clone()),
+            cfg,
+            &runtime,
+        )
+        .expect("dataset");
+        let workload = UpsertWorkload::new(
+            TweetConfig {
+                seed,
+                ..TweetConfig::default()
+            },
+            0.5,
+            UpdateDistribution::Uniform,
+        );
+        (ds, workload)
+    };
+    let (hot, mut hot_workload) = mk(n_hot, 1);
+    let quiet_handles: Vec<_> = (0..quiet).map(|d| mk(n_quiet, d as u64 + 2)).collect();
+
+    let (latencies, hot_backlog) = std::thread::scope(|scope| {
+        let hot_ref = &hot;
+        scope.spawn(move || {
+            for _ in 0..n_hot {
+                apply(hot_ref, &hot_workload.next_op());
+            }
+        });
+        let mut latencies = Vec::new();
+        for (ds, workload) in quiet_handles {
+            let mut workload = workload;
+            let t0 = std::time::Instant::now();
+            for _ in 0..n_quiet {
+                apply(&ds, &workload.next_op());
+            }
+            ds.maintenance().quiesce().expect("quiesce");
+            latencies.push(t0.elapsed().as_secs_f64());
+        }
+        let hot_id = hot_ref.runtime_dataset_id().expect("registered");
+        let hot_backlog = runtime
+            .stats()
+            .per_dataset
+            .iter()
+            .find(|d| d.dataset == hot_id)
+            .map(|d| d.queued + d.in_flight)
+            .unwrap_or(0);
+        (latencies, hot_backlog)
+    });
+    hot.maintenance().quiesce().expect("quiesce hot");
+    let stats = runtime.stats();
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+    FairnessRun {
+        hot_records: n_hot,
+        quiet_datasets: quiet,
+        quiet_records_per_dataset: n_quiet,
+        quiet_latency_secs_mean: mean,
+        quiet_latency_secs_max: max,
+        hot_backlog_at_quiet_done: hot_backlog,
+        quota_deferrals: stats.quota_deferrals,
+        peak_workers: stats.peak_workers,
+    }
+}
+
 /// A stopwatch pairing simulated and wall-clock time.
 pub struct Timer {
     clock: SimClock,

@@ -286,6 +286,14 @@ impl Dataset {
         self.runtime.get().map(|h| h.runtime())
     }
 
+    /// This dataset's registration id on its maintenance runtime, if any —
+    /// the key that [`RuntimeStatsSnapshot`](crate::RuntimeStatsSnapshot)
+    /// uses in its `per_dataset` rows and `poisoned` list, so operators
+    /// can map a runtime stats row back to the dataset handle they hold.
+    pub fn runtime_dataset_id(&self) -> Option<u64> {
+        self.runtime.get().map(|h| h.dataset_id())
+    }
+
     /// Records a fatal background-maintenance failure. The first error
     /// wins; every subsequent write fails with it ("poisoned-state flag
     /// surfaced on the next write") instead of the worker aborting the
@@ -844,7 +852,10 @@ impl Dataset {
 
     /// Plans the policy's current merge work and enqueues it on the
     /// runtime through `handle`, counting each job actually added. Merges
-    /// are prioritized smallest-estimated-input-first on the shared queue.
+    /// run smallest-estimated-input-first within this dataset; across
+    /// datasets the runtime orders them deficit-round-robin (and honours
+    /// the per-dataset quota), so enqueueing a lot here cannot starve the
+    /// runtime's other datasets.
     pub(crate) fn schedule_planned_merges(&self, handle: &RuntimeHandle) {
         for plan in self.plan_merges() {
             let est = self.estimate_merge_bytes(&plan);
@@ -854,10 +865,11 @@ impl Dataset {
         }
     }
 
-    /// Estimated input bytes of a planned merge — the priority key that
-    /// orders merge jobs smallest-first on the shared runtime's queue.
-    /// Stale plans (range no longer fits) estimate to 0 and are skipped at
-    /// execution time anyway.
+    /// Estimated input bytes of a planned merge — the cost that orders
+    /// merge jobs smallest-first within the dataset and that the runtime's
+    /// cross-dataset deficit-round-robin charges against the dataset's
+    /// credit. Stale plans (range no longer fits) estimate to 0 and are
+    /// skipped at execution time anyway.
     pub(crate) fn estimate_merge_bytes(&self, plan: &MergePlan) -> u64 {
         fn range_bytes(tree: &LsmTree, range: MergeRange) -> u64 {
             tree.components_in_range(range)

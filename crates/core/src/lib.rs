@@ -67,6 +67,15 @@
 //!
 //! # Architecture
 //!
+//! The full system map — the 8-crate layering, the write path
+//! (memtable → seal → flush → merge), the maintenance strategies, and the
+//! shared-runtime contract — lives in `ARCHITECTURE.md` at the repository
+//! root; its examples compile and run as doctests of this crate (see
+//! [`ArchitectureGuide`]). Operational tuning — worker bounds, read/write
+//! throttles, quotas, and how to read the stats snapshots and CI perf
+//! artifacts — is covered by `docs/OPERATIONS.md` (doctested as
+//! [`OperationsGuide`]).
+//!
 //! Query processing implements the §3.2 point-lookup optimizations
 //! (batched lookups, stateful B+-tree cursors, blocked Bloom filters,
 //! component-ID propagation), the Direct and Timestamp validation methods
@@ -99,25 +108,47 @@
 //! dataset deregisters on drop, discarding its queued jobs; the runtime
 //! shuts down, draining in-flight rebuilds, when its last handle drops.
 //!
-//! **Priorities.** The queue is a priority queue, not FIFO: flush jobs run
-//! before merge jobs (flushes are what release stalled writer memory), and
-//! merges run smallest-estimated-input-first so cheap consolidations are
-//! never stuck behind a giant merge. Jobs stay deduped — one flush job per
-//! dataset, merges keyed by `(dataset, target, range)`. The §5.3 machinery
-//! (`BuildLink` redirection, bitmap sharing before installation,
-//! retire-on-drop components) makes concurrent writes during rebuilds
-//! correct.
+//! **Priorities & fairness.** The queue is a fair scheduler, not FIFO:
+//! flush jobs run before merge jobs (flushes are what release stalled
+//! writer memory), with datasets served round-robin within the flush
+//! class. Merges are ordered **deficit-round-robin** across datasets —
+//! each dataset earns [`EngineConfig::fairness_quantum_bytes`] of credit
+//! per scheduling turn and runs its smallest queued merge once the credit
+//! covers that merge's estimated input — so ten registered datasets make
+//! progress even when one floods the queue, while merges within one
+//! dataset still run smallest-estimated-input-first. With
+//! [`EngineConfig::max_jobs_per_dataset`] set, a dataset's merges never
+//! occupy more than that many workers at once regardless of its backlog
+//! (flushes are exempt — they release stalled writer memory, so a flush
+//! never waits out its own dataset's in-flight merge). Jobs stay deduped —
+//! one flush job per dataset, merges keyed by `(dataset, target,
+//! range)`. The §5.3 machinery (`BuildLink` redirection, bitmap
+//! sharing before installation, retire-on-drop components) makes
+//! concurrent writes during rebuilds correct.
 //!
 //! **Adaptive workers & throttling.** `min_workers` threads are permanent;
 //! when the queue outgrows the live workers, transient workers spawn up to
 //! `max_workers` — never beyond, which bounds maintenance threads for the
 //! whole engine — and retire once the queue drains. With
 //! `EngineConfig::io_read_bytes_per_sec` set, workers run every job under
-//! a token bucket ([`lsm_storage::IoThrottle`]) charged on device reads,
-//! so rebuild scans cannot monopolize read bandwidth; foreground queries
-//! are never throttled. Per-runtime counters (queue depth, worker
-//! high-water mark, throttle waits) come from
-//! [`MaintenanceRuntime::stats`], per-dataset ones from [`EngineStats`].
+//! a read token bucket ([`lsm_storage::IoThrottle`]) charged on device
+//! reads, so rebuild scans cannot monopolize read bandwidth; with
+//! `EngineConfig::io_write_bytes_per_sec` set they additionally run under
+//! a write bucket charged on flush-build and merge-output page appends.
+//! Foreground queries are never read-throttled and WAL/commit writes are
+//! never write-throttled (the log wraps its appends in
+//! [`lsm_storage::throttle::exempt_writes`], so even a log force issued
+//! from a flush job passes untouched).
+//!
+//! **Observability.** [`MaintenanceRuntime::stats`] returns one
+//! [`RuntimeStatsSnapshot`] covering every registered dataset: queue depth
+//! split by class, per-dataset queued/running rows
+//! ([`DatasetRuntimeStats`]), worker high-water mark, quota deferrals,
+//! cumulative read/write throttle waits, and the list of poisoned
+//! datasets; [`MaintenanceRuntime::poisoned`] returns the failed datasets
+//! themselves so operators inspect causes without polling each one.
+//! Per-dataset counters come from [`EngineStats`], per-device ones from
+//! [`lsm_storage::IoStats`].
 //!
 //! **Backpressure.** Writers never block on the queue. Crossing the memory
 //! *budget* only schedules a flush; a writer stalls solely when active +
@@ -146,6 +177,52 @@
 //! per-dataset `MaintenanceScheduler` name survives as a `#[deprecated]`
 //! alias of [`MaintenanceRuntime`]; all will be removed once external
 //! callers migrate.
+//!
+//! ## Migrating from `MaintenanceScheduler` to `MaintenanceRuntime`
+//!
+//! `MaintenanceScheduler` was a *per-dataset* worker pool; the alias still
+//! compiles, but every dataset opened through it runs its own threads. To
+//! migrate:
+//!
+//! 1. **One dataset, unchanged behaviour** — keep
+//!    [`MaintenanceMode::Background`]`{ workers }` in [`DatasetConfig`]
+//!    (or call `ds.maintenance().background(n)`); the dataset gets a
+//!    private fixed-size runtime exactly like the old scheduler, with no
+//!    quotas and no throttling ([`EngineConfig::fixed`]).
+//! 2. **Many datasets, one bounded pool** — build an [`EngineConfig`]
+//!    (`EngineConfig::builder().min_workers(1).max_workers(4)...`), start
+//!    it once with [`MaintenanceRuntime::start`], and open each dataset
+//!    with [`Dataset::open_with_runtime`]. Worker counts, read/write
+//!    throttles, per-dataset quotas, and the fairness quantum are all
+//!    runtime-wide knobs now — per-dataset worker counts in
+//!    `MaintenanceMode::Background` are ignored when a shared runtime is
+//!    supplied.
+//! 3. **Draining** — `scheduler.quiesce()` used to drain the dataset's
+//!    whole pool; on a shared runtime, `ds.maintenance().quiesce()` drains
+//!    only that dataset's jobs, and [`MaintenanceRuntime::quiesce`] drains
+//!    everything.
+//!
+//! ```
+//! use lsm_engine::{Dataset, DatasetConfig, EngineConfig, MaintenanceRuntime};
+//! use lsm_storage::{Storage, StorageOptions};
+//! # use lsm_common::{FieldType, Schema};
+//! # let schema = Schema::new(vec![("id", FieldType::Int)]).unwrap();
+//! // Before: one MaintenanceScheduler (= worker pool) per dataset.
+//! // After: one runtime, N datasets.
+//! let runtime = MaintenanceRuntime::start(
+//!     EngineConfig::builder().min_workers(1).max_workers(2).build()?,
+//! )?;
+//! let a = Dataset::open_with_runtime(
+//!     Storage::new(StorageOptions::test()), None,
+//!     DatasetConfig::new(schema.clone(), 0), &runtime)?;
+//! let b = Dataset::open_with_runtime(
+//!     Storage::new(StorageOptions::test()), None,
+//!     DatasetConfig::new(schema, 0), &runtime)?;
+//! assert_eq!(runtime.stats().datasets, 2);
+//! # Ok::<(), lsm_common::Error>(())
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod cc;
 pub mod config;
@@ -169,7 +246,7 @@ pub use query::{
     PreparedQuery, QueryBuilder, QueryOptions, QueryResult, RecordStream, ValidationMethod,
 };
 pub use repair::{RepairMode, RepairOptions, RepairReport};
-pub use scheduler::{MaintenanceRuntime, RuntimeStatsSnapshot};
+pub use scheduler::{DatasetRuntimeStats, MaintenanceRuntime, RuntimeStatsSnapshot};
 pub use stats::{EngineStats, EngineStatsSnapshot};
 
 /// The per-dataset scheduler's old name, kept as an alias so downstream
@@ -187,3 +264,21 @@ pub use query::secondary_query;
 pub use repair::{
     full_repair, merge_repair_secondary, primary_repair, standalone_repair_secondary,
 };
+
+/// The repository's top-level `ARCHITECTURE.md`, rendered here so its
+/// every example compiles and runs as a doctest of this crate. Covers the
+/// 8-crate map, the write path (memtable → seal → flush → merge), the
+/// paper's maintenance strategies, and the shared-runtime contract.
+///
+/// ---
+#[doc = include_str!("../../../ARCHITECTURE.md")]
+pub struct ArchitectureGuide;
+
+/// The repository's `docs/OPERATIONS.md`, rendered here so its every
+/// example compiles and runs as a doctest of this crate. Covers
+/// [`EngineConfig`] tuning, reading [`RuntimeStatsSnapshot`] and
+/// `BENCH_ingest.json`, and the recovery/quiesce contract.
+///
+/// ---
+#[doc = include_str!("../../../docs/OPERATIONS.md")]
+pub struct OperationsGuide;

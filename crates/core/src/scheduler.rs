@@ -1,5 +1,5 @@
 //! Background maintenance: an engine-wide worker pool executing flush and
-//! merge jobs for every registered dataset.
+//! merge jobs for every registered dataset, fairly.
 //!
 //! Luo & Carey design the maintenance strategies so that writers proceed
 //! *concurrently* with flush/merge rebuilds (Section 5.3 — the `BuildLink`
@@ -18,10 +18,21 @@
 //!   get a private fixed-size runtime from
 //!   [`MaintenanceMode::Background`](crate::MaintenanceMode)) and leave when
 //!   dropped; deregistration discards the dataset's queued jobs.
-//! * **Priorities** — the queue is a priority queue, not FIFO: flushes run
-//!   before merges (they release writer memory), and merges run
-//!   smallest-estimated-input-first so cheap consolidation is never stuck
-//!   behind a giant merge.
+//! * **Priorities** — flushes always run before merges (they release writer
+//!   memory). Within the flush class datasets are served round-robin;
+//!   within the merge class they are served **deficit-round-robin**: each
+//!   dataset earns [`EngineConfig::fairness_quantum_bytes`] of credit per
+//!   scheduling turn and its smallest queued merge runs once the credit
+//!   covers its estimated input, so ten datasets make progress even when
+//!   one floods the queue. Within one dataset merges still run
+//!   smallest-estimated-input-first.
+//! * **Quotas** — with [`EngineConfig::max_jobs_per_dataset`] set, a
+//!   dataset's *merges* never occupy more than that many workers at once,
+//!   no matter how much work it has queued; the scheduler skips it until
+//!   one of its merges finishes. Flushes are exempt from the quota (they
+//!   release stalled writer memory, so a dataset's flush must never wait
+//!   out its own in-flight merge). The fairness backstop against a hot
+//!   dataset holding every worker with long merges.
 //! * **Dedup** — at most one flush job per dataset is queued at a time, and
 //!   merge jobs are keyed by `(dataset, target, MergeRange)`; re-enqueueing
 //!   queued work is a no-op.
@@ -30,16 +41,22 @@
 //!   spawn up to [`EngineConfig::max_workers`] (never beyond) and retire
 //!   once the queue drains.
 //! * **I/O throttling** — when [`EngineConfig::io_read_bytes_per_sec`] is
-//!   set, workers install the runtime's token bucket
+//!   set, workers install the runtime's read token bucket
 //!   ([`lsm_storage::IoThrottle`]) for the duration of each job, so rebuild
-//!   scans cannot monopolize device read bandwidth.
+//!   scans cannot monopolize device read bandwidth; with
+//!   [`EngineConfig::io_write_bytes_per_sec`] set they additionally install
+//!   a write bucket charged on flush-build and merge-output page appends.
+//!   Foreground reads and WAL/commit writes are never throttled.
 //! * **Backpressure** — writers never block on the queue itself; they stall
 //!   only when active + flushing memory exceeds the hard ceiling
 //!   ([`DatasetConfig::memory_ceiling`](crate::DatasetConfig), default 2×
 //!   the budget), preserving the paper's shared-memory-budget semantics.
 //! * **Error propagation** — a job error (or panic) poisons its dataset;
 //!   the next write fails with the stored cause instead of the process
-//!   aborting. Other datasets on the runtime are unaffected.
+//!   aborting. Other datasets on the runtime are unaffected, and
+//!   [`MaintenanceRuntime::poisoned`] (or the `poisoned` list in
+//!   [`RuntimeStatsSnapshot`]) surfaces the failures without polling every
+//!   dataset.
 //! * **Graceful shutdown** — dropping a dataset discards its queued jobs
 //!   and dropping the runtime's last handle drains in-flight rebuilds
 //!   before the workers exit.
@@ -49,7 +66,7 @@ use crate::dataset::{Dataset, MergePlan};
 use lsm_common::Result;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -71,66 +88,82 @@ pub enum Job {
     Merge(MergePlan),
 }
 
-/// Job class half of the priority key: flushes (0) always pop before
-/// merges (1) — a flush is what releases stalled writer memory.
-const CLASS_FLUSH: u8 = 0;
-const CLASS_MERGE: u8 = 1;
-
-/// One queued job with its priority key. Ordered by `(class, est_bytes,
-/// seq)` ascending: flushes first, then merges smallest-estimated-first,
-/// FIFO within ties.
-#[derive(Debug)]
-struct QueuedJob {
-    class: u8,
+/// One queued merge with its intra-dataset priority key: ordered by
+/// `(est_bytes, seq)` ascending — smallest estimated input first, FIFO
+/// within ties.
+#[derive(Debug, PartialEq, Eq)]
+struct QueuedMerge {
     est_bytes: u64,
     seq: u64,
-    dataset: u64,
-    job: Job,
+    plan: MergePlan,
 }
 
-impl QueuedJob {
-    fn key(&self) -> (u8, u64, u64) {
-        (self.class, self.est_bytes, self.seq)
-    }
-}
-
-impl PartialEq for QueuedJob {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl Eq for QueuedJob {}
-impl PartialOrd for QueuedJob {
+impl PartialOrd for QueuedMerge {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for QueuedJob {
+impl Ord for QueuedMerge {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
+        (self.est_bytes, self.seq).cmp(&(other.est_bytes, other.seq))
     }
 }
 
-/// Per-dataset bookkeeping inside the runtime.
+/// Per-dataset bookkeeping inside the runtime: the dataset's own job
+/// queues (the cross-dataset order lives in the scheduler's round-robin
+/// rings) plus quota and fairness state.
 #[derive(Debug)]
 struct DatasetEntry {
     ds: Weak<Dataset>,
     /// Dedup: one flush job per dataset.
     flush_queued: bool,
+    /// Queued merges, smallest-estimated-input-first within this dataset.
+    merges: BinaryHeap<Reverse<QueuedMerge>>,
     /// Dedup: merges keyed by `(target, range)`.
     merges_queued: HashSet<MergePlan>,
-    /// This dataset's jobs currently in the queue.
+    /// This dataset's jobs currently queued (flush + merges).
     queued: usize,
-    /// This dataset's jobs popped but not yet finished.
+    /// This dataset's jobs popped but not yet finished (all classes).
     in_flight: usize,
+    /// The merge-class subset of `in_flight` — compared against
+    /// [`EngineConfig::max_jobs_per_dataset`] for the quota check.
+    /// Flushes are exempt from the quota: they are what releases stalled
+    /// writer memory, so a dataset's flush must never wait out its own
+    /// in-flight merge.
+    merges_in_flight: usize,
+    /// Deficit-round-robin credit (bytes) for the merge class.
+    deficit: u64,
+}
+
+impl DatasetEntry {
+    fn new(ds: Weak<Dataset>) -> Self {
+        DatasetEntry {
+            ds,
+            flush_queued: false,
+            merges: BinaryHeap::new(),
+            merges_queued: HashSet::new(),
+            queued: 0,
+            in_flight: 0,
+            merges_in_flight: 0,
+            deficit: 0,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct RuntimeState {
-    queue: BinaryHeap<Reverse<QueuedJob>>,
+    datasets: HashMap<u64, DatasetEntry>,
+    /// Round-robin ring over datasets with a queued flush (each id at most
+    /// once — one flush per dataset). Stale ids (deregistered datasets)
+    /// are dropped lazily on pop.
+    flush_ring: VecDeque<u64>,
+    /// Round-robin ring over datasets with queued merges (each id at most
+    /// once — inserted on the empty→non-empty transition).
+    merge_ring: VecDeque<u64>,
+    /// Total queued jobs across all datasets.
+    queued_total: usize,
     next_seq: u64,
     next_dataset: u64,
-    datasets: HashMap<u64, DatasetEntry>,
     /// Live worker threads (permanent + transient).
     cur_workers: usize,
     /// High-water mark of `cur_workers` — asserted never to exceed
@@ -147,6 +180,8 @@ struct RuntimeCounters {
     merge_jobs: AtomicU64,
     workers_spawned: AtomicU64,
     workers_retired: AtomicU64,
+    /// Times the quota skipped a dataset that had runnable merges queued.
+    quota_deferrals: AtomicU64,
 }
 
 /// State shared between the runtime handle, its workers, registered
@@ -163,7 +198,10 @@ pub(crate) struct RuntimeShared {
     stall_lock: Mutex<()>,
     stall_cv: Condvar,
     /// Read-bandwidth token bucket installed by workers for each job.
-    throttle: Option<Arc<lsm_storage::IoThrottle>>,
+    read_throttle: Option<Arc<lsm_storage::IoThrottle>>,
+    /// Write-bandwidth token bucket installed by workers for each job
+    /// (flush builds, merge outputs; WAL appends are exempt).
+    write_throttle: Option<Arc<lsm_storage::IoThrottle>>,
     /// Transient (adaptively spawned) worker handles, joined on shutdown.
     extra: Mutex<Vec<JoinHandle<()>>>,
     counters: RuntimeCounters,
@@ -171,9 +209,12 @@ pub(crate) struct RuntimeShared {
 
 impl RuntimeShared {
     fn new(cfg: EngineConfig) -> Self {
-        let throttle = cfg
+        let read_throttle = cfg
             .io_read_bytes_per_sec
             .map(|rate| lsm_storage::IoThrottle::new(rate, cfg.effective_burst_bytes().unwrap()));
+        let write_throttle = cfg.io_write_bytes_per_sec.map(|rate| {
+            lsm_storage::IoThrottle::new(rate, cfg.effective_write_burst_bytes().unwrap())
+        });
         RuntimeShared {
             cfg,
             state: Mutex::new(RuntimeState::default()),
@@ -181,7 +222,8 @@ impl RuntimeShared {
             idle_cv: Condvar::new(),
             stall_lock: Mutex::new(()),
             stall_cv: Condvar::new(),
-            throttle,
+            read_throttle,
+            write_throttle,
             extra: Mutex::new(Vec::new()),
             counters: RuntimeCounters::default(),
         }
@@ -191,35 +233,29 @@ impl RuntimeShared {
         let mut s = self.state.lock();
         let id = s.next_dataset;
         s.next_dataset += 1;
-        s.datasets.insert(
-            id,
-            DatasetEntry {
-                ds: Arc::downgrade(ds),
-                flush_queued: false,
-                merges_queued: HashSet::new(),
-                queued: 0,
-                in_flight: 0,
-            },
-        );
+        s.datasets.insert(id, DatasetEntry::new(Arc::downgrade(ds)));
         id
     }
 
     /// Removes a dataset and discards its queued jobs (a dropped dataset
-    /// cannot execute them anyway: workers hold only weak references).
+    /// cannot execute them anyway: workers hold only weak references). Its
+    /// ids in the round-robin rings are dropped lazily on the next pop.
     fn deregister(&self, id: u64) {
         let mut s = self.state.lock();
         let Some(entry) = s.datasets.remove(&id) else {
             return;
         };
-        if entry.queued > 0 {
-            let old = std::mem::take(&mut s.queue);
-            s.queue = old
-                .into_iter()
-                .filter(|Reverse(q)| q.dataset != id)
-                .collect();
-        }
+        s.queued_total -= entry.queued;
         drop(s);
         self.idle_cv.notify_all();
+    }
+
+    /// True when `entry` has hit the per-dataset *merge* concurrency
+    /// quota. Flushes are never quota-checked.
+    fn at_quota(&self, entry: &DatasetEntry) -> bool {
+        self.cfg
+            .max_jobs_per_dataset
+            .is_some_and(|q| entry.merges_in_flight >= q)
     }
 
     /// Enqueues a flush job for `id` unless one is already queued. Returns
@@ -237,7 +273,9 @@ impl RuntimeShared {
         }
         entry.flush_queued = true;
         entry.queued += 1;
-        let spawn = self.push_locked(&mut s, id, CLASS_FLUSH, 0, Job::Flush);
+        s.flush_ring.push_back(id);
+        s.queued_total += 1;
+        let spawn = self.reserve_worker_locked(&mut s);
         drop(s);
         self.work_cv.notify_one();
         if spawn {
@@ -248,20 +286,36 @@ impl RuntimeShared {
 
     /// Enqueues a merge job for `id` unless an identical `(target, range)`
     /// job is already queued. `est_bytes` (estimated merge input size)
-    /// orders merges smallest-first. Returns `true` if a job was added.
+    /// orders merges smallest-first within the dataset and is the cost the
+    /// cross-dataset deficit-round-robin charges. Returns `true` if a job
+    /// was added.
     fn schedule_merge(self: &Arc<Self>, id: u64, plan: MergePlan, est_bytes: u64) -> bool {
         let mut s = self.state.lock();
         if s.shutdown {
             return false;
         }
+        // Take the seq up front (burning one on a deduped call is harmless
+        // — seq only breaks FIFO ties) so the entry is looked up once.
+        let seq = s.next_seq;
+        s.next_seq += 1;
         let Some(entry) = s.datasets.get_mut(&id) else {
             return false;
         };
         if !entry.merges_queued.insert(plan) {
             return false;
         }
+        let was_empty = entry.merges.is_empty();
+        entry.merges.push(Reverse(QueuedMerge {
+            est_bytes,
+            seq,
+            plan,
+        }));
         entry.queued += 1;
-        let spawn = self.push_locked(&mut s, id, CLASS_MERGE, est_bytes, Job::Merge(plan));
+        if was_empty {
+            s.merge_ring.push_back(id);
+        }
+        s.queued_total += 1;
+        let spawn = self.reserve_worker_locked(&mut s);
         drop(s);
         self.work_cv.notify_one();
         if spawn {
@@ -270,36 +324,20 @@ impl RuntimeShared {
         true
     }
 
-    /// Queues the job and decides (under the lock) whether a transient
-    /// worker slot should be claimed: the queue outgrew the live workers
-    /// and the hard `max_workers` cap is not reached. Requires the
-    /// permanent pool to be live (`cur_workers >= min_workers`) — a bare
-    /// `RuntimeShared` used for queue unit tests never spawns. Returns
-    /// `true` when a slot was reserved; the caller spawns the thread after
-    /// releasing the lock ([`RuntimeShared::spawn_transient`]).
-    fn push_locked(
-        self: &Arc<Self>,
-        s: &mut RuntimeState,
-        id: u64,
-        class: u8,
-        est: u64,
-        job: Job,
-    ) -> bool {
-        let seq = s.next_seq;
-        s.next_seq += 1;
-        s.queue.push(Reverse(QueuedJob {
-            class,
-            est_bytes: est,
-            seq,
-            dataset: id,
-            job,
-        }));
+    /// Decides (under the lock) whether a transient worker slot should be
+    /// claimed: the queue outgrew the live workers and the hard
+    /// `max_workers` cap is not reached. Requires the permanent pool to be
+    /// live (`cur_workers >= min_workers`) — a bare `RuntimeShared` used
+    /// for queue unit tests never spawns. Returns `true` when a slot was
+    /// reserved; the caller spawns the thread after releasing the lock
+    /// ([`RuntimeShared::spawn_transient`]).
+    fn reserve_worker_locked(self: &Arc<Self>, s: &mut RuntimeState) -> bool {
         // Demand counts queued AND in-flight jobs: a lone flush queued
         // behind a long merge must still get a fresh worker, or a stalled
         // writer waits out the whole merge with capacity idle.
         if s.shutdown
             || s.cur_workers < self.cfg.min_workers
-            || s.queue.len() + s.total_in_flight <= s.cur_workers
+            || s.queued_total + s.total_in_flight <= s.cur_workers
             || s.cur_workers >= self.cfg.max_workers
         {
             return false;
@@ -309,12 +347,12 @@ impl RuntimeShared {
         true
     }
 
-    /// Spawns the transient worker whose slot `push_locked` reserved. Runs
-    /// outside the state lock (thread creation is a syscall every enqueuer
-    /// would otherwise contend on). Spawn failure — e.g. a process thread
-    /// limit — releases the slot and carries on: the permanent workers
-    /// still drain the queue, so degraded throughput, not a panicked
-    /// writer.
+    /// Spawns the transient worker whose slot `reserve_worker_locked`
+    /// reserved. Runs outside the state lock (thread creation is a syscall
+    /// every enqueuer would otherwise contend on). Spawn failure — e.g. a
+    /// process thread limit — releases the slot and carries on: the
+    /// permanent workers still drain the queue, so degraded throughput,
+    /// not a panicked writer.
     fn spawn_transient(self: &Arc<Self>) {
         // Defensive: an enqueuer always belongs to a registered dataset
         // whose handle keeps the runtime alive, so shutdown cannot begin
@@ -353,40 +391,128 @@ impl RuntimeShared {
         }
     }
 
-    fn try_pop_locked(s: &mut RuntimeState) -> Option<(u64, Job, Weak<Dataset>)> {
-        while let Some(Reverse(q)) = s.queue.pop() {
-            // The entry can be gone if the dataset deregistered after this
-            // job was queued (deregistration filters the queue, but a
-            // concurrent pop may already hold the job).
-            let Some(entry) = s.datasets.get_mut(&q.dataset) else {
+    /// Pops the next runnable job under the fairness rules: the flush ring
+    /// first (plain round-robin, never quota-checked), then the merge ring
+    /// (deficit round robin, skipping datasets at their merge quota) —
+    /// `None` with work still queued means every queued merge belongs to
+    /// an at-quota dataset; the worker re-checks when a job finishes
+    /// ([`RuntimeShared::finish_job`] notifies `work_cv`).
+    fn try_pop_locked(&self, s: &mut RuntimeState) -> Option<(u64, Job, Weak<Dataset>)> {
+        // Each dataset's quota deferral is counted at most once per pop —
+        // the DRR retry passes below revisit at-quota datasets, and the
+        // counter must mean "deferral events", not "ring rotations".
+        let mut quota_counted: Vec<u64> = Vec::new();
+        let mut count_deferral = |counters: &RuntimeCounters, id: u64| {
+            if !quota_counted.contains(&id) {
+                quota_counted.push(id);
+                counters.quota_deferrals.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        // Flush class: round-robin across datasets. Flushes are uniform
+        // (seal + build what is sealed), so plain rotation is fair.
+        for _ in 0..s.flush_ring.len() {
+            let id = *s.flush_ring.front().expect("ring non-empty in loop");
+            let Some(entry) = s.datasets.get_mut(&id) else {
+                s.flush_ring.pop_front(); // deregistered: drop lazily
                 continue;
             };
-            match &q.job {
-                Job::Flush => entry.flush_queued = false,
-                Job::Merge(plan) => {
-                    // Clear the dedup key immediately: work arriving while
-                    // this job runs must be re-queueable (the job mutexes in
-                    // `Dataset` serialize actual execution).
-                    entry.merges_queued.remove(plan);
-                }
+            if !entry.flush_queued {
+                s.flush_ring.pop_front(); // stale (defensive)
+                continue;
             }
+            // No quota check: a flush releases stalled writer memory, so
+            // it must never wait out the dataset's own in-flight merge.
+            entry.flush_queued = false;
             entry.queued -= 1;
             entry.in_flight += 1;
-            s.total_in_flight += 1;
             let weak = entry.ds.clone();
-            return Some((q.dataset, q.job, weak));
+            s.flush_ring.pop_front();
+            s.queued_total -= 1;
+            s.total_in_flight += 1;
+            return Some((id, Job::Flush, weak));
         }
-        None
+        // Merge class: deficit round robin. A pass that serves nothing
+        // *because of deficits* computes the fewest whole turns after
+        // which some dataset can afford its head merge, grants that many
+        // quanta to every deficit-blocked dataset at once (preserving
+        // their relative credit order), and retries — so a pop costs at
+        // most a couple of ring passes under the lock, never
+        // max(est)/quantum of them. A pass blocked only by quotas (or an
+        // empty ring) returns None.
+        loop {
+            let quantum = self.cfg.fairness_quantum_bytes;
+            // Fewest whole quanta that would cover some deficit-blocked
+            // dataset's head merge; None when nothing was deficit-blocked.
+            let mut min_turns: Option<u64> = None;
+            for _ in 0..s.merge_ring.len() {
+                let id = *s.merge_ring.front().expect("ring non-empty in loop");
+                let Some(entry) = s.datasets.get_mut(&id) else {
+                    s.merge_ring.pop_front(); // deregistered: drop lazily
+                    continue;
+                };
+                let Some(Reverse(head)) = entry.merges.peek() else {
+                    entry.deficit = 0;
+                    s.merge_ring.pop_front(); // stale (defensive)
+                    continue;
+                };
+                if self.at_quota(entry) {
+                    count_deferral(&self.counters, id);
+                    s.merge_ring.rotate_left(1);
+                    continue;
+                }
+                let cost = head.est_bytes;
+                if entry.deficit < cost {
+                    let turns = (cost - entry.deficit).div_ceil(quantum).max(1);
+                    min_turns = Some(min_turns.map_or(turns, |m| m.min(turns)));
+                    s.merge_ring.rotate_left(1);
+                    continue;
+                }
+                entry.deficit -= cost;
+                let Reverse(job) = entry.merges.pop().expect("peeked job present");
+                // Clear the dedup key immediately: work arriving while
+                // this job runs must be re-queueable (the job mutexes in
+                // `Dataset` serialize actual execution).
+                entry.merges_queued.remove(&job.plan);
+                entry.queued -= 1;
+                entry.in_flight += 1;
+                entry.merges_in_flight += 1;
+                let weak = entry.ds.clone();
+                if entry.merges.is_empty() {
+                    entry.deficit = 0;
+                    s.merge_ring.pop_front();
+                } else {
+                    s.merge_ring.rotate_left(1); // others get a turn
+                }
+                s.queued_total -= 1;
+                s.total_in_flight += 1;
+                return Some((id, Job::Merge(job.plan), weak));
+            }
+            let turns = min_turns?;
+            let credit = turns.saturating_mul(quantum);
+            for &id in s.merge_ring.iter() {
+                if let Some(entry) = s.datasets.get_mut(&id) {
+                    if !entry.merges.is_empty() && !self.at_quota(entry) {
+                        entry.deficit = entry.deficit.saturating_add(credit);
+                    }
+                }
+            }
+        }
     }
 
-    fn finish_job(&self, id: u64) {
+    fn finish_job(&self, id: u64, was_merge: bool) {
         let mut s = self.state.lock();
         s.total_in_flight -= 1;
         if let Some(entry) = s.datasets.get_mut(&id) {
             entry.in_flight -= 1;
+            if was_merge {
+                entry.merges_in_flight -= 1;
+            }
         }
         drop(s);
         self.idle_cv.notify_all();
+        // A finished job may take its dataset back under quota, unblocking
+        // queued work a parked worker skipped.
+        self.work_cv.notify_all();
     }
 
     /// Jobs currently queued for dataset `id`.
@@ -411,7 +537,7 @@ impl RuntimeShared {
     /// Blocks until the whole queue is empty and no job is in flight.
     fn wait_idle_all(&self) {
         let mut s = self.state.lock();
-        while !(s.queue.is_empty() && s.total_in_flight == 0) {
+        while !(s.queued_total == 0 && s.total_in_flight == 0) {
             self.idle_cv.wait(&mut s);
         }
     }
@@ -509,30 +635,99 @@ impl MaintenanceRuntime {
         self.shared.wait_idle_all();
     }
 
-    /// Point-in-time runtime statistics.
+    /// Point-in-time runtime statistics: cross-dataset aggregates (queue
+    /// depth by class, throttle totals) plus one
+    /// [`DatasetRuntimeStats`] row per registered dataset — the operator's
+    /// single view over everything the runtime serves.
     pub fn stats(&self) -> RuntimeStatsSnapshot {
-        let s = self.shared.state.lock();
-        let c = &self.shared.counters;
-        RuntimeStatsSnapshot {
-            datasets: s.datasets.len(),
-            queue_depth: s.queue.len(),
-            in_flight: s.total_in_flight,
-            cur_workers: s.cur_workers,
-            peak_workers: s.peak_workers,
-            min_workers: self.shared.cfg.min_workers,
-            max_workers: self.shared.cfg.max_workers,
-            jobs_executed: c.jobs_executed.load(Ordering::Relaxed),
-            flush_jobs: c.flush_jobs.load(Ordering::Relaxed),
-            merge_jobs: c.merge_jobs.load(Ordering::Relaxed),
-            workers_spawned: c.workers_spawned.load(Ordering::Relaxed),
-            workers_retired: c.workers_retired.load(Ordering::Relaxed),
-            throttle_wait_ns: self.shared.throttle.as_ref().map_or(0, |t| t.waited_ns()),
-            throttled_bytes: self
-                .shared
-                .throttle
-                .as_ref()
-                .map_or(0, |t| t.throttled_bytes()),
-        }
+        // Collected under the lock, upgraded (and possibly dropped)
+        // outside it: dropping a final `Arc<Dataset>` runs `Dataset::drop`,
+        // which deregisters — re-entering this lock.
+        let (mut snapshot, rows) = {
+            let s = self.shared.state.lock();
+            let c = &self.shared.counters;
+            let flush_queue_depth = s.datasets.values().filter(|e| e.flush_queued).count();
+            let snapshot = RuntimeStatsSnapshot {
+                datasets: s.datasets.len(),
+                queue_depth: s.queued_total,
+                flush_queue_depth,
+                merge_queue_depth: s.queued_total - flush_queue_depth,
+                in_flight: s.total_in_flight,
+                cur_workers: s.cur_workers,
+                peak_workers: s.peak_workers,
+                min_workers: self.shared.cfg.min_workers,
+                max_workers: self.shared.cfg.max_workers,
+                jobs_executed: c.jobs_executed.load(Ordering::Relaxed),
+                flush_jobs: c.flush_jobs.load(Ordering::Relaxed),
+                merge_jobs: c.merge_jobs.load(Ordering::Relaxed),
+                workers_spawned: c.workers_spawned.load(Ordering::Relaxed),
+                workers_retired: c.workers_retired.load(Ordering::Relaxed),
+                quota_deferrals: c.quota_deferrals.load(Ordering::Relaxed),
+                throttle_wait_ns: self
+                    .shared
+                    .read_throttle
+                    .as_ref()
+                    .map_or(0, |t| t.waited_ns()),
+                throttled_bytes: self
+                    .shared
+                    .read_throttle
+                    .as_ref()
+                    .map_or(0, |t| t.throttled_bytes()),
+                write_throttle_wait_ns: self
+                    .shared
+                    .write_throttle
+                    .as_ref()
+                    .map_or(0, |t| t.waited_ns()),
+                write_throttled_bytes: self
+                    .shared
+                    .write_throttle
+                    .as_ref()
+                    .map_or(0, |t| t.throttled_bytes()),
+                per_dataset: Vec::new(),
+                poisoned: Vec::new(),
+            };
+            let rows: Vec<(u64, usize, usize, Weak<Dataset>)> = s
+                .datasets
+                .iter()
+                .map(|(&id, e)| (id, e.queued, e.in_flight, e.ds.clone()))
+                .collect();
+            (snapshot, rows)
+        };
+        let mut per_dataset: Vec<DatasetRuntimeStats> = rows
+            .into_iter()
+            .map(|(id, queued, in_flight, weak)| {
+                let poisoned = weak.upgrade().is_some_and(|ds| ds.is_poisoned());
+                DatasetRuntimeStats {
+                    dataset: id,
+                    queued,
+                    in_flight,
+                    poisoned,
+                }
+            })
+            .collect();
+        per_dataset.sort_by_key(|d| d.dataset);
+        snapshot.poisoned = per_dataset
+            .iter()
+            .filter(|d| d.poisoned)
+            .map(|d| d.dataset)
+            .collect();
+        snapshot.per_dataset = per_dataset;
+        snapshot
+    }
+
+    /// The currently-registered datasets that a background job has
+    /// poisoned — operators inspect failures here instead of polling every
+    /// dataset ([`Dataset::check_poisoned`] yields the cause).
+    pub fn poisoned(&self) -> Vec<Arc<Dataset>> {
+        let weaks: Vec<Weak<Dataset>> = {
+            let s = self.shared.state.lock();
+            s.datasets.values().map(|e| e.ds.clone()).collect()
+        };
+        weaks
+            .into_iter()
+            .filter_map(|w| w.upgrade())
+            .filter(|ds| ds.is_poisoned())
+            .collect()
     }
 
     pub(crate) fn register(&self, ds: &Arc<Dataset>) -> u64 {
@@ -556,28 +751,67 @@ impl Drop for MaintenanceRuntime {
     }
 }
 
-/// Point-in-time statistics of a [`MaintenanceRuntime`].
+/// One registered dataset's row in a [`RuntimeStatsSnapshot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub struct RuntimeStatsSnapshot {
-    pub datasets: usize,
-    pub queue_depth: usize,
+pub struct DatasetRuntimeStats {
+    /// The dataset's runtime-assigned id (stable for its registration).
+    pub dataset: u64,
+    /// Jobs queued for this dataset.
+    pub queued: usize,
+    /// Jobs of this dataset currently executing.
     pub in_flight: usize,
+    /// True if a background job has poisoned the dataset.
+    pub poisoned: bool,
+}
+
+/// Point-in-time statistics of a [`MaintenanceRuntime`]: whole-runtime
+/// aggregates plus per-dataset rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStatsSnapshot {
+    /// Registered datasets.
+    pub datasets: usize,
+    /// Total queued jobs across all datasets.
+    pub queue_depth: usize,
+    /// Queued flush jobs (the class served first).
+    pub flush_queue_depth: usize,
+    /// Queued merge jobs.
+    pub merge_queue_depth: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Live worker threads.
     pub cur_workers: usize,
     /// High-water mark of concurrent maintenance threads — never exceeds
     /// `max_workers`.
     pub peak_workers: usize,
+    /// Configured permanent worker count.
     pub min_workers: usize,
+    /// Configured worker-thread cap.
     pub max_workers: usize,
+    /// Total jobs executed.
     pub jobs_executed: u64,
+    /// Flush jobs executed.
     pub flush_jobs: u64,
+    /// Merge jobs executed.
     pub merge_jobs: u64,
+    /// Transient workers spawned by adaptive scaling.
     pub workers_spawned: u64,
+    /// Transient workers retired after the queue drained.
     pub workers_retired: u64,
+    /// Times the per-dataset quota skipped a dataset with runnable
+    /// merges (counted at most once per dataset per scheduling decision).
+    pub quota_deferrals: u64,
     /// Wall-clock nanoseconds jobs spent waiting in the read throttle.
     pub throttle_wait_ns: u64,
     /// Bytes accounted against the read throttle.
     pub throttled_bytes: u64,
+    /// Wall-clock nanoseconds jobs spent waiting in the write throttle.
+    pub write_throttle_wait_ns: u64,
+    /// Bytes accounted against the write throttle.
+    pub write_throttled_bytes: u64,
+    /// Per-dataset queue/execution rows, sorted by dataset id.
+    pub per_dataset: Vec<DatasetRuntimeStats>,
+    /// Ids of registered datasets poisoned by a failed background job.
+    pub poisoned: Vec<u64>,
 }
 
 /// A dataset's registration on a runtime: the shared state plus the
@@ -596,6 +830,12 @@ impl RuntimeHandle {
 
     pub(crate) fn runtime(&self) -> &Arc<MaintenanceRuntime> {
         &self.runtime
+    }
+
+    /// The runtime-assigned dataset id (the key of the runtime's stats
+    /// rows and poisoned list).
+    pub(crate) fn dataset_id(&self) -> u64 {
+        self.id
     }
 
     pub(crate) fn schedule_flush(&self) -> bool {
@@ -635,7 +875,7 @@ fn worker_loop(shared: &Arc<RuntimeShared>) {
         let popped = {
             let mut s = shared.state.lock();
             loop {
-                if let Some(p) = RuntimeShared::try_pop_locked(&mut s) {
+                if let Some(p) = shared.try_pop_locked(&mut s) {
                     break Some(p);
                 }
                 if s.shutdown {
@@ -651,17 +891,24 @@ fn worker_loop(shared: &Arc<RuntimeShared>) {
     }
 }
 
-/// Transient worker: executes while the queue is non-empty, then retires.
+/// Transient worker: executes while work exists, retires once the queue
+/// is truly empty. Work that is queued but quota-blocked does NOT retire
+/// the transient — it parks on `work_cv` (a finishing job notifies it) so
+/// the pool keeps its capacity for the moment the quota frees up, instead
+/// of draining a deep backlog at `min_workers`.
 fn transient_loop(shared: &Arc<RuntimeShared>) {
     loop {
         let popped = {
             let mut s = shared.state.lock();
-            match RuntimeShared::try_pop_locked(&mut s) {
-                Some(p) => Some(p),
-                None => {
-                    s.cur_workers -= 1;
-                    None
+            loop {
+                if let Some(p) = shared.try_pop_locked(&mut s) {
+                    break Some(p);
                 }
+                if s.shutdown || s.queued_total == 0 {
+                    s.cur_workers -= 1;
+                    break None;
+                }
+                shared.work_cv.wait(&mut s);
             }
         };
         let Some((id, job, weak)) = popped else {
@@ -682,19 +929,26 @@ fn execute_job(shared: &Arc<RuntimeShared>, id: u64, job: Job, weak: &Weak<Datas
             .counters
             .jobs_executed
             .fetch_add(1, Ordering::Relaxed);
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &shared.throttle {
-                Some(t) => lsm_storage::throttle::with_throttle(t.clone(), || {
-                    run_job(dataset, shared, job)
-                }),
-                None => run_job(dataset, shared, job),
-            }));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lsm_storage::throttle::with_throttles(
+                shared.read_throttle.clone(),
+                shared.write_throttle.clone(),
+                || run_job(dataset, shared, job),
+            )
+        }));
         let waited = lsm_storage::throttle::take_scope_wait_ns();
         if waited > 0 {
             dataset
                 .stats()
                 .throttle_wait_ns
                 .fetch_add(waited, Ordering::Relaxed);
+        }
+        let write_waited = lsm_storage::throttle::take_scope_write_wait_ns();
+        if write_waited > 0 {
+            dataset
+                .stats()
+                .write_throttle_wait_ns
+                .fetch_add(write_waited, Ordering::Relaxed);
         }
         match outcome {
             Ok(Ok(())) => {}
@@ -711,7 +965,7 @@ fn execute_job(shared: &Arc<RuntimeShared>, id: u64, job: Job, weak: &Weak<Datas
             }
         }
     }
-    shared.finish_job(id);
+    shared.finish_job(id, matches!(job, Job::Merge(_)));
     // Wake stalled writers after every job: flushes free memory, and a
     // poisoned dataset must fail fast rather than hang its writers.
     shared.notify_stalled();
@@ -809,6 +1063,31 @@ mod tests {
         ])
     }
 
+    /// A workerless shared state plus a dataset to register under many
+    /// ids — the deterministic harness for queue-order tests.
+    fn bare_runtime(cfg: EngineConfig) -> (Arc<RuntimeShared>, Arc<Dataset>) {
+        let shared = Arc::new(RuntimeShared::new(cfg));
+        let ds = Dataset::open(
+            Storage::new(StorageOptions::test()),
+            None,
+            DatasetConfig::new(schema(), 0),
+        )
+        .unwrap();
+        (shared, ds)
+    }
+
+    fn plan(end: usize) -> MergePlan {
+        MergePlan {
+            target: crate::dataset::MergeTarget::Primary,
+            range: lsm_tree::MergeRange { start: 0, end },
+        }
+    }
+
+    fn pop(shared: &Arc<RuntimeShared>) -> Option<(u64, Job)> {
+        let mut s = shared.state.lock();
+        shared.try_pop_locked(&mut s).map(|(id, job, _)| (id, job))
+    }
+
     #[test]
     fn background_mode_flushes_off_the_writer_path() {
         let ds = Dataset::open(
@@ -841,33 +1120,24 @@ mod tests {
         let rt = ds.runtime_handle().unwrap().runtime().clone();
         assert_eq!(rt.config().min_workers, 2);
         assert_eq!(rt.config().max_workers, 2);
+        assert_eq!(rt.config().max_jobs_per_dataset, None);
         assert_eq!(rt.stats().datasets, 1);
     }
 
     #[test]
     fn priority_queue_orders_flush_first_then_smallest_merge() {
         // Exercise the queue on a workerless shared state: jobs pushed in
-        // "worst" order must pop flush-first, then merges smallest-first.
-        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
-        let ds = Dataset::open(
-            Storage::new(StorageOptions::test()),
-            None,
-            DatasetConfig::new(schema(), 0),
-        )
-        .unwrap();
+        // "worst" order must pop flush-first, then merges smallest-first
+        // (one dataset, so DRR reduces to the intra-dataset order).
+        let (shared, ds) = bare_runtime(EngineConfig::fixed(1));
         let id = shared.register(&ds);
-        let plan = |end: usize| MergePlan {
-            target: crate::dataset::MergeTarget::Primary,
-            range: lsm_tree::MergeRange { start: 0, end },
-        };
         assert!(shared.schedule_merge(id, plan(1), 900));
         assert!(shared.schedule_merge(id, plan(2), 100));
         assert!(shared.schedule_flush(id));
         assert!(shared.schedule_merge(id, plan(3), 500));
 
         let mut order = Vec::new();
-        let mut s = shared.state.lock();
-        while let Some((_, job, _)) = RuntimeShared::try_pop_locked(&mut s) {
+        while let Some((_, job)) = pop(&shared) {
             order.push(job);
         }
         assert_eq!(
@@ -883,61 +1153,185 @@ mod tests {
 
     #[test]
     fn dedup_one_flush_job_at_a_time() {
-        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
-        let ds = Dataset::open(
-            Storage::new(StorageOptions::test()),
-            None,
-            DatasetConfig::new(schema(), 0),
-        )
-        .unwrap();
+        let (shared, ds) = bare_runtime(EngineConfig::fixed(1));
         let id = shared.register(&ds);
         assert!(shared.schedule_flush(id));
         assert!(!shared.schedule_flush(id), "second flush deduped");
-        let plan = MergePlan {
-            target: crate::dataset::MergeTarget::Primary,
-            range: lsm_tree::MergeRange { start: 0, end: 1 },
-        };
-        assert!(shared.schedule_merge(id, plan, 10));
-        assert!(!shared.schedule_merge(id, plan, 10), "same range deduped");
+        assert!(shared.schedule_merge(id, plan(1), 10));
+        assert!(
+            !shared.schedule_merge(id, plan(1), 10),
+            "same range deduped"
+        );
         assert_eq!(shared.queue_depth_for(id), 2);
     }
 
     #[test]
     fn deregister_discards_queued_jobs() {
-        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
-        let ds = Dataset::open(
-            Storage::new(StorageOptions::test()),
-            None,
-            DatasetConfig::new(schema(), 0),
-        )
-        .unwrap();
+        let (shared, ds) = bare_runtime(EngineConfig::fixed(1));
         let a = shared.register(&ds);
         let b = shared.register(&ds);
         shared.schedule_flush(a);
         shared.schedule_flush(b);
         shared.deregister(a);
-        let mut s = shared.state.lock();
-        let popped = RuntimeShared::try_pop_locked(&mut s).unwrap();
+        let popped = pop(&shared).unwrap();
         assert_eq!(popped.0, b, "only b's job survives");
-        assert!(RuntimeShared::try_pop_locked(&mut s).is_none());
+        assert!(pop(&shared).is_none());
     }
 
     #[test]
     fn wait_idle_for_ignores_other_datasets_jobs() {
         // Workerless shared state: dataset b has a queued job forever, yet
         // waiting on a must return immediately (a hang fails the test run).
-        let shared = Arc::new(RuntimeShared::new(EngineConfig::fixed(1)));
-        let ds = Dataset::open(
-            Storage::new(StorageOptions::test()),
-            None,
-            DatasetConfig::new(schema(), 0),
-        )
-        .unwrap();
+        let (shared, ds) = bare_runtime(EngineConfig::fixed(1));
         let a = shared.register(&ds);
         let b = shared.register(&ds);
         assert!(shared.schedule_flush(b));
         shared.wait_idle_for(a);
         assert_eq!(shared.queue_depth_for(b), 1, "b's job untouched");
+    }
+
+    #[test]
+    fn flushes_round_robin_across_datasets() {
+        // Three datasets each queue a flush; they must pop in registration
+        // ring order regardless of enqueue interleaving, one per dataset.
+        let (shared, ds) = bare_runtime(EngineConfig::fixed(1));
+        let ids: Vec<u64> = (0..3).map(|_| shared.register(&ds)).collect();
+        shared.schedule_flush(ids[1]);
+        shared.schedule_flush(ids[0]);
+        shared.schedule_flush(ids[2]);
+        let order: Vec<u64> = std::iter::from_fn(|| pop(&shared))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(order, vec![ids[1], ids[0], ids[2]], "FIFO across datasets");
+    }
+
+    #[test]
+    fn merge_drr_interleaves_datasets_instead_of_globally_smallest() {
+        // Dataset a floods 3 small merges; dataset b has one large merge.
+        // Global smallest-first (the old order) would run ALL of a's
+        // merges before b's. DRR must let b accrue credit and run its
+        // merge after at most a few of a's turns.
+        let quantum = 100;
+        let mut cfg = EngineConfig::fixed(1);
+        cfg.fairness_quantum_bytes = quantum;
+        let (shared, ds) = bare_runtime(cfg);
+        let a = shared.register(&ds);
+        let b = shared.register(&ds);
+        for (i, est) in [(1, 50u64), (2, 50), (3, 50)] {
+            assert!(shared.schedule_merge(a, plan(i), est));
+        }
+        assert!(shared.schedule_merge(b, plan(9), 150));
+        let order: Vec<u64> = std::iter::from_fn(|| pop(&shared))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(order.len(), 4);
+        let b_pos = order.iter().position(|&id| id == b).unwrap();
+        assert!(
+            b_pos < order.len() - 1,
+            "b's large merge must not be starved to the very end: {order:?}"
+        );
+    }
+
+    #[test]
+    fn quota_caps_concurrent_jobs_per_dataset() {
+        let mut cfg = EngineConfig::fixed(4);
+        cfg.max_jobs_per_dataset = Some(1);
+        let (shared, ds) = bare_runtime(cfg);
+        let a = shared.register(&ds);
+        for i in 1..=3 {
+            assert!(shared.schedule_merge(a, plan(i), 10));
+        }
+        // First pop runs; the second is quota-blocked even though two more
+        // jobs are queued and workers are free.
+        let (popped, _) = pop(&shared).unwrap();
+        assert_eq!(popped, a);
+        assert!(pop(&shared).is_none(), "dataset at quota must be skipped");
+        assert_eq!(shared.queue_depth_for(a), 2);
+        // Finishing the job releases the quota slot.
+        shared.finish_job(a, true);
+        assert!(pop(&shared).is_some());
+    }
+
+    #[test]
+    fn flush_class_is_exempt_from_the_quota() {
+        // The priority-inversion regression: with quota 1 and a merge in
+        // flight, the dataset's own flush must still run immediately — a
+        // stalled writer is waiting on it, and making it queue out a long
+        // merge would stall the writer with workers idle.
+        let mut cfg = EngineConfig::fixed(4);
+        cfg.max_jobs_per_dataset = Some(1);
+        let (shared, ds) = bare_runtime(cfg);
+        let a = shared.register(&ds);
+        assert!(shared.schedule_merge(a, plan(1), 10));
+        let (id, job) = pop(&shared).unwrap();
+        assert_eq!((id, job), (a, Job::Merge(plan(1)))); // merge in flight
+        assert!(shared.schedule_flush(a));
+        assert_eq!(
+            pop(&shared),
+            Some((a, Job::Flush)),
+            "flush must bypass the merge quota"
+        );
+        // Further merges stay quota-blocked until the first finishes.
+        assert!(shared.schedule_merge(a, plan(2), 10));
+        assert!(pop(&shared).is_none());
+        shared.finish_job(a, true);
+        assert_eq!(pop(&shared), Some((a, Job::Merge(plan(2)))));
+    }
+
+    #[test]
+    fn quiet_datasets_flushes_complete_while_flood_still_queued() {
+        // The ISSUE's deterministic fairness scenario at the queue level:
+        // one flooding dataset enqueues 100 merges (and keeps a flush
+        // queued); 9 quiet datasets each need a single flush. Simulate a
+        // 4-worker pool popping with a quota of 1: every quiet dataset's
+        // flush must be served while the flood still has ≥ 90 merges
+        // queued.
+        let mut cfg = EngineConfig::fixed(4);
+        cfg.max_jobs_per_dataset = Some(1);
+        let (shared, ds) = bare_runtime(cfg);
+        let flood = shared.register(&ds);
+        for i in 1..=100 {
+            assert!(shared.schedule_merge(flood, plan(i), 1024));
+        }
+        assert!(shared.schedule_flush(flood));
+        let quiet: Vec<u64> = (0..9).map(|_| shared.register(&ds)).collect();
+        for &q in &quiet {
+            assert!(shared.schedule_flush(q));
+        }
+
+        // Drive 4 simulated workers: pop up to 4 concurrent jobs, finish
+        // them, repeat. Record the order datasets were served in.
+        let mut served: Vec<(u64, Job)> = Vec::new();
+        let mut rounds = 0;
+        while served.iter().filter(|(id, _)| quiet.contains(id)).count() < quiet.len() {
+            rounds += 1;
+            assert!(rounds < 100, "fairness livelock: served {served:?}");
+            let mut batch = Vec::new();
+            for _ in 0..4 {
+                if let Some((id, job)) = pop(&shared) {
+                    batch.push((id, job));
+                }
+            }
+            for (id, job) in &batch {
+                shared.finish_job(*id, matches!(job, Job::Merge(_)));
+            }
+            served.extend(batch);
+        }
+        // Every quiet flush done; the flood has burned at most one job per
+        // round (quota 1), so ≥ 90 of its merges are still queued.
+        for &q in &quiet {
+            assert!(
+                served
+                    .iter()
+                    .any(|(id, job)| *id == q && *job == Job::Flush),
+                "quiet dataset {q} never flushed"
+            );
+        }
+        assert!(
+            shared.queue_depth_for(flood) >= 90,
+            "flood drained too fast: {} left",
+            shared.queue_depth_for(flood)
+        );
     }
 
     #[test]
@@ -971,18 +1365,64 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_dataset_fails_next_write() {
+    fn poisoned_dataset_fails_next_write_and_is_listed() {
         let ds = Dataset::open(
             Storage::new(StorageOptions::test()),
             None,
             config(StrategyKind::Validation),
         )
         .unwrap();
+        let rt = ds.runtime_handle().unwrap().runtime().clone();
+        assert!(rt.poisoned().is_empty());
         ds.poison(lsm_common::Error::invalid("simulated worker failure"));
         let err = ds.insert(&rec(1, "CA", 1)).unwrap_err();
         assert!(
             err.to_string().contains("simulated worker failure"),
             "{err}"
         );
+        // Runtime-level aggregation: the poisoned dataset is listed both
+        // in the accessor and in the stats snapshot.
+        let poisoned = rt.poisoned();
+        assert_eq!(poisoned.len(), 1);
+        assert!(poisoned[0].is_poisoned());
+        let stats = rt.stats();
+        // The listed id maps back to the handle via runtime_dataset_id().
+        assert_eq!(stats.poisoned, vec![ds.runtime_dataset_id().unwrap()]);
+        assert!(
+            stats
+                .per_dataset
+                .iter()
+                .any(|d| d.dataset == stats.poisoned[0] && d.poisoned),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn stats_split_queue_depth_by_class_and_dataset() {
+        let (shared, ds) = bare_runtime(EngineConfig::fixed(1));
+        let rt = Arc::new(MaintenanceRuntime {
+            shared: shared.clone(),
+            permanent: Mutex::new(Vec::new()),
+        });
+        let a = shared.register(&ds);
+        let b = shared.register(&ds);
+        shared.schedule_flush(a);
+        shared.schedule_merge(a, plan(1), 10);
+        shared.schedule_merge(b, plan(2), 10);
+        let stats = rt.stats();
+        assert_eq!(stats.queue_depth, 3);
+        assert_eq!(stats.flush_queue_depth, 1);
+        assert_eq!(stats.merge_queue_depth, 2);
+        let row_a = stats.per_dataset.iter().find(|d| d.dataset == a).unwrap();
+        let row_b = stats.per_dataset.iter().find(|d| d.dataset == b).unwrap();
+        assert_eq!((row_a.queued, row_a.in_flight), (2, 0));
+        assert_eq!((row_b.queued, row_b.in_flight), (1, 0));
+        // Popping moves a job from queued to in-flight.
+        let (id, _) = pop(&shared).unwrap();
+        assert_eq!(id, a, "flush class first");
+        let stats = rt.stats();
+        assert_eq!(stats.in_flight, 1);
+        let row_a = stats.per_dataset.iter().find(|d| d.dataset == a).unwrap();
+        assert_eq!((row_a.queued, row_a.in_flight), (1, 1));
     }
 }

@@ -35,6 +35,9 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds this dataset's background jobs spent waiting
     /// in the runtime's I/O read throttle.
     pub throttle_wait_ns: AtomicU64,
+    /// Wall-clock nanoseconds this dataset's background jobs spent waiting
+    /// in the runtime's I/O write throttle (flush builds, merge outputs).
+    pub write_throttle_wait_ns: AtomicU64,
 }
 
 impl EngineStats {
@@ -79,6 +82,7 @@ impl EngineStats {
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             throttle_wait_ns: self.throttle_wait_ns.load(Ordering::Relaxed),
+            write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +105,7 @@ pub struct EngineStatsSnapshot {
     pub backpressure_stalls: u64,
     pub queue_depth: u64,
     pub throttle_wait_ns: u64,
+    pub write_throttle_wait_ns: u64,
 }
 
 #[cfg(test)]

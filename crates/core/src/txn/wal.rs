@@ -157,18 +157,23 @@ impl Wal {
         let mut inner = self.inner.lock();
         if inner.page.len() + bytes.len() > self.storage.page_size() {
             let page = std::mem::take(&mut inner.page);
-            self.storage.append_page(self.file, &page)?;
+            // Log writes are commit durability, not background rebuild
+            // output: never charge them to a maintenance write bucket,
+            // whichever thread happens to flush the page.
+            lsm_storage::throttle::exempt_writes(|| self.storage.append_page(self.file, &page))?;
         }
         inner.page.extend_from_slice(&bytes);
         Ok(())
     }
 
-    /// Forces buffered records to the device.
+    /// Forces buffered records to the device. Exempt from maintenance
+    /// write throttling even when called from a flush job (flushes force
+    /// the log to make flushed operations durable).
     pub fn force(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if !inner.page.is_empty() {
             let page = std::mem::take(&mut inner.page);
-            self.storage.append_page(self.file, &page)?;
+            lsm_storage::throttle::exempt_writes(|| self.storage.append_page(self.file, &page))?;
         }
         Ok(())
     }

@@ -14,13 +14,17 @@
 //!   does;
 //! * a [`SimClock`] accumulates simulated nanoseconds of I/O and CPU work,
 //!   and [`IoStats`] counts every event for assertions and reporting;
-//! * an opt-in [`IoThrottle`] token bucket rate-limits the device reads of
-//!   threads that install it (background rebuild scans), leaving foreground
-//!   reads untouched.
+//! * opt-in [`IoThrottle`] token buckets rate-limit the device reads *and*
+//!   writes of threads that install them (background rebuild scans, flush
+//!   builds and merge outputs), leaving foreground reads and WAL/commit
+//!   writes untouched (see [`throttle::with_throttles`] and
+//!   [`throttle::exempt_writes`]).
 //!
 //! Everything above this crate (B+-trees, LSM components, the engine) does
 //! real work on real bytes; only the *timing* is simulated. Benchmarks report
 //! simulated seconds (the paper's y-axes) alongside wall-clock time.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod profile;

@@ -30,8 +30,13 @@ pub struct IoStats {
     /// Simulated CPU nanoseconds charged.
     pub cpu_ns: AtomicU64,
     /// Wall-clock nanoseconds reads on this device spent waiting in an
-    /// [`IoThrottle`](crate::IoThrottle) bucket (background rebuild scans).
+    /// [`IoThrottle`](crate::IoThrottle) read bucket (background rebuild
+    /// scans).
     pub throttle_wait_ns: AtomicU64,
+    /// Wall-clock nanoseconds writes on this device spent waiting in an
+    /// [`IoThrottle`](crate::IoThrottle) write bucket (background flush
+    /// builds and merge outputs; WAL appends are exempt).
+    pub write_throttle_wait_ns: AtomicU64,
 }
 
 impl IoStats {
@@ -53,6 +58,7 @@ impl IoStats {
             bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
             cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
             throttle_wait_ns: self.throttle_wait_ns.load(Ordering::Relaxed),
+            write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -69,8 +75,10 @@ impl IoStats {
     }
 }
 
-/// An immutable copy of the counters, with difference support.
+/// An immutable copy of the counters, with difference support. Field
+/// meanings match [`IoStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
 pub struct IoStatsSnapshot {
     pub seq_reads: u64,
     pub rand_reads: u64,
@@ -82,6 +90,7 @@ pub struct IoStatsSnapshot {
     pub bloom_negatives: u64,
     pub cpu_ns: u64,
     pub throttle_wait_ns: u64,
+    pub write_throttle_wait_ns: u64,
 }
 
 impl IoStatsSnapshot {
@@ -103,6 +112,7 @@ impl IoStatsSnapshot {
             bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
             cpu_ns: self.cpu_ns - earlier.cpu_ns,
             throttle_wait_ns: self.throttle_wait_ns - earlier.throttle_wait_ns,
+            write_throttle_wait_ns: self.write_throttle_wait_ns - earlier.write_throttle_wait_ns,
         }
     }
 

@@ -1,16 +1,25 @@
-//! I/O read throttling for background rebuild scans.
+//! I/O throttling for background maintenance: separate read and write
+//! token buckets.
 //!
-//! Flush builds and merge scans read entire components; on a shared
-//! maintenance runtime serving many datasets those scans would otherwise
-//! monopolize the device and starve foreground queries. An [`IoThrottle`]
-//! is a token bucket over *bytes read from the device* (cache hits are
-//! free): each maintenance worker installs the runtime's throttle for the
-//! duration of a job via [`with_throttle`], and [`Storage`](crate::Storage)
-//! charges every cache-missing read against the installed bucket, sleeping
-//! the worker until tokens are available.
+//! Flush builds and merge scans read entire components and write entire
+//! replacements; on a shared maintenance runtime serving many datasets that
+//! traffic would otherwise monopolize the device and starve foreground
+//! queries and commits. An [`IoThrottle`] is a token bucket over *device
+//! bytes* — one instance can serve as a read bucket (charged on cache
+//! misses) and another as a write bucket (charged on page appends). Each
+//! maintenance worker installs the runtime's buckets for the duration of a
+//! job via [`with_throttles`]; [`Storage`](crate::Storage) charges every
+//! cache-missing read against the installed read bucket and every page
+//! append against the installed write bucket, sleeping the worker until
+//! tokens are available.
 //!
-//! Foreground reads (queries, writer-path point lookups) run on threads
-//! with no installed throttle and are never delayed.
+//! Foreground I/O (queries, writer-path point lookups, WAL/commit writes)
+//! runs on threads with no installed throttle and is never delayed. The
+//! write-ahead log additionally wraps its appends in [`exempt_writes`], so
+//! even a log force issued *from* a maintenance job (flushes force the WAL
+//! to make the flushed operations durable) is never charged — commit
+//! durability is not background work, and the paper dedicates a separate
+//! device to the log anyway.
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,14 +28,16 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-/// A token bucket limiting device-read bandwidth for the threads that opt
-/// in via [`with_throttle`].
+/// A token bucket limiting device bandwidth for the threads that opt in
+/// via [`with_throttles`]. Direction-agnostic: the runtime installs one
+/// instance as its read bucket and (optionally) another as its write
+/// bucket.
 #[derive(Debug)]
 pub struct IoThrottle {
     /// Sustained refill rate.
     bytes_per_sec: u64,
-    /// Bucket capacity: reads up to this size pass without waiting when the
-    /// bucket is full.
+    /// Bucket capacity: requests up to this size pass without waiting when
+    /// the bucket is full.
     burst_bytes: u64,
     state: Mutex<BucketState>,
     /// Total nanoseconds throttled threads spent waiting for tokens.
@@ -45,7 +56,8 @@ impl IoThrottle {
     /// Creates a bucket refilling at `bytes_per_sec`, holding at most
     /// `burst_bytes`. Both are clamped to ≥ 1 to keep the arithmetic
     /// well-defined; callers should size the burst to at least a typical
-    /// read (a tiny burst still charges correctly but wakes up per chunk).
+    /// request (a tiny burst still charges correctly but wakes up per
+    /// chunk).
     pub fn new(bytes_per_sec: u64, burst_bytes: u64) -> Arc<Self> {
         let burst = burst_bytes.max(1);
         Arc::new(IoThrottle {
@@ -79,8 +91,8 @@ impl IoThrottle {
     /// nanoseconds spent waiting. Every byte is charged — a request larger
     /// than the burst capacity drains the bucket in burst-sized chunks,
     /// sleeping between refills, so sustained throughput honours the rate
-    /// no matter how large individual reads are (read-ahead bursts can be
-    /// megabytes against a kilobyte bucket).
+    /// no matter how large individual requests are (read-ahead bursts can
+    /// be megabytes against a kilobyte bucket).
     pub fn consume(&self, bytes: u64) -> u64 {
         self.throttled_bytes.fetch_add(bytes, Ordering::Relaxed);
         let mut remaining = bytes as f64;
@@ -128,49 +140,113 @@ impl IoThrottle {
 }
 
 thread_local! {
-    static ACTIVE: RefCell<Option<Arc<IoThrottle>>> = const { RefCell::new(None) };
-    static SCOPE_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+    static ACTIVE_READ: RefCell<Option<Arc<IoThrottle>>> = const { RefCell::new(None) };
+    static ACTIVE_WRITE: RefCell<Option<Arc<IoThrottle>>> = const { RefCell::new(None) };
+    static SCOPE_READ_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+    static SCOPE_WRITE_WAIT_NS: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Runs `f` with `throttle` installed as this thread's read throttle:
-/// every device read charged by [`Storage`](crate::Storage) inside `f`
-/// consumes tokens (and may sleep). The previous installation is restored
-/// on exit, so scopes nest.
-pub fn with_throttle<T>(throttle: Arc<IoThrottle>, f: impl FnOnce() -> T) -> T {
-    let prev = ACTIVE.with(|a| a.borrow_mut().replace(throttle));
-    struct Restore(Option<Arc<IoThrottle>>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            let prev = self.0.take();
-            ACTIVE.with(|a| *a.borrow_mut() = prev);
-        }
+/// Restores a thread-local throttle slot on scope exit (so scopes nest and
+/// survive panics).
+struct Restore {
+    slot: &'static std::thread::LocalKey<RefCell<Option<Arc<IoThrottle>>>>,
+    prev: Option<Arc<IoThrottle>>,
+}
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        self.slot.with(|a| *a.borrow_mut() = prev);
     }
-    let _restore = Restore(prev);
+}
+
+fn install(
+    slot: &'static std::thread::LocalKey<RefCell<Option<Arc<IoThrottle>>>>,
+    throttle: Option<Arc<IoThrottle>>,
+) -> Restore {
+    let prev = slot.with(|a| std::mem::replace(&mut *a.borrow_mut(), throttle));
+    Restore { slot, prev }
+}
+
+/// Runs `f` with `throttle` installed as this thread's *read* throttle:
+/// every device read charged by [`Storage`](crate::Storage) inside `f`
+/// consumes tokens (and may sleep). The previous read installation is
+/// restored on exit, so scopes nest; any installed *write* throttle is
+/// left untouched.
+pub fn with_throttle<T>(throttle: Arc<IoThrottle>, f: impl FnOnce() -> T) -> T {
+    let _read = install(&ACTIVE_READ, Some(throttle));
     f()
 }
 
-/// Charges `bytes` against the thread's installed throttle, if any.
-/// Returns the nanoseconds slept (0 when unthrottled). Called by the
-/// storage layer on every device read.
-pub(crate) fn consume_active(bytes: u64) -> u64 {
-    let throttle = ACTIVE.with(|a| a.borrow().clone());
+/// Runs `f` with `read` installed as this thread's read throttle and
+/// `write` as its write throttle (either may be `None` = unthrottled).
+/// Device reads charged by [`Storage`](crate::Storage) inside `f` consume
+/// read tokens; page appends consume write tokens. Previous installations
+/// are restored on exit, so scopes nest.
+pub fn with_throttles<T>(
+    read: Option<Arc<IoThrottle>>,
+    write: Option<Arc<IoThrottle>>,
+    f: impl FnOnce() -> T,
+) -> T {
+    let _read = install(&ACTIVE_READ, read);
+    let _write = install(&ACTIVE_WRITE, write);
+    f()
+}
+
+/// Runs `f` with any installed *write* throttle suspended: page appends
+/// inside `f` are never charged to a bucket, even on a maintenance worker.
+/// The write-ahead log wraps its appends in this — commit durability
+/// (foreground or forced from a flush job) must not queue behind rebuild
+/// output. The read throttle, if any, stays installed.
+pub fn exempt_writes<T>(f: impl FnOnce() -> T) -> T {
+    let _write = install(&ACTIVE_WRITE, None);
+    f()
+}
+
+fn consume_slot(
+    slot: &'static std::thread::LocalKey<RefCell<Option<Arc<IoThrottle>>>>,
+    scope_wait: &'static std::thread::LocalKey<Cell<u64>>,
+    bytes: u64,
+) -> u64 {
+    let throttle = slot.with(|a| a.borrow().clone());
     match throttle {
         None => 0,
         Some(t) => {
             let ns = t.consume(bytes);
             if ns > 0 {
-                SCOPE_WAIT_NS.with(|w| w.set(w.get() + ns));
+                scope_wait.with(|w| w.set(w.get() + ns));
             }
             ns
         }
     }
 }
 
-/// Returns and resets this thread's accumulated throttle wait since the
-/// last call — maintenance workers use it to attribute waits to the
+/// Charges `bytes` against the thread's installed read throttle, if any.
+/// Returns the nanoseconds slept (0 when unthrottled). Called by the
+/// storage layer on every device read.
+pub(crate) fn consume_active_read(bytes: u64) -> u64 {
+    consume_slot(&ACTIVE_READ, &SCOPE_READ_WAIT_NS, bytes)
+}
+
+/// Charges `bytes` against the thread's installed write throttle, if any.
+/// Returns the nanoseconds slept (0 when unthrottled). Called by the
+/// storage layer on every page append.
+pub(crate) fn consume_active_write(bytes: u64) -> u64 {
+    consume_slot(&ACTIVE_WRITE, &SCOPE_WRITE_WAIT_NS, bytes)
+}
+
+/// Returns and resets this thread's accumulated *read*-throttle wait since
+/// the last call — maintenance workers use it to attribute waits to the
 /// dataset whose job they just ran.
 pub fn take_scope_wait_ns() -> u64 {
-    SCOPE_WAIT_NS.with(|w| w.replace(0))
+    SCOPE_READ_WAIT_NS.with(|w| w.replace(0))
+}
+
+/// Returns and resets this thread's accumulated *write*-throttle wait
+/// since the last call (the write-side counterpart of
+/// [`take_scope_wait_ns`]).
+pub fn take_scope_write_wait_ns() -> u64 {
+    SCOPE_WRITE_WAIT_NS.with(|w| w.replace(0))
 }
 
 #[cfg(test)]
@@ -208,13 +284,57 @@ mod tests {
     #[test]
     fn scoped_install_restores_previous() {
         let t = IoThrottle::new(1_000_000_000, 1 << 20);
-        assert_eq!(consume_active(100), 0, "unthrottled outside scope");
+        assert_eq!(consume_active_read(100), 0, "unthrottled outside scope");
         with_throttle(t.clone(), || {
-            consume_active(100);
+            consume_active_read(100);
         });
         assert_eq!(t.throttled_bytes(), 100);
-        consume_active(100);
+        consume_active_read(100);
         assert_eq!(t.throttled_bytes(), 100, "scope exited");
+    }
+
+    #[test]
+    fn read_and_write_buckets_are_independent() {
+        let r = IoThrottle::new(1_000_000_000, 1 << 20);
+        let w = IoThrottle::new(1_000_000_000, 1 << 20);
+        with_throttles(Some(r.clone()), Some(w.clone()), || {
+            consume_active_read(100);
+            consume_active_write(700);
+        });
+        assert_eq!(r.throttled_bytes(), 100);
+        assert_eq!(w.throttled_bytes(), 700);
+        // Read-only install leaves writes unthrottled.
+        with_throttle(r.clone(), || {
+            assert_eq!(consume_active_write(500), 0);
+        });
+        assert_eq!(w.throttled_bytes(), 700);
+        // A nested read-only install must NOT suspend the outer write
+        // bucket — only exempt_writes does that.
+        with_throttles(None, Some(w.clone()), || {
+            with_throttle(r.clone(), || {
+                consume_active_write(5);
+            });
+        });
+        assert_eq!(
+            w.throttled_bytes(),
+            705,
+            "write bucket suspended by with_throttle"
+        );
+    }
+
+    #[test]
+    fn exempt_writes_suspends_only_the_write_bucket() {
+        let r = IoThrottle::new(1_000_000_000, 1 << 20);
+        let w = IoThrottle::new(1_000_000_000, 1 << 20);
+        with_throttles(Some(r.clone()), Some(w.clone()), || {
+            exempt_writes(|| {
+                consume_active_write(999);
+                consume_active_read(42);
+            });
+            consume_active_write(10);
+        });
+        assert_eq!(w.throttled_bytes(), 10, "exempted write was charged");
+        assert_eq!(r.throttled_bytes(), 42, "read bucket stays installed");
     }
 
     #[test]
@@ -222,10 +342,22 @@ mod tests {
         take_scope_wait_ns();
         let t = IoThrottle::new(1_000_000, 1024);
         with_throttle(t, || {
-            consume_active(1024);
-            consume_active(1024); // forces a wait
+            consume_active_read(1024);
+            consume_active_read(1024); // forces a wait
         });
         assert!(take_scope_wait_ns() > 0);
         assert_eq!(take_scope_wait_ns(), 0, "reset after take");
+    }
+
+    #[test]
+    fn write_scope_wait_accumulates_and_resets() {
+        take_scope_write_wait_ns();
+        let t = IoThrottle::new(1_000_000, 1024);
+        with_throttles(None, Some(t), || {
+            consume_active_write(1024);
+            consume_active_write(1024); // forces a wait
+        });
+        assert!(take_scope_write_wait_ns() > 0);
+        assert_eq!(take_scope_write_wait_ns(), 0, "reset after take");
     }
 }
