@@ -1,0 +1,33 @@
+//! Parallel query execution: serial vs `parallel(n)` secondary range
+//! queries over a pre-loaded multi-component dataset on a sharded buffer
+//! cache (the PR-5 read-path tentpole; no paper figure — the paper's
+//! experiments are single-threaded).
+//!
+//! Expected shape: wall-clock speedup approaching the smaller of `n` and
+//! the machine's core count for scan-dominated ranges; simulated seconds
+//! are *not* reported here because concurrent charges serialize onto one
+//! simulated device, which models contention, not parallel hardware.
+
+use lsm_bench::{row, run_query_heavy_scenario, scaled, table_header};
+
+fn main() {
+    let n = scaled(60_000);
+    let queries = 12;
+    table_header(
+        "Parallel query",
+        &format!("serial vs parallel wall-seconds ({n} records, {queries} queries)"),
+        &["fan-out", "serial_s", "parallel_s", "speedup", "partitions"],
+    );
+    for parallelism in [2, 4] {
+        let run = run_query_heavy_scenario(n, queries, parallelism);
+        row(
+            &format!("parallel({parallelism})"),
+            &[
+                run.serial_wall_secs,
+                run.parallel_wall_secs,
+                run.speedup,
+                run.partitions as f64,
+            ],
+        );
+    }
+}

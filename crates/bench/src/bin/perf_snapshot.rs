@@ -1,10 +1,14 @@
 //! CI perf snapshot: ingest throughput and point-lookup latency, inline vs
 //! background maintenance, a maintenance-heavy scenario — many small
-//! datasets against one shared [`MaintenanceRuntime`] vs inline — and a
+//! datasets against one shared [`MaintenanceRuntime`] vs inline — a
 //! fairness scenario (hot flooding dataset vs quiet datasets on a
-//! quota-limited runtime), written as JSON so the perf trajectory
+//! quota-limited runtime), a query-heavy scenario (serial vs `parallel(4)`
+//! secondary range queries over a multi-component dataset on a sharded
+//! buffer cache), and a repair-heavy scenario (standalone repair of an
+//! update-heavy lazy dataset), written as JSON so the perf trajectory
 //! accumulates across commits. Schema history is documented in
-//! `docs/OPERATIONS.md` (`schema_version` 3: adds the `fairness` array).
+//! `docs/OPERATIONS.md` (`schema_version` 4: adds the `query_heavy` and
+//! `repair_heavy` arrays).
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -15,8 +19,9 @@
 //! the file as a build artifact.
 
 use lsm_bench::{
-    pk_of, run_fairness_scenario, run_shared_runtime_scenario, scale, scaled, tweet_dataset_config,
-    Env, EnvConfig, FairnessRun, SharedRuntimeRun,
+    pk_of, run_fairness_scenario, run_query_heavy_scenario, run_repair_heavy_scenario,
+    run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, Env, EnvConfig, FairnessRun,
+    QueryHeavyRun, RepairHeavyRun, SharedRuntimeRun,
 };
 use lsm_common::Value;
 use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
@@ -159,6 +164,61 @@ fn json_fairness(f: &FairnessRun) -> String {
     )
 }
 
+fn json_query_heavy(q: &QueryHeavyRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"serial-vs-parallel-{}\",\n",
+            "      \"records\": {},\n",
+            "      \"queries\": {},\n",
+            "      \"components\": {},\n",
+            "      \"cache_shards\": {},\n",
+            "      \"rows\": {},\n",
+            "      \"partitions\": {},\n",
+            "      \"serial_wall_secs\": {:.4},\n",
+            "      \"parallel_wall_secs\": {:.4},\n",
+            "      \"serial_queries_per_sec\": {:.1},\n",
+            "      \"parallel_queries_per_sec\": {:.1},\n",
+            "      \"speedup\": {:.3}\n",
+            "    }}"
+        ),
+        q.parallelism,
+        q.records,
+        q.queries,
+        q.components,
+        q.cache_shards,
+        q.rows,
+        q.partitions,
+        q.serial_wall_secs,
+        q.parallel_wall_secs,
+        q.queries as f64 / q.serial_wall_secs.max(1e-9),
+        q.queries as f64 / q.parallel_wall_secs.max(1e-9),
+        q.speedup,
+    )
+}
+
+fn json_repair_heavy(r: &RepairHeavyRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"standalone-repair\",\n",
+            "      \"records\": {},\n",
+            "      \"repair_wall_secs\": {:.4},\n",
+            "      \"repair_sim_secs\": {:.4},\n",
+            "      \"entries_scanned\": {},\n",
+            "      \"keys_validated\": {},\n",
+            "      \"invalidated\": {}\n",
+            "    }}"
+        ),
+        r.records,
+        r.repair_wall_secs,
+        r.repair_sim_secs,
+        r.entries_scanned,
+        r.keys_validated,
+        r.invalidated,
+    )
+}
+
 fn json_variant(v: &VariantResult) -> String {
     format!(
         concat!(
@@ -234,15 +294,28 @@ fn main() {
     // bounds.
     let fairness = [run_fairness_scenario(9, scaled(30_000), scaled(3_000))];
 
+    // Query-heavy scenario (schema_version 4): the same secondary range
+    // queries serially and with parallel(4) over a multi-component dataset
+    // on an 8-shard buffer cache — the read-path acceptance measurement.
+    let query_heavy = [run_query_heavy_scenario(scaled(60_000), 24, 4)];
+
+    // Repair-heavy scenario (schema_version 4): standalone repair of an
+    // update-heavy lazy dataset, closing the ROADMAP CI item.
+    let repair_heavy = [run_repair_heavy_scenario(scaled(40_000))];
+
     let body: Vec<String> = variants.iter().map(json_variant).collect();
     let multi_body: Vec<String> = multi.iter().map(json_multi).collect();
     let fairness_body: Vec<String> = fairness.iter().map(json_fairness).collect();
+    let query_body: Vec<String> = query_heavy.iter().map(json_query_heavy).collect();
+    let repair_body: Vec<String> = repair_heavy.iter().map(json_repair_heavy).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 3,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 4,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n"),
         multi_body.join(",\n"),
-        fairness_body.join(",\n")
+        fairness_body.join(",\n"),
+        query_body.join(",\n"),
+        repair_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -270,6 +343,27 @@ fn main() {
             f.quiet_latency_secs_max,
             f.quota_deferrals,
             f.hot_backlog_at_quiet_done
+        );
+    }
+    for q in &query_heavy {
+        eprintln!(
+            "query_heavy: {} queries × {} recs over {} components ({} cache shards) — \
+             serial {:.3}s vs parallel({}) {:.3}s = {:.2}x ({} partitions)",
+            q.queries,
+            q.records,
+            q.components,
+            q.cache_shards,
+            q.serial_wall_secs,
+            q.parallelism,
+            q.parallel_wall_secs,
+            q.speedup,
+            q.partitions
+        );
+    }
+    for r in &repair_heavy {
+        eprintln!(
+            "repair_heavy: {} recs — repair {:.3}s wall / {:.3}s sim, {} scanned, {} invalidated",
+            r.records, r.repair_wall_secs, r.repair_sim_secs, r.entries_scanned, r.invalidated
         );
     }
     eprintln!("wrote {out}");

@@ -60,6 +60,9 @@ pub struct EnvConfig {
     pub cache_fraction: f64,
     /// Use the SSD profile instead of HDD.
     pub ssd: bool,
+    /// Buffer-cache shards (1 = the classic single CLOCK; raise for
+    /// parallel-query scenarios so readers stop serializing on one lock).
+    pub cache_shards: usize,
 }
 
 impl Default for EnvConfig {
@@ -68,6 +71,7 @@ impl Default for EnvConfig {
             dataset_bytes: 50 * 1024 * 1024,
             cache_fraction: 0.067,
             ssd: false,
+            cache_shards: 1,
         }
     }
 }
@@ -76,10 +80,13 @@ impl Env {
     /// Creates a scaled environment.
     pub fn new(cfg: &EnvConfig) -> Self {
         let cache_bytes = (cfg.dataset_bytes as f64 * cfg.cache_fraction) as usize;
-        let opts = if cfg.ssd {
-            StorageOptions::ssd(cache_bytes)
-        } else {
-            StorageOptions::hdd(cache_bytes)
+        let opts = StorageOptions {
+            cache_shards: cfg.cache_shards.max(1),
+            ..if cfg.ssd {
+                StorageOptions::ssd(cache_bytes)
+            } else {
+                StorageOptions::hdd(cache_bytes)
+            }
         };
         let clock = SimClock::new();
         let storage = Storage::with_clock(opts.clone(), clock.clone());
@@ -386,6 +393,177 @@ pub fn run_fairness_scenario(quiet: usize, n_hot: usize, n_quiet: usize) -> Fair
         quota_deferrals: stats.quota_deferrals,
         peak_workers: stats.peak_workers,
     }
+}
+
+/// What one query-heavy run measured: the same secondary range queries
+/// executed serially and with `parallel(n)` over a pre-loaded
+/// multi-component dataset on a sharded buffer cache.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryHeavyRun {
+    /// Records pre-loaded into the dataset.
+    pub records: usize,
+    /// Secondary range queries per pass.
+    pub queries: usize,
+    /// The `parallel(n)` fan-out measured against serial.
+    pub parallelism: usize,
+    /// Disk components of the secondary index at query time.
+    pub components: usize,
+    /// Buffer-cache shards configured on the data device.
+    pub cache_shards: usize,
+    /// Wall seconds for the serial pass.
+    pub serial_wall_secs: f64,
+    /// Wall seconds for the parallel pass (same queries, cold cache both).
+    pub parallel_wall_secs: f64,
+    /// `serial_wall_secs / parallel_wall_secs` — ≥ 1 means parallel won.
+    pub speedup: f64,
+    /// Rows returned per pass (asserted identical between the passes).
+    pub rows: usize,
+    /// Scan partitions actually planned across the parallel pass.
+    pub partitions: u64,
+}
+
+/// The query-heavy scenario shared by `perf_snapshot` and the
+/// `parallel_query` bench: pre-load a Validation tweet dataset with enough
+/// flush/merge churn to leave several disk components, then run `queries`
+/// secondary `user_id` range queries twice — serially and with
+/// `parallel(n)` — from a cold cache each time, comparing wall-clock time.
+/// Queries sweep rotating ~10% slices of the `user_id` domain: wide
+/// analytical ranges whose scan and record-fetch work is what the
+/// partitioned path spreads across cores.
+pub fn run_query_heavy_scenario(n: usize, queries: usize, parallelism: usize) -> QueryHeavyRun {
+    use lsm_workload::USER_ID_DOMAIN;
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        cache_shards: 8,
+        ..Default::default()
+    });
+    let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    // Size memory so the load leaves a real component stack behind.
+    cfg.memory_budget = ((dataset_bytes / 24) as usize).max(64 * 1024);
+    let ds = open_tweet_dataset(&env, cfg);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.3, UpdateDistribution::Uniform);
+    for _ in 0..n {
+        apply(&ds, &workload.next_op());
+    }
+    ds.flush_all().expect("flush");
+
+    let slice = (USER_ID_DOMAIN / 10).max(1);
+    let range_of = |q: usize| {
+        let lo = (q as i64 * slice * 3) % (USER_ID_DOMAIN - slice);
+        (lo, lo + slice - 1)
+    };
+
+    env.storage.clear_cache();
+    let serial_t = std::time::Instant::now();
+    let mut serial_rows = 0usize;
+    for q in 0..queries {
+        let (lo, hi) = range_of(q);
+        serial_rows += ds
+            .query("user_id")
+            .range(lo, hi)
+            .execute()
+            .expect("serial query")
+            .len();
+    }
+    let serial_wall_secs = serial_t.elapsed().as_secs_f64();
+
+    env.storage.clear_cache();
+    let before = ds.stats().snapshot();
+    let par_t = std::time::Instant::now();
+    let mut par_rows = 0usize;
+    for q in 0..queries {
+        let (lo, hi) = range_of(q);
+        par_rows += ds
+            .query("user_id")
+            .range(lo, hi)
+            .parallel(parallelism)
+            .execute()
+            .expect("parallel query")
+            .len();
+    }
+    let parallel_wall_secs = par_t.elapsed().as_secs_f64();
+    assert_eq!(serial_rows, par_rows, "parallel pass changed the answer");
+    let snap = ds.stats().snapshot();
+
+    QueryHeavyRun {
+        records: n,
+        queries,
+        parallelism,
+        components: ds
+            .secondary("user_id")
+            .expect("index")
+            .tree
+            .num_disk_components(),
+        cache_shards: env.storage.cache_shards(),
+        serial_wall_secs,
+        parallel_wall_secs,
+        speedup: serial_wall_secs / parallel_wall_secs.max(1e-9),
+        rows: serial_rows,
+        partitions: snap.query_partitions - before.query_partitions,
+    }
+}
+
+/// What one repair-heavy run measured: standalone secondary-index repair
+/// over a dataset whose lazy maintenance left many obsolete entries.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairHeavyRun {
+    /// Records ingested (50% updates, so roughly a third of secondary
+    /// entries are obsolete).
+    pub records: usize,
+    /// Wall seconds for `repair_all`.
+    pub repair_wall_secs: f64,
+    /// Simulated seconds for `repair_all` (the paper's y-axis).
+    pub repair_sim_secs: f64,
+    /// Secondary entries scanned by the repair.
+    pub entries_scanned: u64,
+    /// Keys validated against the primary key index.
+    pub keys_validated: u64,
+    /// Obsolete entries invalidated.
+    pub invalidated: u64,
+}
+
+/// The repair-heavy scenario: ingest an update-heavy Validation workload
+/// with merge-time repair disabled (so obsolete entries accumulate), then
+/// time one standalone `repair_all` pass.
+pub fn run_repair_heavy_scenario(n: usize) -> RepairHeavyRun {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        ..Default::default()
+    });
+    let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    cfg.merge_repair = false;
+    cfg.memory_budget = ((dataset_bytes / 24) as usize).max(64 * 1024);
+    let ds = open_tweet_dataset(&env, cfg);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.5, UpdateDistribution::Uniform);
+    for _ in 0..n {
+        apply(&ds, &workload.next_op());
+    }
+    ds.flush_all().expect("flush");
+
+    env.storage.clear_cache();
+    let timer = Timer::start(&env.clock);
+    let reports = ds.maintenance().repair_all().expect("repair");
+    let (sim, wall) = timer.elapsed();
+    let mut run = RepairHeavyRun {
+        records: n,
+        repair_wall_secs: wall,
+        repair_sim_secs: sim,
+        entries_scanned: 0,
+        keys_validated: 0,
+        invalidated: 0,
+    };
+    for r in &reports {
+        run.entries_scanned += r.entries_scanned;
+        run.keys_validated += r.keys_validated;
+        run.invalidated += r.invalidated;
+    }
+    run
 }
 
 /// A stopwatch pairing simulated and wall-clock time.

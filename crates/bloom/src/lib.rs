@@ -19,6 +19,8 @@
 //! Both use the same double-hashing scheme (`g_i = h1 + i·h2`), which is the
 //! standard way to derive `k` probes from one 64-bit hash.
 
+#![warn(missing_docs)]
+
 mod hash;
 
 pub use hash::{fmix64, hash64};

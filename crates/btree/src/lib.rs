@@ -15,6 +15,8 @@
 //! All page reads go through [`lsm_storage::Storage`], so every search and
 //! scan is charged to the simulated device and CPU cost models.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod cursor;
 pub mod encoding;

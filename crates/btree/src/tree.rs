@@ -177,6 +177,15 @@ impl BTree {
         self.storage.read_page(self.file, leaf_no)
     }
 
+    /// The first key stored on leaf page `leaf_no` — a natural partition
+    /// boundary: every key on earlier leaves sorts strictly below it.
+    /// `None` only for an empty leaf (which the bulk loader never writes).
+    pub fn leaf_first_key(&self, leaf_no: PageNo) -> Result<Option<Vec<u8>>> {
+        let data = self.read_leaf(leaf_no)?;
+        let leaf = LeafPage::parse(&data)?;
+        Ok(leaf.first_key()?.map(|k| k.to_vec()))
+    }
+
     /// Creates a scan over entries in `[lo, hi]` (bounds on encoded keys).
     pub fn scan(&self, lo: Bound<&[u8]>, hi: Bound<Vec<u8>>) -> Result<BTreeScan> {
         let (start_leaf, start_idx) = match &lo {

@@ -13,6 +13,8 @@
 //!   timestamps and component IDs;
 //! * [`error::Error`] — the workspace-wide error type.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod error;
 pub mod schema;

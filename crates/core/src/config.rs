@@ -117,6 +117,14 @@ pub struct EngineConfig {
     /// smallest-first. Flush jobs are uniform and round-robin without
     /// deficits.
     pub fairness_quantum_bytes: u64,
+    /// Worker threads in the runtime's shared **query pool**, used by
+    /// [`QueryBuilder::parallel`](crate::QueryBuilder::parallel) to fan
+    /// partitioned scans and candidate fetches across cores. `0` (the
+    /// default) starts no pool: parallel queries on datasets registered
+    /// with the runtime then fall back to ephemeral threads per query. A
+    /// shared pool bounds engine-wide query parallelism the same way
+    /// `max_workers` bounds maintenance threads.
+    pub query_workers: usize,
 }
 
 /// Default DRR quantum: 1 MiB per turn keeps small merges responsive while
@@ -134,6 +142,7 @@ impl Default for EngineConfig {
             io_write_burst_bytes: None,
             max_jobs_per_dataset: None,
             fairness_quantum_bytes: DEFAULT_FAIRNESS_QUANTUM,
+            query_workers: 0,
         }
     }
 }
@@ -289,6 +298,14 @@ impl EngineConfigBuilder {
     /// ordering (bytes of merge credit earned per scheduling turn).
     pub fn fairness_quantum(mut self, bytes: u64) -> Self {
         self.cfg.fairness_quantum_bytes = bytes;
+        self
+    }
+
+    /// Starts a shared query pool of `n` worker threads on the runtime,
+    /// serving every registered dataset's
+    /// [`QueryBuilder::parallel`](crate::QueryBuilder::parallel) queries.
+    pub fn query_workers(mut self, n: usize) -> Self {
+        self.cfg.query_workers = n;
         self
     }
 

@@ -294,6 +294,27 @@ impl Dataset {
         self.runtime.get().map(|h| h.dataset_id())
     }
 
+    /// The shared query pool serving this dataset's
+    /// [`QueryBuilder::parallel`](crate::QueryBuilder::parallel) queries,
+    /// if its maintenance runtime started one
+    /// ([`EngineConfig::query_workers`](crate::EngineConfig) > 0).
+    /// Without a pool, parallel queries use ephemeral threads.
+    pub fn query_pool(&self) -> Option<Arc<crate::query::QueryPool>> {
+        self.runtime
+            .get()
+            .and_then(|h| h.runtime().query_pool().cloned())
+    }
+
+    /// Upgrades the dataset's own weak self-reference into an [`Arc`] —
+    /// parallel query phases hand clones to worker threads. Succeeds
+    /// whenever a strong handle exists (always, for a caller borrowing
+    /// through one).
+    pub(crate) fn shared(&self) -> Result<Arc<Dataset>> {
+        self.self_ref
+            .upgrade()
+            .ok_or_else(|| Error::invalid("dataset is shutting down"))
+    }
+
     /// Records a fatal background-maintenance failure. The first error
     /// wins; every subsequent write fails with it ("poisoned-state flag
     /// surfaced on the next write") instead of the worker aborting the
@@ -1204,6 +1225,17 @@ impl Dataset {
                 if stale(&self.primary) {
                     return Ok(false);
                 }
+                // A correlated plan is also stale while a concurrent flush
+                // has installed the primary's new component but not yet the
+                // pk index's: the per-tree counts disagree for an instant,
+                // and a cc merge started then would pair mismatched
+                // component lists. Skip — the post-flush planning pass
+                // re-enqueues the merge against consistent counts.
+                if let Some(pk_tree) = &self.pk_index {
+                    if stale(pk_tree) {
+                        return Ok(false);
+                    }
+                }
                 if self.cfg.strategy == StrategyKind::MutableBitmap && self.is_background() {
                     crate::cc::merge_primary_with_cc(self, plan.range, self.cfg.cc_method)?;
                     for sec in &self.secondaries {
@@ -1330,10 +1362,32 @@ impl Dataset {
     /// Fetches a record by primary key (newest live version).
     pub fn get(&self, pk: &Value) -> Result<Option<Record>> {
         let pk_key = encode_pk(pk);
-        match point_lookup(&self.primary, &pk_key)? {
+        let mut hit = point_lookup(&self.primary, &pk_key)?;
+        if hit.is_none() {
+            hit = self.second_chance_lookup(&pk_key)?;
+        }
+        match hit {
             Some(e) if !e.anti_matter => Ok(Some(Record::decode(&e.value)?)),
             _ => Ok(None),
         }
+    }
+
+    /// Second-chance probe for a primary key that resolved to "not found"
+    /// on a Mutable-bitmap dataset (the Section 5.2 race): MB upserts mark
+    /// the old disk version deleted in place *before* the new version
+    /// reaches the memory component, so a lookup racing that window can
+    /// see neither. Re-probing under the shared record lock closes it —
+    /// any in-flight write for the key has completed by the time the lock
+    /// is granted, so a key still missing then is genuinely absent.
+    /// Returns `None` immediately for the other strategies, whose lookups
+    /// never hide entries in place. Shared by [`Dataset::get`] and the
+    /// query record-fetch paths.
+    pub(crate) fn second_chance_lookup(&self, pk_key: &[u8]) -> Result<Option<LsmEntry>> {
+        if self.cfg.strategy != StrategyKind::MutableBitmap {
+            return Ok(None);
+        }
+        self.locks
+            .with_shared(pk_key, || point_lookup(&self.primary, pk_key))
     }
 }
 

@@ -88,6 +88,26 @@
 //! for mutable bitmaps implements both the Lock and Side-file methods
 //! (§5.3).
 //!
+//! ## Parallel queries
+//!
+//! [`QueryBuilder::parallel(n)`](query::QueryBuilder::parallel) executes
+//! the Figure 5 pipeline across up to `n` threads: the secondary scan is
+//! partitioned along component page boundaries over one atomically
+//! captured index snapshot, per-partition candidates are validated,
+//! k-way merged, and globally deduplicated (query-driven repair marks are
+//! aggregated and applied once), and the record fetch fans out over
+//! contiguous primary-key chunks against a shared primary-index snapshot.
+//! Results are identical to serial execution and always in primary-key
+//! order, from both [`PreparedQuery::execute`](query::PreparedQuery::execute)
+//! and [`PreparedQuery::stream`](query::PreparedQuery::stream). Partition
+//! tasks run on the runtime's shared [`QueryPool`] when
+//! [`EngineConfig::query_workers`](EngineConfig) is set (bounding
+//! engine-wide query parallelism; the caller always participates) and on
+//! ephemeral threads otherwise; the storage layer's sharded buffer cache
+//! (`StorageOptions::cache_shards`) keeps the partitions from serializing
+//! on one cache lock. See `ARCHITECTURE.md` ("The read path") for the
+//! design and `docs/OPERATIONS.md` for sizing guidance.
+//!
 //! ## Background maintenance
 //!
 //! Structural maintenance (flush + merge) is either **inline** — the
@@ -243,7 +263,8 @@ pub use config::{
 pub use dataset::{Dataset, MergePlan, MergeTarget, SecondaryIndex};
 pub use maintenance::{Maintenance, RepairPlan};
 pub use query::{
-    PreparedQuery, QueryBuilder, QueryOptions, QueryResult, RecordStream, ValidationMethod,
+    PreparedQuery, QueryBuilder, QueryOptions, QueryPool, QueryResult, RecordStream,
+    ValidationMethod,
 };
 pub use repair::{RepairMode, RepairOptions, RepairReport};
 pub use scheduler::{DatasetRuntimeStats, MaintenanceRuntime, RuntimeStatsSnapshot};

@@ -65,6 +65,7 @@ pub struct QueryBuilder<'a> {
     hi: Option<Value>,
     index_only: Option<bool>,
     limit: Option<usize>,
+    parallel: Option<usize>,
     naive: bool,
     // §3.2 knob overrides; `None` = resolve a default.
     validation: Option<ValidationMethod>,
@@ -92,6 +93,7 @@ impl Dataset {
             hi: None,
             index_only: None,
             limit: None,
+            parallel: None,
             naive: false,
             validation: None,
             batched: None,
@@ -152,6 +154,24 @@ impl<'a> QueryBuilder<'a> {
     /// keys, per-key probing) instead of the batched/stateful default.
     pub fn naive(mut self) -> Self {
         self.naive = true;
+        self
+    }
+
+    /// Executes the query across up to `n` partitions in parallel: the
+    /// secondary scan is split along component page boundaries and the
+    /// record fetch into contiguous primary-key chunks, each running on
+    /// its own thread (the engine's shared query pool when the dataset's
+    /// [`MaintenanceRuntime`](crate::MaintenanceRuntime) has one — see
+    /// [`EngineConfig::query_workers`](crate::EngineConfig) — ephemeral
+    /// threads otherwise; the calling thread always participates).
+    ///
+    /// Results are identical to the serial execution and always arrive in
+    /// primary-key order, both from [`PreparedQuery::execute`] and batch
+    /// by batch from [`PreparedQuery::stream`]. `n <= 1` runs a single
+    /// partition on the calling thread — still through the partitioned
+    /// path, so the pk-ordered output shape does not depend on `n`.
+    pub fn parallel(mut self, n: usize) -> Self {
+        self.parallel = Some(n.max(1));
         self
     }
 
@@ -266,6 +286,7 @@ impl<'a> QueryBuilder<'a> {
             lo: self.lo,
             hi: self.hi,
             limit: self.limit,
+            parallelism: self.parallel,
             options: opts,
         })
     }
@@ -318,6 +339,7 @@ pub struct PreparedQuery<'a> {
     lo: Option<Value>,
     hi: Option<Value>,
     limit: Option<usize>,
+    parallelism: Option<usize>,
     options: QueryOptions,
 }
 
@@ -337,8 +359,28 @@ impl<'a> PreparedQuery<'a> {
         self.limit
     }
 
+    /// The resolved partition fan-out (1 when [`QueryBuilder::parallel`]
+    /// was not requested).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism.unwrap_or(1)
+    }
+
     /// Runs the query, collecting all results into a [`QueryResult`].
+    /// With [`QueryBuilder::parallel`] set, results are in primary-key
+    /// order; serially, record order follows the fetch unless
+    /// `sort_output` is set.
     pub fn execute(&self) -> Result<QueryResult> {
+        if let Some(n) = self.parallelism {
+            return crate::query::parallel::execute_parallel(
+                &self.ds.shared()?,
+                &self.index,
+                self.lo.as_ref(),
+                self.hi.as_ref(),
+                &self.options,
+                self.limit,
+                n,
+            );
+        }
         exec::execute(
             self.ds,
             &self.index,
@@ -350,8 +392,44 @@ impl<'a> PreparedQuery<'a> {
     }
 
     /// Runs the query as a stream that fetches records one batch at a time
-    /// (bounded memory; see [`RecordStream`]).
+    /// (bounded memory; see [`RecordStream`]). With
+    /// [`QueryBuilder::parallel`] set, the candidate gathering (scan +
+    /// validation) fans across partitions and the merged stream preserves
+    /// primary-key order.
     pub fn stream(&self) -> Result<RecordStream<'a>> {
+        if let Some(n) = self.parallelism {
+            if self.options.index_only {
+                return Err(lsm_common::Error::invalid(
+                    "index-only queries return keys, not records; use execute()",
+                ));
+            }
+            let shared = self.ds.shared()?;
+            let pool = shared.query_pool();
+            let candidates = crate::query::parallel::gather_parallel(
+                &shared,
+                &self.index,
+                self.lo.as_ref(),
+                self.hi.as_ref(),
+                &self.options,
+                n,
+                pool.as_ref(),
+            )?;
+            let (keys, hints) = candidates
+                .into_iter()
+                .map(|c| (c.pk_key, c.source_id))
+                .unzip();
+            let sec_field = self.ds.secondary(&self.index)?.field;
+            return Ok(RecordStream::from_candidates(
+                self.ds,
+                keys,
+                hints,
+                sec_field,
+                self.lo.clone(),
+                self.hi.clone(),
+                &self.options,
+                self.limit,
+            ));
+        }
         RecordStream::open(
             self.ds,
             &self.index,

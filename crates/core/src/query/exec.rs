@@ -27,6 +27,12 @@ pub(crate) struct Candidate {
     pub source: Option<(usize, u64)>,
 }
 
+/// A query-driven-repair mark: `(disk component index, entry ordinal)` in
+/// the component list the candidates were scanned from. The parallel path
+/// collects these per partition and applies the aggregate once; the serial
+/// path applies them inline.
+pub(crate) type RepairMark = (usize, u64);
+
 /// Steps 1-3 of Figure 5: scan the secondary index for `sk ∈ [lo, hi]`,
 /// sort and deduplicate the candidates, and apply Timestamp validation when
 /// requested. The returned candidates are distinct primary keys in
@@ -38,22 +44,33 @@ pub(crate) fn gather_candidates(
     hi: Option<&Value>,
     opts: &QueryOptions,
 ) -> Result<Vec<Candidate>> {
-    let storage = ds.storage();
-
-    // Step 1: secondary index scan.
     let (lo_b, hi_b) = sk_range(lo, hi);
     let (lo_ref, hi_ref) = (bound_as_ref(&lo_b), bound_as_ref(&hi_b));
     let mem = sec.tree.mem_snapshot_range(lo_ref, hi_ref);
-    let has_mem = !mem.is_empty();
     let comps = sec.tree.disk_components();
-    let mut scan = LsmScan::new(
-        storage.clone(),
-        has_mem.then_some(mem),
-        &comps,
-        lo_ref,
-        hi_ref,
-        ScanOptions::default(),
-    )?;
+    let mem = (!mem.is_empty()).then_some(mem);
+    let mut candidates = scan_candidates(ds, mem, &comps, lo_ref, hi_ref)?;
+    sort_dedup_candidates(ds, &mut candidates, opts);
+    validate_candidates(ds, &comps, candidates, opts, None)
+}
+
+/// Step 1 of Figure 5 over an explicit view: scans `[lo, hi]` of the
+/// secondary index given an in-memory run (`None` = nothing buffered;
+/// owned, so the serial path moves its snapshot in without copying) and
+/// a disk-component list. Candidate `source` indices refer to `comps`.
+/// The parallel path calls this once per partition against one shared
+/// snapshot.
+pub(crate) fn scan_candidates(
+    ds: &Dataset,
+    mem: Option<Vec<(Key, lsm_tree::LsmEntry)>>,
+    comps: &[std::sync::Arc<lsm_tree::DiskComponent>],
+    lo: std::ops::Bound<&[u8]>,
+    hi: std::ops::Bound<&[u8]>,
+) -> Result<Vec<Candidate>> {
+    let storage = ds.storage();
+    let mem = mem.filter(|m| !m.is_empty());
+    let has_mem = mem.is_some();
+    let mut scan = LsmScan::new(storage.clone(), mem, comps, lo, hi, ScanOptions::default())?;
     let now = ds.clock().now();
     let mut candidates: Vec<Candidate> = Vec::new();
     while let Some((key, entry, rank, ordinal)) = scan.next_reconciled()? {
@@ -76,8 +93,17 @@ pub(crate) fn gather_candidates(
             source,
         });
     }
+    Ok(candidates)
+}
 
-    // Step 2: sort by primary key and deduplicate.
+/// Step 2 of Figure 5: sort by `(pk asc, ts desc)` and deduplicate —
+/// exact `(pk, ts)` duplicates always, and down to one (the newest)
+/// candidate per pk when no Timestamp validation will follow.
+pub(crate) fn sort_dedup_candidates(
+    ds: &Dataset,
+    candidates: &mut Vec<Candidate>,
+    opts: &QueryOptions,
+) {
     charge_sort(ds, candidates.len() as u64);
     candidates.sort_by(|a, b| (&a.pk_key, b.ts).cmp(&(&b.pk_key, a.ts)));
     candidates.dedup_by(|a, b| a.pk_key == b.pk_key && a.ts == b.ts);
@@ -85,33 +111,84 @@ pub(crate) fn gather_candidates(
         // Distinct on pk (keep the newest candidate).
         candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
     }
+}
 
-    // Step 3: Timestamp validation (Figure 5b).
-    if opts.validation == ValidationMethod::Timestamp {
-        let pk_tree = ds
-            .pk_index()
-            .ok_or_else(|| Error::invalid("timestamp validation requires the pk index"))?;
-        let mut valid = Vec::with_capacity(candidates.len());
-        for cand in candidates {
-            let prune = cand.ts.max(cand.repaired_ts);
-            let invalid = match newest_version_after(pk_tree, &cand.pk_key, prune)? {
-                Some(found) => found.ts > cand.ts,
-                None => false,
-            };
-            if !invalid {
-                valid.push(cand);
-            } else if opts.query_driven_repair {
-                // Query-driven maintenance: record the proof of obsolescence
-                // so future queries skip this entry without re-validating.
-                if let Some((idx, ordinal)) = cand.source {
-                    comps[idx].bitmap_or_create().set(ordinal);
+/// Step 3 of Figure 5: Timestamp validation (Figure 5b) against the
+/// primary key index, plus the final distinct-pk pass. A no-op for the
+/// other validation methods. With `marks` set, query-driven-repair
+/// obsolescence proofs are collected there (indices into `comps`) instead
+/// of being applied inline — the parallel path aggregates marks across
+/// partitions and applies them once.
+pub(crate) fn validate_candidates(
+    ds: &Dataset,
+    comps: &[std::sync::Arc<lsm_tree::DiskComponent>],
+    mut candidates: Vec<Candidate>,
+    opts: &QueryOptions,
+    mut marks: Option<&mut Vec<RepairMark>>,
+) -> Result<Vec<Candidate>> {
+    if opts.validation != ValidationMethod::Timestamp {
+        return Ok(candidates);
+    }
+    let pk_tree = ds
+        .pk_index()
+        .ok_or_else(|| Error::invalid("timestamp validation requires the pk index"))?;
+    let mut valid = Vec::with_capacity(candidates.len());
+    for cand in candidates {
+        let prune = cand.ts.max(cand.repaired_ts);
+        let invalid = match newest_version_after(pk_tree, &cand.pk_key, prune)? {
+            Some(found) => found.ts > cand.ts,
+            None => false,
+        };
+        if !invalid {
+            valid.push(cand);
+        } else if opts.query_driven_repair {
+            // Query-driven maintenance: record the proof of obsolescence
+            // so future queries skip this entry without re-validating.
+            if let Some((idx, ordinal)) = cand.source {
+                match marks.as_deref_mut() {
+                    Some(collected) => collected.push((idx, ordinal)),
+                    None => {
+                        comps[idx].bitmap_or_create().set(ordinal);
+                    }
                 }
             }
         }
-        candidates = valid;
-        candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
     }
+    candidates = valid;
+    candidates.dedup_by(|a, b| a.pk_key == b.pk_key);
     Ok(candidates)
+}
+
+/// Re-probes every candidate key that resolved to "not found" via
+/// [`Dataset::second_chance_lookup`] — the Mutable-bitmap §5.2 race fix
+/// (an MB upsert marks the old version deleted in place before the new
+/// one reaches memory, so a racing lookup can find neither). Cheap: only
+/// unresolved candidates are re-probed, deletions gate most probes
+/// through the Bloom filters, and the whole pass is a no-op for the
+/// other strategies.
+pub(crate) fn fetch_missing_under_lock(
+    ds: &Dataset,
+    keys: &[Key],
+    found: &mut lsm_tree::lookup::FoundEntries,
+) -> Result<()> {
+    if ds.config().strategy != crate::StrategyKind::MutableBitmap {
+        return Ok(());
+    }
+    let mut have = vec![false; keys.len()];
+    for (i, _) in found.iter() {
+        have[*i] = true;
+    }
+    for (i, key) in keys.iter().enumerate() {
+        if have[i] {
+            continue;
+        }
+        if let Some(e) = ds.second_chance_lookup(key)? {
+            if !e.anti_matter {
+                found.push((i, e));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Re-checks the query predicate on a fetched record (Direct validation,
@@ -146,7 +223,8 @@ fn fetch_records(
         stateful: opts.stateful,
         id_hints: opts.propagate_component_ids.then_some(hints.as_slice()),
     };
-    let found = lookup_sorted(ds.primary(), &keys, &lopts)?;
+    let mut found = lookup_sorted(ds.primary(), &keys, &lopts)?;
+    fetch_missing_under_lock(ds, &keys, &mut found)?;
 
     let mut records = Vec::with_capacity(found.len());
     for (_, entry) in found {

@@ -22,10 +22,13 @@
 pub mod builder;
 mod exec;
 pub mod filter_scan;
+pub(crate) mod parallel;
+pub mod pool;
 pub mod stream;
 
 pub use builder::{PreparedQuery, QueryBuilder};
 pub use filter_scan::{filter_scan_count, FilterScanReport};
+pub use pool::QueryPool;
 pub use stream::RecordStream;
 
 use crate::dataset::Dataset;

@@ -1,0 +1,332 @@
+//! The shared query worker pool behind
+//! [`QueryBuilder::parallel`](crate::QueryBuilder::parallel).
+//!
+//! A [`QueryPool`] is a small fixed set of threads serving *partition
+//! tasks*: one parallel query splits into `k` independent pieces
+//! (per-partition secondary scans, per-chunk record fetches) and scatters
+//! them over the pool with the crate-private `scatter` helper. The calling
+//! thread always
+//! participates — it claims tasks from the same batch while pool workers
+//! help — so a saturated (or absent) pool degrades to serial execution on
+//! the caller rather than deadlocking, and a pool of `n` workers bounds a
+//! whole engine's query parallelism at `n + callers` threads no matter how
+//! many datasets issue parallel queries.
+//!
+//! Throttle propagation: thread-local I/O throttles do not cross threads,
+//! so every scattered batch captures the caller's installed read/write
+//! buckets
+//! ([`lsm_storage::throttle::current_throttles`]) and re-installs them
+//! around every task. A parallel read issued from a throttled maintenance
+//! job (query-driven repair inside a rebuild, for example) therefore still
+//! respects the runtime's `io_read_limit` across all of its threads.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type PoolTask = Box<dyn FnOnce() + Send>;
+
+/// A partition task handed to [`scatter`]: runs on the pool or the caller
+/// and yields one partition's result.
+pub(crate) type TaskFn<T> = Box<dyn FnOnce() -> T + Send>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: std::collections::VecDeque<PoolTask>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+/// A fixed-size worker pool executing partition tasks for parallel
+/// queries; see the module docs. Created by
+/// [`MaintenanceRuntime::start`](crate::MaintenanceRuntime::start) when
+/// [`EngineConfig::query_workers`](crate::EngineConfig) is non-zero.
+pub struct QueryPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for QueryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPool")
+            .field("workers", &self.workers.lock().len())
+            .finish()
+    }
+}
+
+impl QueryPool {
+    /// Spawns a pool of `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Arc<Self> {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lsm-query-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        Arc::new(QueryPool {
+            shared,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    fn submit(&self, task: PoolTask) {
+        {
+            let mut s = self.shared.state.lock();
+            if s.shutdown {
+                return; // shutting down: the caller runs the task itself
+            }
+            s.queue.push_back(task);
+        }
+        self.shared.work_cv.notify_one();
+    }
+}
+
+impl Drop for QueryPool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.state.lock();
+            s.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
+    loop {
+        let task = {
+            let mut s = shared.state.lock();
+            loop {
+                if let Some(t) = s.queue.pop_front() {
+                    break Some(t);
+                }
+                if s.shutdown {
+                    break None;
+                }
+                shared.work_cv.wait(&mut s);
+            }
+        };
+        match task {
+            Some(t) => t(),
+            None => return,
+        }
+    }
+}
+
+/// One scattered batch: the tasks, their results, and completion tracking.
+/// Workers and the caller both pull from `next`; whoever claims the last
+/// index runs the last task.
+struct Scatter<T> {
+    tasks: Mutex<Vec<Option<TaskFn<T>>>>,
+    next: AtomicUsize,
+    results: Mutex<Vec<Option<T>>>,
+    done: AtomicUsize,
+    total: usize,
+    done_lock: Mutex<bool>,
+    done_cv: Condvar,
+    /// First payload of a panicking task, re-raised on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The caller's thread-local throttles, re-installed around each task.
+    throttles: (
+        Option<Arc<lsm_storage::IoThrottle>>,
+        Option<Arc<lsm_storage::IoThrottle>>,
+    ),
+}
+
+impl<T: Send> Scatter<T> {
+    /// Claims and runs one task; returns `false` when none remain.
+    fn run_next(&self) -> bool {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.total {
+            return false;
+        }
+        let task = self.tasks.lock()[idx].take().expect("task claimed once");
+        let (read, write) = self.throttles.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lsm_storage::throttle::with_throttles(read, write, task)
+        }));
+        match outcome {
+            Ok(value) => self.results.lock()[idx] = Some(value),
+            Err(payload) => {
+                let mut p = self.panic.lock();
+                if p.is_none() {
+                    *p = Some(payload);
+                }
+            }
+        }
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            let mut flag = self.done_lock.lock();
+            *flag = true;
+            self.done_cv.notify_all();
+        }
+        true
+    }
+
+    fn wait_done(&self) {
+        let mut flag = self.done_lock.lock();
+        while !*flag {
+            self.done_cv.wait(&mut flag);
+        }
+    }
+}
+
+/// Runs `tasks` concurrently and returns their results in task order.
+///
+/// With a pool, the tasks are offered to its workers AND executed by the
+/// caller (whoever claims first wins); without one, ephemeral threads are
+/// spawned — at most `tasks.len() - 1`, since the caller participates. A
+/// panicking task is re-raised on the caller after the batch completes.
+pub(crate) fn scatter<T: Send + 'static>(
+    pool: Option<&Arc<QueryPool>>,
+    tasks: Vec<TaskFn<T>>,
+) -> Vec<T> {
+    let total = tasks.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut results = Vec::with_capacity(total);
+    results.resize_with(total, || None);
+    let shared = Arc::new(Scatter {
+        tasks: Mutex::new(tasks.into_iter().map(Some).collect()),
+        next: AtomicUsize::new(0),
+        results: Mutex::new(results),
+        done: AtomicUsize::new(0),
+        total,
+        done_lock: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+        throttles: lsm_storage::throttle::current_throttles(),
+    });
+
+    let mut ephemeral: Vec<JoinHandle<()>> = Vec::new();
+    match pool {
+        Some(pool) => {
+            // No point queueing more drain-helpers than the pool has
+            // workers: extras could only no-op later, polluting the queue
+            // for subsequent batches.
+            for _ in 0..(total - 1).min(pool.workers()) {
+                let shared = shared.clone();
+                pool.submit(Box::new(move || while shared.run_next() {}));
+            }
+        }
+        None => {
+            for _ in 0..total - 1 {
+                let shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("lsm-query-ephemeral".into())
+                    .spawn(move || while shared.run_next() {});
+                match spawned {
+                    Ok(h) => ephemeral.push(h),
+                    Err(_) => break, // thread limit: the caller drains alone
+                }
+            }
+        }
+    }
+    // The caller participates, so the batch finishes even if every helper
+    // is busy elsewhere (or none could be spawned).
+    while shared.run_next() {}
+    shared.wait_done();
+    for h in ephemeral {
+        let _ = h.join();
+    }
+    if let Some(payload) = shared.panic.lock().take() {
+        std::panic::resume_unwind(payload);
+    }
+    let mut results = shared.results.lock();
+    results
+        .iter_mut()
+        .map(|slot| slot.take().expect("completed task has a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_without_pool_runs_every_task() {
+        let out = scatter::<usize>(
+            None,
+            (0..7usize)
+                .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+                .collect(),
+        );
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12]);
+        assert!(scatter::<usize>(None, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn scatter_on_pool_runs_every_task_and_pool_survives() {
+        let pool = QueryPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        for round in 0..3 {
+            let out = scatter::<usize>(
+                Some(&pool),
+                (0..5usize)
+                    .map(|i| Box::new(move || i + round) as Box<dyn FnOnce() -> usize + Send>)
+                    .collect(),
+            );
+            assert_eq!(out, (0..5).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scatter_propagates_panics() {
+        let pool = QueryPool::new(1);
+        let result = std::panic::catch_unwind(|| {
+            scatter::<usize>(
+                Some(&pool),
+                vec![
+                    Box::new(|| 1),
+                    Box::new(|| panic!("partition failed")),
+                    Box::new(|| 3),
+                ],
+            )
+        });
+        assert!(result.is_err());
+        // The pool is still usable after a panicking batch.
+        let out = scatter::<usize>(Some(&pool), vec![Box::new(|| 42)]);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn scatter_installs_callers_throttle_on_helpers() {
+        use lsm_storage::throttle::{consume_active_read, with_throttle};
+        use lsm_storage::IoThrottle;
+        let throttle = IoThrottle::new(1 << 40, 1 << 40);
+        let t2 = throttle.clone();
+        with_throttle(throttle, move || {
+            scatter::<()>(
+                None,
+                (0..4)
+                    .map(|_| {
+                        Box::new(|| {
+                            consume_active_read(100);
+                        }) as Box<dyn FnOnce() + Send>
+                    })
+                    .collect(),
+            );
+        });
+        assert_eq!(t2.throttled_bytes(), 400, "helpers charged caller's bucket");
+    }
+}

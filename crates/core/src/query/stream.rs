@@ -61,7 +61,28 @@ impl<'a> RecordStream<'a> {
         let candidates = exec::gather_candidates(ds, sec, lo.as_ref(), hi.as_ref(), opts)?;
         let keys = candidates.iter().map(|c| c.pk_key.clone()).collect();
         let hints = candidates.iter().map(|c| c.source_id).collect();
-        Ok(RecordStream {
+        Ok(Self::from_candidates(
+            ds, keys, hints, sec.field, lo, hi, opts, limit,
+        ))
+    }
+
+    /// A stream over an already-gathered candidate set (post-validation
+    /// primary keys, ascending, with their pID hints). The parallel query
+    /// path gathers candidates across partitions, k-way merges them, and
+    /// streams the fetch from here — same bounded memory and pk order as
+    /// the serial stream.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_candidates(
+        ds: &'a Dataset,
+        keys: Vec<lsm_common::Key>,
+        hints: Vec<ComponentId>,
+        sec_field: usize,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        opts: &QueryOptions,
+        limit: Option<usize>,
+    ) -> Self {
+        RecordStream {
             ds,
             keys,
             hints,
@@ -69,13 +90,13 @@ impl<'a> RecordStream<'a> {
             batch: VecDeque::new(),
             keys_per_batch: exec::keys_per_batch(ds, opts.batch_bytes),
             opts: *opts,
-            sec_field: sec.field,
+            sec_field,
             lo,
             hi,
             remaining: limit.unwrap_or(usize::MAX),
             batches_fetched: 0,
             peak_batch_len: 0,
-        })
+        }
     }
 
     /// Candidates that passed validation (an upper bound on the number of
@@ -113,6 +134,7 @@ impl<'a> RecordStream<'a> {
                 id_hints: self.opts.propagate_component_ids.then_some(hint_chunk),
             };
             let mut found = lookup_sorted(self.ds.primary(), chunk, &lopts)?;
+            exec::fetch_missing_under_lock(self.ds, chunk, &mut found)?;
             // Batched probing destroys key order within the batch; restore
             // it so the stream is globally primary-key ordered.
             exec::charge_sort(self.ds, found.len() as u64);

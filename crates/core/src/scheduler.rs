@@ -596,13 +596,19 @@ impl RuntimeShared {
 pub struct MaintenanceRuntime {
     shared: Arc<RuntimeShared>,
     permanent: Mutex<Vec<JoinHandle<()>>>,
+    /// Shared query worker pool ([`EngineConfig::query_workers`] > 0):
+    /// every registered dataset's parallel queries scatter their partition
+    /// tasks here, bounding engine-wide query parallelism.
+    query_pool: Option<Arc<crate::query::QueryPool>>,
 }
 
 impl MaintenanceRuntime {
-    /// Validates `cfg`, spawns the permanent workers, and returns the
-    /// runtime handle.
+    /// Validates `cfg`, spawns the permanent workers (and the query pool
+    /// when configured), and returns the runtime handle.
     pub fn start(cfg: EngineConfig) -> Result<Arc<Self>> {
         cfg.validate()?;
+        let query_pool =
+            (cfg.query_workers > 0).then(|| crate::query::QueryPool::new(cfg.query_workers));
         let shared = Arc::new(RuntimeShared::new(cfg));
         {
             let mut s = shared.state.lock();
@@ -621,12 +627,19 @@ impl MaintenanceRuntime {
         Ok(Arc::new(MaintenanceRuntime {
             shared,
             permanent: Mutex::new(handles),
+            query_pool,
         }))
     }
 
     /// The runtime configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.shared.cfg
+    }
+
+    /// The shared query pool, when [`EngineConfig::query_workers`] is
+    /// non-zero.
+    pub fn query_pool(&self) -> Option<&Arc<crate::query::QueryPool>> {
+        self.query_pool.as_ref()
     }
 
     /// Blocks until every registered dataset's queue is drained and all
@@ -1403,6 +1416,7 @@ mod tests {
         let rt = Arc::new(MaintenanceRuntime {
             shared: shared.clone(),
             permanent: Mutex::new(Vec::new()),
+            query_pool: None,
         });
         let a = shared.register(&ds);
         let b = shared.register(&ds);

@@ -38,6 +38,13 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds this dataset's background jobs spent waiting
     /// in the runtime's I/O write throttle (flush builds, merge outputs).
     pub write_throttle_wait_ns: AtomicU64,
+    /// Queries executed through the parallel path
+    /// ([`QueryBuilder::parallel`](crate::QueryBuilder::parallel)).
+    pub parallel_queries: AtomicU64,
+    /// Scan partitions planned across all parallel queries (divide by
+    /// `parallel_queries` for the average fan-out actually achieved —
+    /// small ranges may split into fewer partitions than requested).
+    pub query_partitions: AtomicU64,
 }
 
 impl EngineStats {
@@ -58,6 +65,13 @@ impl EngineStats {
     /// Counts a background merge job execution.
     pub(crate) fn record_merge_job(&self) {
         self.bump(&self.merge_jobs);
+    }
+
+    /// Counts one parallel query execution planned into `partitions`.
+    pub(crate) fn record_parallel_query(&self, partitions: usize) {
+        self.bump(&self.parallel_queries);
+        self.query_partitions
+            .fetch_add(partitions as u64, Ordering::Relaxed);
     }
 
     /// Total records that entered the dataset (inserts + upserts).
@@ -83,6 +97,8 @@ impl EngineStats {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             throttle_wait_ns: self.throttle_wait_ns.load(Ordering::Relaxed),
             write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
+            parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            query_partitions: self.query_partitions.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +122,8 @@ pub struct EngineStatsSnapshot {
     pub queue_depth: u64,
     pub throttle_wait_ns: u64,
     pub write_throttle_wait_ns: u64,
+    pub parallel_queries: u64,
+    pub query_partitions: u64,
 }
 
 #[cfg(test)]

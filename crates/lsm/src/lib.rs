@@ -13,6 +13,8 @@
 //! primary index + primary key index + secondary indexes — and implements
 //! the maintenance strategies on top.
 
+#![warn(missing_docs)]
+
 pub mod bitmap;
 pub mod build_link;
 pub mod component;
@@ -31,11 +33,11 @@ pub use component::DiskComponent;
 pub use component_id::ComponentId;
 pub use entry::LsmEntry;
 pub use lookup::{
-    locate_valid, lookup_sorted, newest_disk_version_after, newest_version_after, point_lookup,
-    LookupOptions,
+    locate_valid, lookup_sorted, lookup_sorted_view, newest_disk_version_after,
+    newest_version_after, point_lookup, LookupOptions,
 };
 pub use memtable::MemComponent;
 pub use merge_policy::{LevelingPolicy, MergePolicy, MergeRange, NoMergePolicy, TieringPolicy};
 pub use range_filter::RangeFilter;
-pub use scan::{scan_components_sequential, LsmScan, ScanOptions};
+pub use scan::{scan_components_sequential, LsmScan, ScanOptions, ScanPartition};
 pub use tree::{BuildOptions, ComponentBuilder, LsmOptions, LsmTree};

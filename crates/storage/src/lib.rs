@@ -8,8 +8,10 @@
 //! * pages live in memory, but every access is charged against a
 //!   [`DiskProfile`] cost model (seek + transfer for a random read, transfer
 //!   only for a sequential continuation, free on a buffer-cache hit);
-//! * a CLOCK (second-chance) [`cache::BufferCache`] of configurable size
-//!   decides which accesses hit;
+//! * a CLOCK (second-chance) buffer cache of configurable size decides
+//!   which accesses hit; it is split into independently locked
+//!   [`ShardedCache`] shards (one by default — the classic single CLOCK)
+//!   so parallel query partitions do not serialize on one cache lock;
 //! * read-ahead batches sequential scans the way the paper's 4MB read-ahead
 //!   does;
 //! * a [`SimClock`] accumulates simulated nanoseconds of I/O and CPU work,
@@ -33,6 +35,7 @@ pub mod stats;
 pub mod storage;
 pub mod throttle;
 
+pub use cache::{BufferCache, CacheShardStats, ShardedCache};
 pub use profile::{CpuCosts, DiskProfile};
 pub use sim_clock::SimClock;
 pub use stats::{IoStats, IoStatsSnapshot};

@@ -8,7 +8,7 @@
 //! trade-offs — batched vs interleaved point lookups, scans vs index
 //! navigation — measurable here.
 
-use crate::cache::BufferCache;
+use crate::cache::{CacheShardStats, ShardedCache};
 use crate::profile::{CpuCosts, DiskProfile};
 use crate::sim_clock::SimClock;
 use crate::stats::{IoStats, IoStatsSnapshot};
@@ -30,6 +30,11 @@ pub struct StorageOptions {
     pub page_size: usize,
     /// Buffer cache capacity, in pages.
     pub cache_pages: usize,
+    /// Independently locked buffer-cache shards (see [`ShardedCache`]).
+    /// `1` — the default — behaves
+    /// exactly like the classic single CLOCK; raise it so parallel query
+    /// partitions stop serializing on one cache lock.
+    pub cache_shards: usize,
     /// Read-ahead window for scans, in pages (the paper uses 4MB).
     pub readahead_pages: u32,
     /// Device cost model.
@@ -40,11 +45,15 @@ pub struct StorageOptions {
 
 impl StorageOptions {
     /// The paper's HDD configuration scaled to a given cache size in bytes.
+    /// A non-zero `cache_bytes` always yields a usable cache: the page
+    /// count is rounded *up*, so a cache smaller than one page holds one
+    /// page instead of being silently disabled.
     pub fn hdd(cache_bytes: usize) -> Self {
         let page_size = 128 * 1024;
         StorageOptions {
             page_size,
-            cache_pages: cache_bytes / page_size,
+            cache_pages: cache_bytes.div_ceil(page_size),
+            cache_shards: 1,
             readahead_pages: (4 * 1024 * 1024 / page_size) as u32,
             profile: DiskProfile::hdd(),
             cpu: CpuCosts::default(),
@@ -52,11 +61,14 @@ impl StorageOptions {
     }
 
     /// The paper's SSD configuration scaled to a given cache size in bytes.
+    /// Like [`StorageOptions::hdd`], the page count rounds up so a small
+    /// non-zero `cache_bytes` never disables the cache.
     pub fn ssd(cache_bytes: usize) -> Self {
         let page_size = 32 * 1024;
         StorageOptions {
             page_size,
-            cache_pages: cache_bytes / page_size,
+            cache_pages: cache_bytes.div_ceil(page_size),
+            cache_shards: 1,
             readahead_pages: (4 * 1024 * 1024 / page_size) as u32,
             profile: DiskProfile::ssd(),
             cpu: CpuCosts::default(),
@@ -68,6 +80,7 @@ impl StorageOptions {
         StorageOptions {
             page_size: 4096,
             cache_pages: 64,
+            cache_shards: 1,
             readahead_pages: 8,
             profile: DiskProfile::hdd(),
             cpu: CpuCosts::default(),
@@ -90,7 +103,7 @@ pub struct Storage {
     clock: SimClock,
     stats: IoStats,
     files: RwLock<Vec<FileState>>,
-    cache: Mutex<BufferCache>,
+    cache: ShardedCache,
     /// Device head position: the last `(file, page)` that reached the
     /// device. A read is sequential only if it continues from here —
     /// interleaving reads across files moves the head and costs seeks,
@@ -109,13 +122,13 @@ impl Storage {
     /// Creates a storage device sharing an existing clock (e.g. the data and
     /// log devices of one node accumulate into one timeline).
     pub fn with_clock(opts: StorageOptions, clock: SimClock) -> Arc<Self> {
-        let cache = BufferCache::new(opts.cache_pages);
+        let cache = ShardedCache::new(opts.cache_pages, opts.cache_shards.max(1));
         Arc::new(Storage {
             opts,
             clock,
             stats: IoStats::new(),
             files: RwLock::new(Vec::new()),
-            cache: Mutex::new(cache),
+            cache,
             head: Mutex::new(None),
             last_write: Mutex::new(None),
         })
@@ -250,7 +263,7 @@ impl Storage {
                 .clone()
         };
 
-        let hit = self.cache.lock().access(file, page);
+        let hit = self.cache.access(file, page);
         if hit {
             self.stats
                 .cache_hits
@@ -328,22 +341,21 @@ impl Storage {
                 )));
             }
         }
-        // Admit all pages; charge only those not already resident.
+        // Admit all pages; charge only those not already resident. Each
+        // page locks only its own cache shard, so a burst never holds the
+        // whole cache against concurrent readers.
         let mut misses = 0u32;
         let mut first_miss = page;
-        {
-            let mut cache = self.cache.lock();
-            for p in page..page + count {
-                if !cache.access(file, p) {
-                    if misses == 0 {
-                        first_miss = p;
-                    }
-                    misses += 1;
-                } else {
-                    self.stats
-                        .cache_hits
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        for p in page..page + count {
+            if !self.cache.access(file, p) {
+                if misses == 0 {
+                    first_miss = p;
                 }
+                misses += 1;
+            } else {
+                self.stats
+                    .cache_hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         }
         if misses > 0 {
@@ -385,7 +397,7 @@ impl Storage {
             state.deleted = true;
             state.pages = Vec::new();
         }
-        self.cache.lock().evict_file(file);
+        self.cache.evict_file(file);
         {
             let mut head = self.head.lock();
             if head.map(|(f, _)| f) == Some(file) {
@@ -401,8 +413,20 @@ impl Storage {
 
     /// Drops everything from the buffer cache (cold-cache benchmarking).
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
         *self.head.lock() = None;
+    }
+
+    /// Number of buffer-cache shards.
+    pub fn cache_shards(&self) -> usize {
+        self.cache.num_shards()
+    }
+
+    /// Per-shard buffer-cache hit/miss/occupancy rows. The aggregate hits
+    /// are also rolled into [`IoStats`] (`cache_hits`); these rows expose
+    /// the distribution, e.g. to spot a skewed shard hash.
+    pub fn cache_shard_stats(&self) -> Vec<CacheShardStats> {
+        self.cache.shard_stats()
     }
 
     /// Total bytes held by live files (for reporting dataset sizes).
@@ -609,6 +633,56 @@ mod tests {
         s.append_page(f2, b"c").unwrap(); // switch: seek
         let switch_cost = s.clock().now_nanos() - t1;
         assert!(switch_cost > seq_cost);
+    }
+
+    #[test]
+    fn tiny_cache_bytes_round_up_instead_of_disabling() {
+        // Regression: integer division used to turn any cache smaller than
+        // one page into a zero-capacity (fully disabled) cache.
+        let hdd = StorageOptions::hdd(1024);
+        assert_eq!(hdd.cache_pages, 1, "sub-page HDD cache must hold a page");
+        let ssd = StorageOptions::ssd(1024);
+        assert_eq!(ssd.cache_pages, 1, "sub-page SSD cache must hold a page");
+        // Partial trailing pages round up too; zero stays disabled.
+        assert_eq!(StorageOptions::hdd(128 * 1024 + 1).cache_pages, 2);
+        assert_eq!(StorageOptions::hdd(0).cache_pages, 0);
+        assert_eq!(StorageOptions::ssd(0).cache_pages, 0);
+
+        // And the rounded-up cache actually caches.
+        let s = Storage::new(StorageOptions {
+            page_size: 4096,
+            ..StorageOptions::hdd(1024)
+        });
+        let f = s.create_file();
+        s.append_page(f, b"x").unwrap();
+        s.read_page(f, 0).unwrap();
+        s.read_page(f, 0).unwrap();
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn sharded_cache_hits_roll_up_into_io_stats() {
+        let opts = StorageOptions {
+            cache_pages: 32,
+            cache_shards: 4,
+            ..StorageOptions::test()
+        };
+        let s = Storage::new(opts);
+        assert_eq!(s.cache_shards(), 4);
+        let f = s.create_file();
+        for _ in 0..8 {
+            s.append_page(f, b"p").unwrap();
+        }
+        for p in 0..8 {
+            s.read_page(f, p).unwrap(); // miss
+            s.read_page(f, p).unwrap(); // hit
+        }
+        let snap = s.stats();
+        assert_eq!(snap.cache_hits, 8);
+        assert_eq!(snap.disk_reads(), 8);
+        let shards = s.cache_shard_stats();
+        assert_eq!(shards.iter().map(|x| x.hits).sum::<u64>(), 8);
+        assert_eq!(shards.iter().map(|x| x.misses).sum::<u64>(), 8);
     }
 
     #[test]

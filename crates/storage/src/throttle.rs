@@ -193,6 +193,21 @@ pub fn with_throttles<T>(
     f()
 }
 
+/// Returns this thread's currently installed `(read, write)` throttles.
+///
+/// Thread-local installations do not cross thread boundaries, so anything
+/// that fans work out to other threads on behalf of the caller (the
+/// parallel-query pool) captures the caller's buckets here and re-installs
+/// them on each worker via [`with_throttles`] — a throttled maintenance job
+/// that issues a parallel read therefore stays within its I/O budget no
+/// matter how many threads execute it.
+pub fn current_throttles() -> (Option<Arc<IoThrottle>>, Option<Arc<IoThrottle>>) {
+    (
+        ACTIVE_READ.with(|a| a.borrow().clone()),
+        ACTIVE_WRITE.with(|a| a.borrow().clone()),
+    )
+}
+
 /// Runs `f` with any installed *write* throttle suspended: page appends
 /// inside `f` are never charged to a bucket, even on a maintenance worker.
 /// The write-ahead log wraps its appends in this — commit durability
@@ -223,15 +238,17 @@ fn consume_slot(
 
 /// Charges `bytes` against the thread's installed read throttle, if any.
 /// Returns the nanoseconds slept (0 when unthrottled). Called by the
-/// storage layer on every device read.
-pub(crate) fn consume_active_read(bytes: u64) -> u64 {
+/// storage layer on every device read; public so upper layers can account
+/// reads that bypass the page path against the same budget.
+pub fn consume_active_read(bytes: u64) -> u64 {
     consume_slot(&ACTIVE_READ, &SCOPE_READ_WAIT_NS, bytes)
 }
 
 /// Charges `bytes` against the thread's installed write throttle, if any.
 /// Returns the nanoseconds slept (0 when unthrottled). Called by the
-/// storage layer on every page append.
-pub(crate) fn consume_active_write(bytes: u64) -> u64 {
+/// storage layer on every page append; public for the same reason as
+/// [`consume_active_read`].
+pub fn consume_active_write(bytes: u64) -> u64 {
     consume_slot(&ACTIVE_WRITE, &SCOPE_WRITE_WAIT_NS, bytes)
 }
 
