@@ -5,10 +5,11 @@
 //! quota-limited runtime), a query-heavy scenario (serial vs `parallel(4)`
 //! secondary range queries over a multi-component dataset on a sharded
 //! buffer cache), and a repair-heavy scenario (standalone repair of an
-//! update-heavy lazy dataset), written as JSON so the perf trajectory
-//! accumulates across commits. Schema history is documented in
-//! `docs/OPERATIONS.md` (`schema_version` 4: adds the `query_heavy` and
-//! `repair_heavy` arrays).
+//! update-heavy lazy dataset), and a device sweep (the same inline ingest
+//! on the hdd / ssd / nvme profiles), written as JSON so the perf
+//! trajectory accumulates across commits. Schema history is documented in
+//! `docs/OPERATIONS.md` (`schema_version` 5: adds the `device_sweep`
+//! array).
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -20,8 +21,8 @@
 
 use lsm_bench::{
     pk_of, run_fairness_scenario, run_query_heavy_scenario, run_repair_heavy_scenario,
-    run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, Env, EnvConfig, FairnessRun,
-    QueryHeavyRun, RepairHeavyRun, SharedRuntimeRun,
+    run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, BenchDevice, Env, EnvConfig,
+    FairnessRun, QueryHeavyRun, RepairHeavyRun, SharedRuntimeRun,
 };
 use lsm_common::Value;
 use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
@@ -50,12 +51,23 @@ fn open(env: &Env, mode: MaintenanceMode, dataset_bytes: u64) -> Arc<Dataset> {
 }
 
 fn run(mode: &'static str, maintenance: MaintenanceMode, n: usize) -> VariantResult {
+    run_on_device(mode, BenchDevice::Ssd, maintenance, n)
+}
+
+fn run_on_device(
+    mode: &'static str,
+    device: BenchDevice,
+    maintenance: MaintenanceMode,
+    n: usize,
+) -> VariantResult {
     let dataset_bytes = (n as u64) * 550;
-    let env = Env::new(&EnvConfig {
-        dataset_bytes,
-        ssd: true,
-        ..Default::default()
-    });
+    let env = Env::new_with_device(
+        device,
+        &EnvConfig {
+            dataset_bytes,
+            ..Default::default()
+        },
+    );
     let ds = open(&env, maintenance, dataset_bytes);
     let mut workload =
         UpsertWorkload::new(TweetConfig::default(), 0.5, UpdateDistribution::Uniform);
@@ -303,19 +315,31 @@ fn main() {
     // update-heavy lazy dataset, closing the ROADMAP CI item.
     let repair_heavy = [run_repair_heavy_scenario(scaled(40_000))];
 
+    // Device sweep (schema_version 5): the same inline ingest on every
+    // simulated device profile, so device-model changes show up in the
+    // perf trajectory.
+    let device_n = scaled(20_000);
+    let device_sweep = [
+        run_on_device("hdd", BenchDevice::Hdd, MaintenanceMode::Inline, device_n),
+        run_on_device("ssd", BenchDevice::Ssd, MaintenanceMode::Inline, device_n),
+        run_on_device("nvme", BenchDevice::Nvme, MaintenanceMode::Inline, device_n),
+    ];
+
     let body: Vec<String> = variants.iter().map(json_variant).collect();
     let multi_body: Vec<String> = multi.iter().map(json_multi).collect();
     let fairness_body: Vec<String> = fairness.iter().map(json_fairness).collect();
     let query_body: Vec<String> = query_heavy.iter().map(json_query_heavy).collect();
     let repair_body: Vec<String> = repair_heavy.iter().map(json_repair_heavy).collect();
+    let device_body: Vec<String> = device_sweep.iter().map(json_variant).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 4,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 5,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n"),
         multi_body.join(",\n"),
         fairness_body.join(",\n"),
         query_body.join(",\n"),
-        repair_body.join(",\n")
+        repair_body.join(",\n"),
+        device_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -364,6 +388,12 @@ fn main() {
         eprintln!(
             "repair_heavy: {} recs — repair {:.3}s wall / {:.3}s sim, {} scanned, {} invalidated",
             r.records, r.repair_wall_secs, r.repair_sim_secs, r.entries_scanned, r.invalidated
+        );
+    }
+    for d in &device_sweep {
+        eprintln!(
+            "device_sweep {}: {:.0} ops/s ingest, {:.2}us lookup",
+            d.mode, d.ingest_ops_per_sec, d.lookup_wall_us
         );
     }
     eprintln!("wrote {out}");

@@ -51,6 +51,40 @@ pub struct Env {
     pub clock: SimClock,
 }
 
+/// Simulated device profile for an [`Env`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchDevice {
+    /// 7200rpm disk: 128KB pages, expensive seeks (the paper's testbed).
+    Hdd,
+    /// SATA SSD: 32KB pages, cheap seeks.
+    Ssd,
+    /// NVMe flash: 16KB pages, near-free seeks.
+    Nvme,
+}
+
+impl BenchDevice {
+    /// All devices, in sweep order.
+    pub const ALL: [BenchDevice; 3] = [BenchDevice::Hdd, BenchDevice::Ssd, BenchDevice::Nvme];
+
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchDevice::Hdd => "hdd",
+            BenchDevice::Ssd => "ssd",
+            BenchDevice::Nvme => "nvme",
+        }
+    }
+
+    /// Storage options for this profile with `cache_bytes` of buffer cache.
+    pub fn options(self, cache_bytes: usize) -> StorageOptions {
+        match self {
+            BenchDevice::Hdd => StorageOptions::hdd(cache_bytes),
+            BenchDevice::Ssd => StorageOptions::ssd(cache_bytes),
+            BenchDevice::Nvme => StorageOptions::nvme(cache_bytes),
+        }
+    }
+}
+
 /// Knobs for [`Env::new`].
 #[derive(Debug, Clone)]
 pub struct EnvConfig {
@@ -58,7 +92,9 @@ pub struct EnvConfig {
     pub dataset_bytes: u64,
     /// Buffer cache as a fraction of the dataset (paper: 2GB / 30GB).
     pub cache_fraction: f64,
-    /// Use the SSD profile instead of HDD.
+    /// Use the SSD profile instead of HDD. Kept for the existing bench
+    /// literals; [`Env::new_with_device`] overrides it for the three-way
+    /// hdd/ssd/nvme sweeps.
     pub ssd: bool,
     /// Buffer-cache shards (1 = the classic single CLOCK; raise for
     /// parallel-query scenarios so readers stop serializing on one lock).
@@ -77,16 +113,23 @@ impl Default for EnvConfig {
 }
 
 impl Env {
-    /// Creates a scaled environment.
+    /// Creates a scaled environment on the device `cfg.ssd` picks.
     pub fn new(cfg: &EnvConfig) -> Self {
+        let device = if cfg.ssd {
+            BenchDevice::Ssd
+        } else {
+            BenchDevice::Hdd
+        };
+        Self::new_with_device(device, cfg)
+    }
+
+    /// Creates a scaled environment on an explicit device profile,
+    /// ignoring `cfg.ssd`.
+    pub fn new_with_device(device: BenchDevice, cfg: &EnvConfig) -> Self {
         let cache_bytes = (cfg.dataset_bytes as f64 * cfg.cache_fraction) as usize;
         let opts = StorageOptions {
             cache_shards: cfg.cache_shards.max(1),
-            ..if cfg.ssd {
-                StorageOptions::ssd(cache_bytes)
-            } else {
-                StorageOptions::hdd(cache_bytes)
-            }
+            ..device.options(cache_bytes)
         };
         let clock = SimClock::new();
         let storage = Storage::with_clock(opts.clone(), clock.clone());

@@ -24,6 +24,10 @@ pub enum Error {
     NoSuchIndex(String),
     /// The simulated storage layer rejected the request.
     Storage(String),
+    /// A transient I/O failure (injected fault or device hiccup): the
+    /// operation may succeed if retried. Maintenance runtimes retry these
+    /// with backoff instead of poisoning the dataset.
+    TransientIo(String),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +39,7 @@ impl fmt::Display for Error {
             Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
             Error::NoSuchIndex(m) => write!(f, "no such index: {m}"),
             Error::Storage(m) => write!(f, "storage: {m}"),
+            Error::TransientIo(m) => write!(f, "transient i/o: {m}"),
         }
     }
 }
@@ -51,6 +56,16 @@ impl Error {
     pub fn invalid(msg: impl Into<String>) -> Self {
         Error::InvalidArgument(msg.into())
     }
+
+    /// Convenience constructor for transient I/O errors.
+    pub fn transient_io(msg: impl Into<String>) -> Self {
+        Error::TransientIo(msg.into())
+    }
+
+    /// True for failures that may clear on retry ([`Error::TransientIo`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::TransientIo(_))
+    }
 }
 
 #[cfg(test)]
@@ -65,6 +80,14 @@ mod tests {
             "corruption: bad page"
         );
         assert_eq!(Error::invalid("x").to_string(), "invalid argument: x");
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::transient_io("flaky disk").is_transient());
+        assert!(!Error::Storage("gone".into()).is_transient());
+        assert!(!Error::corruption("bad page").is_transient());
+        assert_eq!(Error::transient_io("x").to_string(), "transient i/o: x");
     }
 
     #[test]

@@ -478,6 +478,133 @@ impl Dataset {
         Ok(())
     }
 
+    /// Probes the named engine crash site against a
+    /// [`FaultPlan`](lsm_storage::FaultPlan) installed on `device`,
+    /// feeding the crash-site coverage counters: a passage while a plan is
+    /// armed bumps `crash_sites_armed`; a passage where the plan fires
+    /// additionally bumps `crash_sites_hit` and returns the injected error
+    /// (aborting the enclosing operation mid-window, exactly like a crash
+    /// at that point would).
+    fn crash_site_on(&self, device: &Storage, name: &str) -> Result<()> {
+        match device.probe_crash_site(name) {
+            lsm_storage::SiteOutcome::Unarmed => Ok(()),
+            lsm_storage::SiteOutcome::Armed => {
+                self.stats.bump(&self.stats.crash_sites_armed);
+                Ok(())
+            }
+            lsm_storage::SiteOutcome::Fired(e) => {
+                self.stats.bump(&self.stats.crash_sites_armed);
+                self.stats.bump(&self.stats.crash_sites_hit);
+                Err(e)
+            }
+        }
+    }
+
+    /// Probes the named crash site on the dataset's data device.
+    fn crash_site(&self, name: &str) -> Result<()> {
+        self.crash_site_on(&self.storage, name)
+    }
+
+    /// Probes the `"checkpoint"` crash site (called by
+    /// [`recovery::checkpoint`](crate::recovery::checkpoint) between the
+    /// log force and the bitmap snapshot).
+    pub(crate) fn checkpoint_crash_site(&self) -> Result<()> {
+        self.crash_site("checkpoint")
+    }
+
+    /// Repairs structural misalignment between the primary index and its
+    /// siblings left by a crash inside an install window, before WAL
+    /// replay:
+    ///
+    /// * **Torn flush install** — the primary published its flushed
+    ///   component but the pk index (and secondaries) never installed
+    ///   theirs: the primary component *postdates every sibling component*.
+    ///   Roll the flush back by uninstalling it; replay re-ingests its
+    ///   committed entries through the full ingestion path, restoring every
+    ///   index at once. (Entries that were never forced are lost with the
+    ///   log tail, which is exactly the no-force contract: a flush is only
+    ///   durable once `note_flush_durable` forces the WAL.)
+    /// * **Torn merge install** — the primary swapped in a merged component
+    ///   but the pk index still holds the pre-merge components *covered by
+    ///   its interval*. Nothing was lost; redo the pk side by mirroring the
+    ///   merged primary component (same keys/timestamps/anti-matter in the
+    ///   same order), which restores the ordinal alignment the shared
+    ///   bitmaps of the Mutable-bitmap strategy require. Secondaries need
+    ///   no repair — their merge simply re-runs when next planned.
+    ///
+    /// Idempotent: on an aligned dataset this is a no-op.
+    pub(crate) fn realign_after_crash(&self) -> Result<()> {
+        if self.pk_index.is_none() && self.secondaries.is_empty() {
+            return Ok(()); // single index: no alignment to restore
+        }
+        // Torn flush installs (newest-first): roll back primary components
+        // that postdate every sibling component. When a pk index exists it
+        // is the reference — it flushes in lockstep with the primary and is
+        // the *next* install after the primary in every flush path, so it
+        // (not the secondaries, which the Mutable-bitmap path installs
+        // first) tells a torn flush from a torn merge: a merged component's
+        // interval still covers old pk components, a flushed one's doesn't.
+        while let Some(newest) = self.primary.disk_components().first() {
+            let ahead = match &self.pk_index {
+                Some(pk_tree) => match pk_tree.disk_components().first() {
+                    Some(pk_newest) => newest.id().min_ts > pk_newest.id().max_ts,
+                    None => true, // primary flushed, pk never did: orphan
+                },
+                None => {
+                    let sec_max: Option<Timestamp> = self
+                        .secondaries
+                        .iter()
+                        .flat_map(|s| s.tree.disk_components())
+                        .map(|c| c.id().max_ts)
+                        .max();
+                    newest.id().min_ts > sec_max.unwrap_or(0)
+                }
+            };
+            if !ahead {
+                break;
+            }
+            self.primary.uninstall_newest();
+        }
+        // Torn merge installs: mirror any merged primary component whose
+        // pre-merge counterparts are still installed in the pk index.
+        let Some(pk_tree) = &self.pk_index else {
+            return Ok(());
+        };
+        for p in self.primary.disk_components() {
+            let pk_comps = pk_tree.disk_components(); // newest first
+            if pk_comps.iter().any(|c| c.id() == p.id()) {
+                continue;
+            }
+            let n = pk_comps.len();
+            // Oldest-first indices of the pk components covered by the
+            // merged interval (the pre-merge inputs).
+            let covered: Vec<usize> = pk_comps
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.id().min_ts >= p.id().min_ts && c.id().max_ts <= p.id().max_ts)
+                .map(|(j, _)| n - 1 - j)
+                .collect();
+            let (Some(&hi), Some(&lo)) = (covered.first(), covered.last()) else {
+                continue;
+            };
+            if hi - lo + 1 != covered.len() {
+                return Err(Error::corruption(format!(
+                    "pk index components covered by merged primary {:?} are not contiguous",
+                    p.id()
+                )));
+            }
+            let mirrored = pk_tree.mirror_component(&p)?;
+            if self.cfg.strategy == StrategyKind::MutableBitmap {
+                let bitmap = p.bitmap().ok_or_else(|| {
+                    Error::corruption("merged mutable-bitmap primary has no bitmap")
+                })?;
+                mirrored.set_bitmap(bitmap)?;
+            }
+            pk_tree.replace_range(MergeRange { start: lo, end: hi }, mirrored, true)?;
+        }
+        Ok(())
+    }
+
     fn log(
         &self,
         op: LogOp,
@@ -490,6 +617,10 @@ impl Dataset {
             return Ok(());
         }
         if let Some(wal) = &self.wal {
+            // Crash *before* the record is even buffered: the operation is
+            // simply not durable, as if the process died entering the log
+            // call.
+            self.crash_site_on(wal.storage(), "wal_append")?;
             wal.append(&LogRecord {
                 lsn: ts,
                 op,
@@ -1098,6 +1229,9 @@ impl Dataset {
             self.flush_sealed_mutable_bitmap()
         } else {
             let primary_comp = self.primary.flush_sealed()?;
+            // Crash window: the primary component is installed, the pk
+            // index's is not yet.
+            self.crash_site("flush_install")?;
             if let Some(pk_tree) = &self.pk_index {
                 pk_tree.flush_sealed()?;
             }
@@ -1155,6 +1289,9 @@ impl Dataset {
         if let Some(p) = &primary_comp {
             self.primary.install_sealed(p.clone());
         }
+        // Crash window: the primary component is published, the paired
+        // pk-index component is not yet.
+        self.crash_site("flush_install")?;
         if let (Some(pk_tree), Some(k)) = (&self.pk_index, pk_comp) {
             pk_tree.install_sealed(k);
         }
@@ -1297,6 +1434,9 @@ impl Dataset {
     pub fn merge_correlated(&self, range: MergeRange) -> Result<()> {
         let new_primary = self.primary.merge_range(range)?;
         self.stats.bump(&self.stats.merges);
+        // Crash window: the primary's merged component is installed, the
+        // pk index and secondaries still hold the pre-merge components.
+        self.crash_site("merge_install")?;
         if let Some(pk_tree) = &self.pk_index {
             if pk_tree.num_disk_components() > range.end {
                 let new_pk = pk_tree.merge_range(range)?;

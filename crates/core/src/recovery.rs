@@ -91,6 +91,10 @@ pub fn checkpoint(ds: &Dataset, state: &CheckpointState) -> Result<()> {
     if let Some(wal) = ds.wal() {
         wal.checkpoint(lsn)?;
     }
+    // Crash window: the checkpoint record is durable in the log, but the
+    // bitmap snapshots and the LSN stamp have not been taken — the old
+    // checkpoint state must remain usable.
+    ds.checkpoint_crash_site()?;
     let mut bitmaps = state.bitmaps.lock();
     bitmaps.clear();
     for comp in ds.primary().disk_components() {
@@ -178,6 +182,15 @@ pub fn recover(ds: &Dataset, state: &CheckpointState) -> Result<RecoveryReport> 
     // guarantees no pre-crash job is still rebuilding components.
     ds.set_recovering(true);
     ds.drain_background();
+
+    // A crash inside a flush/merge install window leaves the primary index
+    // structurally ahead of its siblings; repair that before deciding what
+    // to replay (a rolled-back torn flush lowers the maximum component LSN
+    // so its committed entries replay from the log).
+    if let Err(e) = ds.realign_after_crash() {
+        ds.set_recovering(false);
+        return Err(e);
+    }
 
     // Maximum component LSN: the newest timestamp durable in any component.
     let max_comp_ts = max_component_ts(ds);
@@ -285,6 +298,7 @@ mod tests {
             StrategyKind::Eager,
             StrategyKind::Validation,
             StrategyKind::MutableBitmap,
+            StrategyKind::DeletedKeyBTree,
         ];
         let modes = [
             MaintenanceMode::Inline,

@@ -182,6 +182,8 @@ struct RuntimeCounters {
     workers_retired: AtomicU64,
     /// Times the quota skipped a dataset that had runnable merges queued.
     quota_deferrals: AtomicU64,
+    /// Transient I/O failures retried in place instead of poisoning.
+    transient_retries: AtomicU64,
 }
 
 /// State shared between the runtime handle, its workers, registered
@@ -676,6 +678,11 @@ impl MaintenanceRuntime {
                 workers_spawned: c.workers_spawned.load(Ordering::Relaxed),
                 workers_retired: c.workers_retired.load(Ordering::Relaxed),
                 quota_deferrals: c.quota_deferrals.load(Ordering::Relaxed),
+                transient_retries: c.transient_retries.load(Ordering::Relaxed),
+                faults_injected: 0,
+                torn_writes: 0,
+                crash_sites_armed: 0,
+                crash_sites_hit: 0,
                 throttle_wait_ns: self
                     .shared
                     .read_throttle
@@ -709,7 +716,16 @@ impl MaintenanceRuntime {
         let mut per_dataset: Vec<DatasetRuntimeStats> = rows
             .into_iter()
             .map(|(id, queued, in_flight, weak)| {
-                let poisoned = weak.upgrade().is_some_and(|ds| ds.is_poisoned());
+                let mut poisoned = false;
+                if let Some(ds) = weak.upgrade() {
+                    poisoned = ds.is_poisoned();
+                    let io = ds.storage().stats();
+                    snapshot.faults_injected += io.faults_injected;
+                    snapshot.torn_writes += io.torn_writes;
+                    let engine = ds.stats().snapshot();
+                    snapshot.crash_sites_armed += engine.crash_sites_armed;
+                    snapshot.crash_sites_hit += engine.crash_sites_hit;
+                }
                 DatasetRuntimeStats {
                     dataset: id,
                     queued,
@@ -813,6 +829,19 @@ pub struct RuntimeStatsSnapshot {
     /// Times the per-dataset quota skipped a dataset with runnable
     /// merges (counted at most once per dataset per scheduling decision).
     pub quota_deferrals: u64,
+    /// Transient I/O failures workers retried in place instead of
+    /// poisoning the dataset (a retried job may still fail permanently).
+    pub transient_retries: u64,
+    /// Faults injected by [`FaultPlan`](lsm_storage::FaultPlan)s on the
+    /// registered datasets' data devices (summed across datasets; shared
+    /// devices are counted once per dataset sharing them).
+    pub faults_injected: u64,
+    /// Injected torn/short writes on the registered datasets' data devices.
+    pub torn_writes: u64,
+    /// Armed crash-site passages across the registered datasets.
+    pub crash_sites_armed: u64,
+    /// Crash-site passages where a fault plan fired.
+    pub crash_sites_hit: u64,
     /// Wall-clock nanoseconds jobs spent waiting in the read throttle.
     pub throttle_wait_ns: u64,
     /// Bytes accounted against the read throttle.
@@ -935,6 +964,10 @@ fn transient_loop(shared: &Arc<RuntimeShared>) {
     }
 }
 
+/// Attempts per job before a transient I/O failure is treated as
+/// permanent: the first run plus two retries.
+const TRANSIENT_ATTEMPTS: u32 = 3;
+
 fn execute_job(shared: &Arc<RuntimeShared>, id: u64, job: Job, weak: &Weak<Dataset>) {
     let dataset = weak.upgrade();
     if let Some(dataset) = &dataset {
@@ -942,27 +975,45 @@ fn execute_job(shared: &Arc<RuntimeShared>, id: u64, job: Job, weak: &Weak<Datas
             .counters
             .jobs_executed
             .fetch_add(1, Ordering::Relaxed);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            lsm_storage::throttle::with_throttles(
-                shared.read_throttle.clone(),
-                shared.write_throttle.clone(),
-                || run_job(dataset, shared, job),
-            )
-        }));
-        let waited = lsm_storage::throttle::take_scope_wait_ns();
-        if waited > 0 {
-            dataset
-                .stats()
-                .throttle_wait_ns
-                .fetch_add(waited, Ordering::Relaxed);
-        }
-        let write_waited = lsm_storage::throttle::take_scope_write_wait_ns();
-        if write_waited > 0 {
-            dataset
-                .stats()
-                .write_throttle_wait_ns
-                .fetch_add(write_waited, Ordering::Relaxed);
-        }
+        let mut attempt = 0u32;
+        let outcome = loop {
+            attempt += 1;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                lsm_storage::throttle::with_throttles(
+                    shared.read_throttle.clone(),
+                    shared.write_throttle.clone(),
+                    || run_job(dataset, shared, job),
+                )
+            }));
+            let waited = lsm_storage::throttle::take_scope_wait_ns();
+            if waited > 0 {
+                dataset
+                    .stats()
+                    .throttle_wait_ns
+                    .fetch_add(waited, Ordering::Relaxed);
+            }
+            let write_waited = lsm_storage::throttle::take_scope_write_wait_ns();
+            if write_waited > 0 {
+                dataset
+                    .stats()
+                    .write_throttle_wait_ns
+                    .fetch_add(write_waited, Ordering::Relaxed);
+            }
+            // A transient I/O failure (device hiccup, injected fault) is
+            // retried with backoff instead of poisoning the dataset: both
+            // job kinds are retry-safe — a flush resumes from its sealed
+            // snapshots, a merge re-plans against the current components.
+            match &outcome {
+                Ok(Err(e)) if e.is_transient() && attempt < TRANSIENT_ATTEMPTS => {
+                    shared
+                        .counters
+                        .transient_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                }
+                _ => break outcome,
+            }
+        };
         match outcome {
             Ok(Ok(())) => {}
             Ok(Err(e)) => dataset.poison(e),
@@ -1438,5 +1489,44 @@ mod tests {
         assert_eq!(stats.in_flight, 1);
         let row_a = stats.per_dataset.iter().find(|d| d.dataset == a).unwrap();
         assert_eq!((row_a.queued, row_a.in_flight), (1, 1));
+    }
+
+    /// Regression (transient faults poisoning datasets): a single
+    /// transient I/O failure in a background flush used to poison the
+    /// dataset permanently. Workers now retry transient failures in place
+    /// — the flush is retry-safe (it resumes from its sealed snapshots) —
+    /// and only poison on repeated or permanent errors.
+    #[test]
+    fn transient_flush_failure_is_retried_not_poisoned() {
+        use lsm_storage::{FaultAction, FaultOp, FaultPlan, FaultSpec, FaultTrigger};
+        let storage = Storage::new(StorageOptions::test());
+        let plan = FaultPlan::new(vec![FaultSpec {
+            trigger: FaultTrigger::OpIndex {
+                op: FaultOp::Append,
+                index: 0,
+            },
+            action: FaultAction::TransientError,
+        }]);
+        storage.install_fault_plan(plan.clone());
+        plan.arm();
+        let ds = Dataset::open(storage, None, config(StrategyKind::Validation)).unwrap();
+        // Trip the memory budget: the background flush's first append to
+        // the data device fails transiently, once.
+        for i in 0..4000 {
+            ds.insert(&rec(i, "CA", i)).unwrap();
+        }
+        // quiesce() fails fast on a poisoned dataset.
+        ds.maintenance().quiesce().unwrap();
+        assert_eq!(plan.faults_injected(), 1, "the fault fired exactly once");
+        let snap = ds.stats().snapshot();
+        assert!(snap.flushes > 0, "the retried flush completed");
+        let rt = ds.runtime_handle().unwrap().runtime().clone();
+        let stats = rt.stats();
+        assert!(stats.transient_retries >= 1, "{stats:?}");
+        assert!(stats.faults_injected >= 1, "{stats:?}");
+        assert!(rt.poisoned().is_empty());
+        for i in [0, 1999, 3999] {
+            assert!(ds.get(&Value::Int(i)).unwrap().is_some(), "id {i}");
+        }
     }
 }

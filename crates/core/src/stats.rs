@@ -45,6 +45,13 @@ pub struct EngineStats {
     /// `parallel_queries` for the average fan-out actually achieved —
     /// small ranges may split into fewer partitions than requested).
     pub query_partitions: AtomicU64,
+    /// Passages through an engine crash site (`wal_append`,
+    /// `flush_install`, `merge_install`, `checkpoint`) while an armed
+    /// [`FaultPlan`](lsm_storage::FaultPlan) was installed on the dataset's
+    /// storage — a torture run's coverage signal.
+    pub crash_sites_armed: AtomicU64,
+    /// Crash-site passages where the fault plan actually fired.
+    pub crash_sites_hit: AtomicU64,
 }
 
 impl EngineStats {
@@ -99,6 +106,8 @@ impl EngineStats {
             write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             query_partitions: self.query_partitions.load(Ordering::Relaxed),
+            crash_sites_armed: self.crash_sites_armed.load(Ordering::Relaxed),
+            crash_sites_hit: self.crash_sites_hit.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,6 +133,8 @@ pub struct EngineStatsSnapshot {
     pub write_throttle_wait_ns: u64,
     pub parallel_queries: u64,
     pub query_partitions: u64,
+    pub crash_sites_armed: u64,
+    pub crash_sites_hit: u64,
 }
 
 #[cfg(test)]

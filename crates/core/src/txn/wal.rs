@@ -10,6 +10,15 @@
 //!
 //! Records are packed into pages with group commit: a page is written when
 //! it fills (or on [`Wal::force`]), charging the log device sequentially.
+//!
+//! Each record carries a checksum of its body, so a torn or short write of
+//! the log's final page (a crash mid-write, or an injected
+//! [`FaultPlan`](lsm_storage::FaultPlan) tear) is detected at replay.
+//! Damage on the *last* page is a torn tail — the log simply ends at the
+//! last intact record, which is correct because a torn final write can
+//! only hold records whose force never completed (uncommitted by
+//! definition). Damage on an earlier page is real corruption and fails
+//! replay.
 
 use lsm_common::{Bytes, Error, Key, Result, Timestamp};
 use lsm_storage::{FileId, Storage};
@@ -58,6 +67,17 @@ pub struct LogRecord {
     pub update_bit: bool,
 }
 
+/// FNV-1a over a record body: cheap, and any zero-fill or truncation a
+/// torn write produces changes it.
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
 impl LogRecord {
     fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(18 + self.key.len() + self.value.len());
@@ -68,9 +88,10 @@ impl LogRecord {
         body.extend_from_slice(&self.key);
         body.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
         body.extend_from_slice(&self.value);
-        let mut out = Vec::with_capacity(4 + body.len());
+        let mut out = Vec::with_capacity(8 + body.len());
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
         out.extend_from_slice(&body);
+        out.extend_from_slice(&fnv1a(&out[4..]).to_le_bytes());
         out
     }
 
@@ -82,6 +103,12 @@ impl LogRecord {
         let body = buf
             .get(4..4 + len)
             .ok_or_else(|| Error::corruption("truncated log body"))?;
+        let sum = buf
+            .get(4 + len..8 + len)
+            .ok_or_else(|| Error::corruption("truncated log checksum"))?;
+        if u32::from_le_bytes(sum.try_into().unwrap()) != fnv1a(body) {
+            return Err(Error::corruption("log record checksum mismatch"));
+        }
         if body.len() < 18 {
             return Err(Error::corruption("log body too short"));
         }
@@ -112,7 +139,7 @@ impl LogRecord {
                 value,
                 update_bit,
             },
-            4 + len,
+            8 + len,
         ))
     }
 }
@@ -205,17 +232,27 @@ impl Wal {
         let pages = self.storage.file_pages(self.file)?;
         for p in 0..pages {
             let data = self.storage.read_page(self.file, p)?;
+            let last_page = p + 1 == pages;
             let mut off = 0;
             while off + 4 <= data.len() {
                 let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
                 if len == 0 {
                     break;
                 }
-                let (rec, used) = LogRecord::decode(&data[off..])?;
-                if rec.lsn > after_lsn {
-                    out.push(rec);
+                match LogRecord::decode(&data[off..]) {
+                    Ok((rec, used)) => {
+                        if rec.lsn > after_lsn {
+                            out.push(rec);
+                        }
+                        off += used;
+                    }
+                    // A damaged record on the final page is a torn tail —
+                    // the write it belonged to never completed, so the log
+                    // ends at the last intact record. Anywhere earlier it
+                    // is corruption of already-committed history.
+                    Err(_) if last_page => return Ok(out),
+                    Err(e) => return Err(e),
                 }
-                off += used;
             }
         }
         if include_unforced {

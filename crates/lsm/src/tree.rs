@@ -387,6 +387,66 @@ impl LsmTree {
         self.disk.write().insert(0, comp);
     }
 
+    /// Removes the newest disk component and destroys its files. Crash
+    /// recovery uses this to roll back a torn flush install — a component
+    /// published by a crash-interrupted flush whose sibling indexes never
+    /// installed theirs; the WAL still covers its committed entries.
+    pub fn uninstall_newest(&self) -> Option<ComponentId> {
+        let comp = {
+            let mut disk = self.disk.write();
+            if disk.is_empty() {
+                return None;
+            }
+            disk.remove(0)
+        };
+        let id = comp.id();
+        comp.retire();
+        Some(id)
+    }
+
+    /// Builds (without installing) a component that mirrors `source`'s
+    /// physical entries — same keys, timestamps and anti-matter flags, with
+    /// empty values — in `source`'s exact entry order. Crash recovery uses
+    /// this to redo the primary-key-index side of a correlated merge from
+    /// the completed primary side: mirroring guarantees the
+    /// ordinal-for-ordinal alignment the shared-bitmap design requires,
+    /// which re-merging the pk index's own (bitmap-filtered) inputs cannot.
+    pub fn mirror_component(&self, source: &Arc<DiskComponent>) -> Result<Arc<DiskComponent>> {
+        let mut builder = ComponentBuilder::new(
+            self.storage.clone(),
+            source.id(),
+            BuildOptions {
+                with_bloom: self.opts.with_bloom,
+                bloom_kind: self.opts.bloom_kind,
+                bloom_fpr: self.opts.bloom_fpr,
+                expected_keys: source.num_entries() as usize,
+                filter: source.range_filter().cloned(),
+                make_mutable_bitmap: self.opts.mutable_bitmaps,
+            },
+        )?;
+        let mut scan = LsmScan::new(
+            self.storage.clone(),
+            None,
+            std::slice::from_ref(source),
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanOptions {
+                emit_anti_matter: true,
+                respect_bitmaps: false,
+            },
+        )?;
+        while let Some((k, e)) = scan.next_entry()? {
+            builder.add(
+                &k,
+                &LsmEntry {
+                    value: Vec::new(),
+                    ..e
+                },
+            )?;
+        }
+        Ok(Arc::new(builder.finish()?))
+    }
+
     /// Seals the active memory component for flushing: writers continue
     /// into a fresh active component while [`LsmTree::flush_sealed`] builds
     /// the snapshot into a disk component. Returns `false` (and seals

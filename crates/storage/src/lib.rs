@@ -20,7 +20,11 @@
 //!   writes of threads that install them (background rebuild scans, flush
 //!   builds and merge outputs), leaving foreground reads and WAL/commit
 //!   writes untouched (see [`throttle::with_throttles`] and
-//!   [`throttle::exempt_writes`]).
+//!   [`throttle::exempt_writes`]);
+//! * a scripted [`FaultPlan`] can be installed on a device to inject
+//!   transient/permanent errors, torn or short writes, and crash triggers
+//!   deterministically — by op index or at named engine crash sites (the
+//!   seam the `lsm-torture` harness drives).
 //!
 //! Everything above this crate (B+-trees, LSM components, the engine) does
 //! real work on real bytes; only the *timing* is simulated. Benchmarks report
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod profile;
 pub mod sim_clock;
 pub mod stats;
@@ -36,6 +41,7 @@ pub mod storage;
 pub mod throttle;
 
 pub use cache::{BufferCache, CacheShardStats, ShardedCache};
+pub use fault::{FaultAction, FaultOp, FaultPlan, FaultSpec, FaultTrigger, SiteOutcome};
 pub use profile::{CpuCosts, DiskProfile};
 pub use sim_clock::SimClock;
 pub use stats::{IoStats, IoStatsSnapshot};

@@ -37,6 +37,11 @@ pub struct IoStats {
     /// [`IoThrottle`](crate::IoThrottle) write bucket (background flush
     /// builds and merge outputs; WAL appends are exempt).
     pub write_throttle_wait_ns: AtomicU64,
+    /// Faults injected by an installed [`FaultPlan`](crate::FaultPlan) on
+    /// this device (errors, crashes, torn and short writes).
+    pub faults_injected: AtomicU64,
+    /// Appends damaged by an injected torn or short write.
+    pub torn_writes: AtomicU64,
 }
 
 impl IoStats {
@@ -59,6 +64,8 @@ impl IoStats {
             cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
             throttle_wait_ns: self.throttle_wait_ns.load(Ordering::Relaxed),
             write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +98,8 @@ pub struct IoStatsSnapshot {
     pub cpu_ns: u64,
     pub throttle_wait_ns: u64,
     pub write_throttle_wait_ns: u64,
+    pub faults_injected: u64,
+    pub torn_writes: u64,
 }
 
 impl IoStatsSnapshot {
@@ -113,6 +122,8 @@ impl IoStatsSnapshot {
             cpu_ns: self.cpu_ns - earlier.cpu_ns,
             throttle_wait_ns: self.throttle_wait_ns - earlier.throttle_wait_ns,
             write_throttle_wait_ns: self.write_throttle_wait_ns - earlier.write_throttle_wait_ns,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            torn_writes: self.torn_writes - earlier.torn_writes,
         }
     }
 

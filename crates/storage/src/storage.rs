@@ -9,6 +9,7 @@
 //! navigation — measurable here.
 
 use crate::cache::{CacheShardStats, ShardedCache};
+use crate::fault::{FaultAction, FaultOp, FaultPlan, SiteOutcome};
 use crate::profile::{CpuCosts, DiskProfile};
 use crate::sim_clock::SimClock;
 use crate::stats::{IoStats, IoStatsSnapshot};
@@ -75,6 +76,33 @@ impl StorageOptions {
         }
     }
 
+    /// An NVMe drive scaled to a given cache size in bytes: much smaller
+    /// pages and a near-flat random/sequential gap compared to
+    /// [`StorageOptions::hdd`]/[`StorageOptions::ssd`]. Like those, the
+    /// page count rounds up so a small non-zero `cache_bytes` never
+    /// disables the cache.
+    pub fn nvme(cache_bytes: usize) -> Self {
+        let page_size = 16 * 1024;
+        StorageOptions {
+            page_size,
+            cache_pages: cache_bytes.div_ceil(page_size),
+            cache_shards: 1,
+            readahead_pages: (4 * 1024 * 1024 / page_size) as u32,
+            profile: DiskProfile::nvme(),
+            cpu: CpuCosts::default(),
+        }
+    }
+
+    /// The NVMe profile with a deliberately tiny (single-page) buffer
+    /// cache: every re-read reaches the device, which is what makes device
+    /// latencies — not cache policy — dominate a measurement.
+    pub fn nvme_tiny_cache() -> Self {
+        StorageOptions {
+            cache_pages: 1,
+            ..StorageOptions::nvme(1)
+        }
+    }
+
     /// Small configuration for unit tests.
     pub fn test() -> Self {
         StorageOptions {
@@ -111,6 +139,8 @@ pub struct Storage {
     head: Mutex<Option<(FileId, PageNo)>>,
     /// Last file appended to, for write-seek charging.
     last_write: Mutex<Option<FileId>>,
+    /// Installed fault-injection script, if any (see [`FaultPlan`]).
+    fault: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Storage {
@@ -131,7 +161,79 @@ impl Storage {
             cache,
             head: Mutex::new(None),
             last_write: Mutex::new(None),
+            fault: RwLock::new(None),
         })
+    }
+
+    /// Installs a fault-injection plan on this device. The same
+    /// [`Arc<FaultPlan>`] may be installed on several devices (data + WAL)
+    /// so their op counters share one deterministic schedule.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.write() = Some(plan);
+    }
+
+    /// Removes the installed fault plan, if any.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.write() = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.read().clone()
+    }
+
+    /// Probes the crash site `name` against the installed fault plan:
+    /// engine layers thread these probes through their WAL / flush / merge
+    /// / checkpoint paths (the [`crash_site!`](crate::crash_site) macro
+    /// wraps the early return). Non-error actions scripted on a site
+    /// (torn/short writes) are meaningless there and fail permanently.
+    pub fn probe_crash_site(&self, name: &str) -> SiteOutcome {
+        let Some(plan) = self.fault_plan() else {
+            return SiteOutcome::Unarmed;
+        };
+        if !plan.is_armed() {
+            return SiteOutcome::Unarmed;
+        }
+        match plan.on_site(name) {
+            None => SiteOutcome::Armed,
+            Some(action) => {
+                self.stats
+                    .faults_injected
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                SiteOutcome::Fired(FaultPlan::action_error(
+                    action,
+                    &format!("crash site {name:?}"),
+                ))
+            }
+        }
+    }
+
+    /// Consults the fault plan for an operation of class `op`. Error-like
+    /// actions return `Err`; write-mutating actions are returned for
+    /// `append_page` to apply.
+    fn fault_check(&self, op: FaultOp, what: &str) -> Result<Option<FaultAction>> {
+        let Some(plan) = self.fault_plan() else {
+            return Ok(None);
+        };
+        let Some(action) = plan.on_op(op) else {
+            return Ok(None);
+        };
+        self.stats
+            .faults_injected
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match action {
+            FaultAction::TornWrite { .. } | FaultAction::ShortWrite { .. }
+                if op == FaultOp::Append =>
+            {
+                Ok(Some(action))
+            }
+            FaultAction::TransientError | FaultAction::PermanentError | FaultAction::Crash => {
+                Err(FaultPlan::action_error(action, what))
+            }
+            // A torn/short write scripted on a non-append op degrades to a
+            // permanent error: there is no page to tear.
+            _ => Err(FaultPlan::action_error(FaultAction::PermanentError, what)),
+        }
     }
 
     /// The configured page size.
@@ -191,6 +293,7 @@ impl Storage {
                 self.opts.page_size
             )));
         }
+        let injected = self.fault_check(FaultOp::Append, &format!("append to {file:?}"))?;
         // Rate-limit first: threads that installed a write IoThrottle
         // (background flush builds and merge outputs) pay for the page
         // before it reaches the device, so foreground writers see the
@@ -211,7 +314,29 @@ impl Storage {
             if state.deleted {
                 return Err(Error::Storage(format!("file {file:?} is deleted")));
             }
-            state.pages.push(Arc::from(data));
+            // An injected torn write keeps the page length but zeroes the
+            // tail (bytes that never reached the platter); a short write
+            // truncates the page outright. Both look like a success to the
+            // writer — the damage is only discovered after the crash.
+            match injected {
+                Some(FaultAction::TornWrite { keep_bytes }) => {
+                    let mut page = data.to_vec();
+                    let keep = keep_bytes.min(page.len());
+                    page[keep..].fill(0);
+                    state.pages.push(Arc::from(page.as_slice()));
+                    self.stats
+                        .torn_writes
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Some(FaultAction::ShortWrite { keep_bytes }) => {
+                    let keep = keep_bytes.min(data.len());
+                    state.pages.push(Arc::from(&data[..keep]));
+                    self.stats
+                        .torn_writes
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                _ => state.pages.push(Arc::from(data)),
+            }
             (state.pages.len() - 1) as PageNo
         };
         let mut seek = 0;
@@ -248,6 +373,7 @@ impl Storage {
     /// Reads one page, going through the buffer cache and charging the
     /// device model on a miss.
     pub fn read_page(&self, file: FileId, page: PageNo) -> Result<Arc<[u8]>> {
+        self.fault_check(FaultOp::Read, &format!("read of {file:?}/{page}"))?;
         let data = {
             let files = self.files.read();
             let state = files
@@ -324,6 +450,10 @@ impl Storage {
         if count == 0 {
             return Ok(());
         }
+        self.fault_check(
+            FaultOp::Read,
+            &format!("read burst of {file:?}/{page}+{count}"),
+        )?;
         {
             let files = self.files.read();
             let state = files
@@ -389,6 +519,7 @@ impl Storage {
 
     /// Deletes a file, dropping its pages and evicting its cached entries.
     pub fn delete_file(&self, file: FileId) -> Result<()> {
+        self.fault_check(FaultOp::Delete, &format!("delete of {file:?}"))?;
         {
             let mut files = self.files.write();
             let state = files
