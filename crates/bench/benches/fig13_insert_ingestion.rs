@@ -12,8 +12,12 @@
 //! probe misses cache). The same ordering holds on SSD with smaller gaps.
 
 use lsm_bench::{row, scaled, table_header, tweet_dataset_config, Env, EnvConfig, Timer};
-use lsm_engine::{Dataset, StrategyKind};
+use lsm_engine::{BatchOpResult, Dataset, StrategyKind};
 use lsm_workload::{InsertWorkload, TweetConfig};
+
+/// Records staged per [`WriteBatch`](lsm_engine::WriteBatch) commit — the
+/// ingest path all the figure benches share since PR 7.
+const BATCH: usize = 32;
 
 fn run(with_pk_index: bool, dup_ratio: f64, ssd: bool, n: usize) -> Vec<f64> {
     let dataset_bytes = (n as u64) * 550;
@@ -29,17 +33,31 @@ fn run(with_pk_index: bool, dup_ratio: f64, ssd: bool, n: usize) -> Vec<f64> {
     let mut workload = InsertWorkload::new(TweetConfig::default(), dup_ratio);
     let timer = Timer::start(&env.clock);
     let mut series = Vec::new();
+    let step = (n / 4).max(1);
+    let mut batch = ds.batch();
     for i in 0..n {
-        let op = workload.next_op();
-        match op {
-            lsm_workload::Op::Insert(r) => {
-                ds.insert(&r).expect("insert");
-            }
+        match workload.next_op() {
+            lsm_workload::Op::Insert(r) => batch = batch.insert(&r),
             _ => unreachable!(),
         }
-        if (i + 1) % (n / 4) == 0 {
+        // Commit at the batch size and at checkpoint boundaries so the
+        // series still samples at exactly 25/50/75/100%. Duplicates come
+        // back as staged `RejectedDuplicate` outcomes, not errors.
+        if batch.len() == BATCH || (i + 1) % step == 0 {
+            for out in batch.commit().expect("commit") {
+                assert!(matches!(
+                    out,
+                    BatchOpResult::Inserted | BatchOpResult::RejectedDuplicate
+                ));
+            }
+            batch = ds.batch();
+        }
+        if (i + 1) % step == 0 {
             series.push(timer.elapsed().0 / 60.0);
         }
+    }
+    if !batch.is_empty() {
+        batch.commit().expect("commit");
     }
     series
 }

@@ -10,11 +10,13 @@
 //! all of the lazy strategies are several times faster than Eager.
 
 use lsm_bench::{
-    apply, open_tweet_dataset, row, scaled, table_header, tweet_dataset_config, Env, EnvConfig,
-    Timer,
+    open_tweet_dataset, row, scaled, table_header, tweet_dataset_config, Env, EnvConfig, Timer,
 };
 use lsm_engine::StrategyKind;
-use lsm_workload::{TweetConfig, UpdateDistribution, UpsertWorkload};
+use lsm_workload::{Op, TweetConfig, UpdateDistribution, UpsertWorkload};
+
+/// Records staged per [`WriteBatch`](lsm_engine::WriteBatch) commit.
+const BATCH: usize = 32;
 
 fn run(
     strategy: StrategyKind,
@@ -33,9 +35,19 @@ fn run(
     let ds = open_tweet_dataset(&env, cfg);
     let mut workload = UpsertWorkload::new(TweetConfig::default(), update_ratio, distribution);
     let timer = Timer::start(&env.clock);
+    let mut batch = ds.batch();
     for _ in 0..n {
-        let op = workload.next_op();
-        apply(&ds, &op);
+        batch = match workload.next_op() {
+            Op::Insert(r) => batch.insert(&r),
+            Op::Upsert(r) => batch.upsert(&r),
+        };
+        if batch.len() == BATCH {
+            batch.commit().expect("commit");
+            batch = ds.batch();
+        }
+    }
+    if !batch.is_empty() {
+        batch.commit().expect("commit");
     }
     let (sim, wall) = timer.elapsed();
     (sim, wall, ds.stats().records_ingested())

@@ -5,11 +5,13 @@
 //! quota-limited runtime), a query-heavy scenario (serial vs `parallel(4)`
 //! secondary range queries over a multi-component dataset on a sharded
 //! buffer cache), and a repair-heavy scenario (standalone repair of an
-//! update-heavy lazy dataset), and a device sweep (the same inline ingest
-//! on the hdd / ssd / nvme profiles), written as JSON so the perf
-//! trajectory accumulates across commits. Schema history is documented in
-//! `docs/OPERATIONS.md` (`schema_version` 5: adds the `device_sweep`
-//! array).
+//! update-heavy lazy dataset), a device sweep (the same inline ingest
+//! on the hdd / ssd / nvme profiles), and a multi-writer scenario
+//! (1/2/4/8 writer threads committing `WriteBatch`es against one sharded,
+//! WAL-backed dataset — the group-commit measurement), written as JSON so
+//! the perf trajectory accumulates across commits. Schema history is
+//! documented in `docs/OPERATIONS.md` (`schema_version` 6: adds the
+//! `multi_writer` array).
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -20,9 +22,10 @@
 //! the file as a build artifact.
 
 use lsm_bench::{
-    pk_of, run_fairness_scenario, run_query_heavy_scenario, run_repair_heavy_scenario,
-    run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, BenchDevice, Env, EnvConfig,
-    FairnessRun, QueryHeavyRun, RepairHeavyRun, SharedRuntimeRun,
+    pk_of, run_fairness_scenario, run_multi_writer_scenario, run_query_heavy_scenario,
+    run_repair_heavy_scenario, run_shared_runtime_scenario, scale, scaled, tweet_dataset_config,
+    BenchDevice, Env, EnvConfig, FairnessRun, MultiWriterRun, QueryHeavyRun, RepairHeavyRun,
+    SharedRuntimeRun,
 };
 use lsm_common::Value;
 use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
@@ -231,6 +234,33 @@ fn json_repair_heavy(r: &RepairHeavyRun) -> String {
     )
 }
 
+fn json_multi_writer(m: &MultiWriterRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"writers-{}\",\n",
+            "      \"writers\": {},\n",
+            "      \"records\": {},\n",
+            "      \"batch\": {},\n",
+            "      \"ingest_wall_secs\": {:.4},\n",
+            "      \"ingest_ops_per_sec\": {:.1},\n",
+            "      \"backpressure_stalls\": {},\n",
+            "      \"wal_groups\": {},\n",
+            "      \"wal_records_per_group\": {:.2}\n",
+            "    }}"
+        ),
+        m.writers,
+        m.writers,
+        m.records,
+        m.batch,
+        m.ingest_wall_secs,
+        m.ingest_ops_per_sec,
+        m.backpressure_stalls,
+        m.wal_groups,
+        m.wal_records_per_group,
+    )
+}
+
 fn json_variant(v: &VariantResult) -> String {
     format!(
         concat!(
@@ -325,21 +355,33 @@ fn main() {
         run_on_device("nvme", BenchDevice::Nvme, MaintenanceMode::Inline, device_n),
     ];
 
+    // Multi-writer scenario (schema_version 6): 1/2/4/8 writer threads
+    // committing WriteBatches against one sharded, WAL-backed dataset —
+    // the group-commit acceptance measurement (`wal_records_per_group > 1`
+    // once commits actually overlap).
+    let mw_n = scaled(20_000);
+    let multi_writer: Vec<MultiWriterRun> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| run_multi_writer_scenario(w, mw_n, 32))
+        .collect();
+
     let body: Vec<String> = variants.iter().map(json_variant).collect();
     let multi_body: Vec<String> = multi.iter().map(json_multi).collect();
     let fairness_body: Vec<String> = fairness.iter().map(json_fairness).collect();
     let query_body: Vec<String> = query_heavy.iter().map(json_query_heavy).collect();
     let repair_body: Vec<String> = repair_heavy.iter().map(json_repair_heavy).collect();
     let device_body: Vec<String> = device_sweep.iter().map(json_variant).collect();
+    let mw_body: Vec<String> = multi_writer.iter().map(json_multi_writer).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 5,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 6,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ],\n  \"multi_writer\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n"),
         multi_body.join(",\n"),
         fairness_body.join(",\n"),
         query_body.join(",\n"),
         repair_body.join(",\n"),
-        device_body.join(",\n")
+        device_body.join(",\n"),
+        mw_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -394,6 +436,16 @@ fn main() {
         eprintln!(
             "device_sweep {}: {:.0} ops/s ingest, {:.2}us lookup",
             d.mode, d.ingest_ops_per_sec, d.lookup_wall_us
+        );
+    }
+    for m in &multi_writer {
+        eprintln!(
+            "multi_writer {}w: {:.0} ops/s, {} stalls, {} WAL groups ({:.1} recs/group)",
+            m.writers,
+            m.ingest_ops_per_sec,
+            m.backpressure_stalls,
+            m.wal_groups,
+            m.wal_records_per_group
         );
     }
     eprintln!("wrote {out}");

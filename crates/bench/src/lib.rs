@@ -323,6 +323,122 @@ pub fn run_shared_runtime_scenario(
     }
 }
 
+/// What one multi-writer group-commit run measured: `writers` threads
+/// committing [`WriteBatch`](lsm_engine::WriteBatch)es against ONE
+/// sharded, WAL-backed dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiWriterRun {
+    /// Concurrent writer threads (also the memtable shard count).
+    pub writers: usize,
+    /// Total records committed across all writers.
+    pub records: usize,
+    /// Records staged per `WriteBatch` commit.
+    pub batch: usize,
+    /// Wall seconds for the concurrent ingest phase.
+    pub ingest_wall_secs: f64,
+    /// Aggregate writer throughput.
+    pub ingest_ops_per_sec: f64,
+    /// Times a writer stalled on the hard memory ceiling.
+    pub backpressure_stalls: u64,
+    /// Leader-drained WAL group writes (each one page-sized device append).
+    pub wal_groups: u64,
+    /// Achieved group size: log records per device append. `> 1` whenever
+    /// commits actually share groups.
+    pub wal_records_per_group: f64,
+}
+
+/// The multi-writer scenario behind `perf_snapshot`'s `multi_writer`
+/// section and the `group_commit` bench: one tweet dataset with
+/// `memtable_shards = writers` and a WAL, hammered by `writers` threads
+/// that each commit `n_total / writers` upserts in [`WriteBatch`]es of
+/// `batch` records (distinct workload seeds per thread). Background
+/// maintenance on two workers keeps flushes off the commit path; the WAL
+/// is forced before reading the group counters so trailing staged records
+/// are counted.
+///
+/// [`WriteBatch`]: lsm_engine::WriteBatch
+pub fn run_multi_writer_scenario(writers: usize, n_total: usize, batch: usize) -> MultiWriterRun {
+    assert!(writers > 0 && batch > 0);
+    let dataset_bytes = (n_total as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        ..Default::default()
+    });
+    let runtime = MaintenanceRuntime::start(
+        lsm_engine::EngineConfig::builder()
+            .min_workers(1)
+            .max_workers(2)
+            .build()
+            .expect("engine config"),
+    )
+    .expect("runtime");
+    let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    cfg.memtable_shards = writers;
+    // As in the shared-runtime scenario: budget below the ingested data so
+    // flushes churn under the writers even at bench-smoke scale.
+    cfg.memory_budget = ((dataset_bytes / 16) as usize).max(16 * 1024);
+    let ds = Dataset::open_with_runtime(
+        env.storage.clone(),
+        Some(env.log_storage.clone()),
+        cfg,
+        &runtime,
+    )
+    .expect("dataset");
+
+    let n_per = n_total / writers;
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let ds = &ds;
+            scope.spawn(move || {
+                let mut workload = UpsertWorkload::new(
+                    TweetConfig {
+                        seed: w as u64 + 1,
+                        ..TweetConfig::default()
+                    },
+                    0.5,
+                    UpdateDistribution::Uniform,
+                );
+                let mut done = 0;
+                while done < n_per {
+                    let take = batch.min(n_per - done);
+                    let mut b = ds.batch();
+                    for _ in 0..take {
+                        b = match workload.next_op() {
+                            Op::Insert(r) => b.insert(&r),
+                            Op::Upsert(r) => b.upsert(&r),
+                        };
+                    }
+                    b.commit().expect("batch commit");
+                    done += take;
+                }
+            });
+        }
+    });
+    let ingest_wall_secs = start.elapsed().as_secs_f64();
+    ds.maintenance().quiesce().expect("quiesce");
+    // Records still sitting in the staging page only become a counted
+    // group once a leader writes them.
+    ds.wal().expect("wal").force().expect("wal force");
+
+    let snap = ds.stats().snapshot();
+    MultiWriterRun {
+        writers,
+        records: n_per * writers,
+        batch,
+        ingest_wall_secs,
+        ingest_ops_per_sec: (n_per * writers) as f64 / ingest_wall_secs,
+        backpressure_stalls: snap.backpressure_stalls,
+        wal_groups: snap.wal_groups,
+        wal_records_per_group: if snap.wal_groups == 0 {
+            0.0
+        } else {
+            snap.wal_grouped_records as f64 / snap.wal_groups as f64
+        },
+    }
+}
+
 /// What one fairness run measured: a hot flooding dataset vs a set of
 /// quiet datasets on a shared, quota-limited runtime.
 #[derive(Debug, Clone, Copy)]

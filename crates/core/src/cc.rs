@@ -206,6 +206,10 @@ pub fn merge_primary_with_cc(
             link.set_new_component(new_k.clone());
         }
         primary.replace_range(range, new_p.clone(), true)?;
+        // Crash window: the primary's merged component is installed, the
+        // pk index still holds the pre-merge components (mirrors
+        // [`Dataset::merge_correlated`]'s window; recovery realigns it).
+        ds.crash_site("merge_install")?;
         pk_tree.replace_range(range, new_k, true)?;
         drop(guard);
     }

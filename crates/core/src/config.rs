@@ -401,6 +401,12 @@ pub struct DatasetConfig {
     /// mutable-bitmap components races live writers (Section 5.3). Inline
     /// merges need no coordination — there are no concurrent rebuilds.
     pub cc_method: crate::cc::CcMethod,
+    /// Hash shards for each index's active memory component. `1` (the
+    /// default) is byte-identical to the classic single-memtable engine;
+    /// larger values let concurrent writers on different shards ingest
+    /// without contending, at the cost of one disk component per non-empty
+    /// shard per flush.
+    pub memtable_shards: usize,
 }
 
 impl DatasetConfig {
@@ -422,6 +428,7 @@ impl DatasetConfig {
             maintenance: MaintenanceMode::Inline,
             memory_ceiling: None,
             cc_method: crate::cc::CcMethod::SideFile,
+            memtable_shards: 1,
         }
     }
 
@@ -485,6 +492,11 @@ impl DatasetConfig {
                     "memory_ceiling must be at least the memory budget",
                 ));
             }
+        }
+        if self.memtable_shards == 0 {
+            return Err(Error::invalid(
+                "memtable_shards must be at least 1 (1 = the classic single memtable)",
+            ));
         }
         Ok(())
     }
@@ -587,6 +599,16 @@ mod tests {
         c.maintenance = MaintenanceMode::Background { workers: 0 };
         assert!(c.validate().is_err());
         c.maintenance = MaintenanceMode::Background { workers: 2 };
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn memtable_shards_must_be_positive() {
+        let mut c = DatasetConfig::new(schema(), 0);
+        assert_eq!(c.memtable_shards, 1, "default is the classic memtable");
+        c.memtable_shards = 0;
+        assert!(c.validate().is_err());
+        c.memtable_shards = 8;
         c.validate().unwrap();
     }
 

@@ -36,7 +36,7 @@ pub struct Dataset {
     primary: LsmTree,
     pk_index: Option<LsmTree>,
     secondaries: Vec<SecondaryIndex>,
-    stats: EngineStats,
+    stats: Arc<EngineStats>,
     wal: Option<Wal>,
     /// Record-level key locks (Section 5.2).
     locks: LockManager,
@@ -103,6 +103,16 @@ pub struct MergePlan {
     pub target: MergeTarget,
     /// Component range to merge, oldest-first.
     pub range: MergeRange,
+}
+
+/// Where a write operation's log record goes: straight to the WAL (the
+/// single-operation paths), or into a [`WriteBatch`](crate::WriteBatch)'s
+/// staging buffer for one group append at commit.
+pub(crate) enum LogSink<'a> {
+    /// Append to the WAL immediately, probing the `wal_append` crash site.
+    Immediate,
+    /// Collect records for a batch-wide group append.
+    Staged(&'a mut Vec<LogRecord>),
 }
 
 impl std::fmt::Debug for Dataset {
@@ -182,6 +192,7 @@ impl Dataset {
                 bloom_kind: cfg.bloom_kind,
                 bloom_fpr: cfg.bloom_fpr,
                 mutable_bitmaps: cfg.strategy == StrategyKind::MutableBitmap,
+                mem_shards: cfg.memtable_shards,
             },
         );
         let pk_index = cfg.with_pk_index.then(|| {
@@ -195,6 +206,7 @@ impl Dataset {
                     // The pk-index component SHARES the primary component's
                     // bitmap; it does not create its own.
                     mutable_bitmaps: false,
+                    mem_shards: cfg.memtable_shards,
                 },
             )
         });
@@ -212,17 +224,23 @@ impl Dataset {
                         bloom_kind: cfg.bloom_kind,
                         bloom_fpr: cfg.bloom_fpr,
                         mutable_bitmaps: false,
+                        mem_shards: cfg.memtable_shards,
                     },
                 ),
             })
             .collect();
+        let stats = Arc::new(EngineStats::new());
+        let wal = log_storage.map(Wal::new);
+        if let Some(wal) = &wal {
+            wal.bind_stats(stats.clone());
+        }
         let ds = Arc::new_cyclic(|weak| Dataset {
             primary,
             pk_index,
             secondaries,
             clock: LogicalClock::new(),
-            stats: EngineStats::new(),
-            wal: log_storage.map(Wal::new),
+            stats,
+            wal,
             locks: LockManager::new(),
             recovering: std::sync::atomic::AtomicBool::new(false),
             dataset_lock: RwLock::new(()),
@@ -421,7 +439,7 @@ impl Dataset {
         }
     }
 
-    fn pk_of(&self, record: &Record) -> Value {
+    pub(crate) fn pk_of(&self, record: &Record) -> Value {
         record.get(self.cfg.pk_field).clone()
     }
 
@@ -501,7 +519,7 @@ impl Dataset {
     }
 
     /// Probes the named crash site on the dataset's data device.
-    fn crash_site(&self, name: &str) -> Result<()> {
+    pub(crate) fn crash_site(&self, name: &str) -> Result<()> {
         self.crash_site_on(&self.storage, name)
     }
 
@@ -607,6 +625,7 @@ impl Dataset {
 
     fn log(
         &self,
+        sink: &mut LogSink<'_>,
         op: LogOp,
         key: &[u8],
         value: &[u8],
@@ -617,17 +636,41 @@ impl Dataset {
             return Ok(());
         }
         if let Some(wal) = &self.wal {
-            // Crash *before* the record is even buffered: the operation is
-            // simply not durable, as if the process died entering the log
-            // call.
-            self.crash_site_on(wal.storage(), "wal_append")?;
-            wal.append(&LogRecord {
+            let rec = LogRecord {
                 lsn: ts,
                 op,
                 key: key.to_vec(),
                 value: value.to_vec(),
                 update_bit,
-            })?;
+            };
+            match sink {
+                LogSink::Immediate => {
+                    // Crash *before* the record is even buffered: the
+                    // operation is simply not durable, as if the process
+                    // died entering the log call.
+                    self.crash_site_on(wal.storage(), "wal_append")?;
+                    wal.append(&rec)?;
+                }
+                // A batch stages its records and appends them as one group
+                // at commit ([`WriteBatch::commit`](crate::WriteBatch)).
+                LogSink::Staged(buf) => buf.push(rec),
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a batch's staged records as one WAL group (probing the
+    /// `wal_append` crash site once for the whole group). Called by
+    /// [`WriteBatch::commit`](crate::WriteBatch) while the dataset drain
+    /// lock is held, so the records cannot be forced or checkpointed out
+    /// from under the commit.
+    pub(crate) fn log_staged(&self, records: &[LogRecord]) -> Result<()> {
+        if records.is_empty() || self.recovering.load(std::sync::atomic::Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            self.crash_site_on(wal.storage(), "wal_append")?;
+            wal.append_batch(records)?;
         }
         Ok(())
     }
@@ -643,7 +686,7 @@ impl Dataset {
         let pk = self.pk_of(record);
         let pk_key = encode_pk(&pk);
         self.locks.lock_exclusive(&pk_key);
-        let out = self.insert_locked(record, &pk, &pk_key);
+        let out = self.insert_locked(record, &pk, &pk_key, &mut LogSink::Immediate);
         self.locks.unlock_exclusive(&pk_key);
         let out = out?;
         drop(_ds);
@@ -651,7 +694,13 @@ impl Dataset {
         Ok(out)
     }
 
-    fn insert_locked(&self, record: &Record, pk: &Value, pk_key: &[u8]) -> Result<bool> {
+    pub(crate) fn insert_locked(
+        &self,
+        record: &Record,
+        pk: &Value,
+        pk_key: &[u8],
+        sink: &mut LogSink<'_>,
+    ) -> Result<bool> {
         // Key-uniqueness check: the primary key index can be searched
         // instead of the primary index for efficiency (Section 3.1);
         // Figure 13 evaluates exactly this choice.
@@ -667,7 +716,7 @@ impl Dataset {
 
         let ts = self.clock.tick();
         let record_bytes = record.encode();
-        self.log(LogOp::Insert, pk_key, &record_bytes, ts, false)?;
+        self.log(sink, LogOp::Insert, pk_key, &record_bytes, ts, false)?;
         let ets = self.ts_for_entries(ts);
         self.primary
             .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
@@ -680,7 +729,7 @@ impl Dataset {
                 .put(encode_sk_pk(sk, pk), LsmEntry::put_ts(Vec::new(), ets), ts);
         }
         if let Some(v) = self.filter_value(record) {
-            self.primary.widen_mem_filter(&v);
+            self.primary.widen_mem_filter(pk_key, &v);
         }
         self.stats.bump(&self.stats.inserts);
         Ok(true)
@@ -694,7 +743,7 @@ impl Dataset {
         let _ds = self.dataset_lock.read();
         let pk_key = encode_pk(pk);
         self.locks.lock_exclusive(&pk_key);
-        let out = self.delete_locked(pk, &pk_key);
+        let out = self.delete_locked(pk, &pk_key, &mut LogSink::Immediate);
         self.locks.unlock_exclusive(&pk_key);
         let out = out?;
         drop(_ds);
@@ -702,7 +751,12 @@ impl Dataset {
         Ok(out)
     }
 
-    fn delete_locked(&self, pk: &Value, pk_key: &[u8]) -> Result<bool> {
+    pub(crate) fn delete_locked(
+        &self,
+        pk: &Value,
+        pk_key: &[u8],
+        sink: &mut LogSink<'_>,
+    ) -> Result<bool> {
         let ts = self.clock.tick();
         let ets = self.ts_for_entries(ts);
         match self.cfg.strategy {
@@ -715,7 +769,7 @@ impl Dataset {
                     return Ok(false); // key absent: ignored
                 };
                 let old_record = Record::decode(&old.value)?;
-                self.log(LogOp::Delete, pk_key, &[], ts, false)?;
+                self.log(sink, LogOp::Delete, pk_key, &[], ts, false)?;
                 self.primary
                     .put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
                 if let Some(pk_tree) = &self.pk_index {
@@ -727,13 +781,13 @@ impl Dataset {
                         .put(encode_sk_pk(sk, pk), LsmEntry::anti_matter_ts(ets), ts);
                 }
                 if let Some(v) = self.filter_value(&old_record) {
-                    self.primary.widen_mem_filter(&v);
+                    self.primary.widen_mem_filter(pk_key, &v);
                 }
             }
             StrategyKind::Validation | StrategyKind::DeletedKeyBTree => {
                 // Anti-matter into the primary index and the primary key
                 // index only (Section 4.2); secondaries are cleaned lazily.
-                self.log(LogOp::Delete, pk_key, &[], ts, false)?;
+                self.log(sink, LogOp::Delete, pk_key, &[], ts, false)?;
                 let old = self
                     .primary
                     .put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
@@ -748,7 +802,7 @@ impl Dataset {
                 // Mark the old version deleted in place through the shared
                 // bitmap, located via the primary key index (Section 5.2).
                 let update_bit = self.mark_old_version_deleted(pk_key)?;
-                self.log(LogOp::Delete, pk_key, &[], ts, update_bit)?;
+                self.log(sink, LogOp::Delete, pk_key, &[], ts, update_bit)?;
                 let old = self
                     .primary
                     .put(pk_key.to_vec(), LsmEntry::anti_matter_ts(ets), ts);
@@ -770,7 +824,7 @@ impl Dataset {
         let pk = self.pk_of(record);
         let pk_key = encode_pk(&pk);
         self.locks.lock_exclusive(&pk_key);
-        let out = self.upsert_locked(record, &pk, &pk_key);
+        let out = self.upsert_locked(record, &pk, &pk_key, &mut LogSink::Immediate);
         self.locks.unlock_exclusive(&pk_key);
         out?;
         drop(_ds);
@@ -786,12 +840,137 @@ impl Dataset {
         let pk = self.pk_of(record);
         let pk_key = encode_pk(&pk);
         self.locks.lock_exclusive(&pk_key);
-        let out = self.upsert_locked(record, &pk, &pk_key);
+        let out = self.upsert_locked(record, &pk, &pk_key, &mut LogSink::Immediate);
         self.locks.unlock_exclusive(&pk_key);
         out
     }
 
-    fn upsert_locked(&self, record: &Record, pk: &Value, pk_key: &[u8]) -> Result<()> {
+    /// Starts a fluent multi-operation write batch; see
+    /// [`WriteBatch`](crate::WriteBatch).
+    pub fn batch(&self) -> crate::batch::WriteBatch<'_> {
+        crate::batch::WriteBatch::new(self)
+    }
+
+    /// Applies a staged batch: one drain-lock acquisition, sorted-order
+    /// key locking, operations in staging order, one WAL group append.
+    /// Backs [`WriteBatch::commit`](crate::WriteBatch::commit).
+    pub(crate) fn apply_batch(
+        &self,
+        ops: Vec<crate::batch::StagedOp>,
+    ) -> Result<Vec<crate::batch::BatchOpResult>> {
+        use crate::batch::{BatchOpResult, StagedOp};
+
+        self.check_poisoned()?;
+
+        // Validate up front; data-level failures become per-op outcomes and
+        // their slots drop out of the key set.
+        let mut outcomes: Vec<Option<BatchOpResult>> = Vec::with_capacity(ops.len());
+        let mut keyed: Vec<Option<(Value, Vec<u8>)>> = Vec::with_capacity(ops.len());
+        for op in &ops {
+            match op {
+                StagedOp::Insert(r) | StagedOp::Upsert(r) => {
+                    if let Err(e) = self.cfg.schema.check(r) {
+                        outcomes.push(Some(BatchOpResult::Failed(e)));
+                        keyed.push(None);
+                    } else {
+                        let pk = self.pk_of(r);
+                        let key = encode_pk(&pk);
+                        outcomes.push(None);
+                        keyed.push(Some((pk, key)));
+                    }
+                }
+                StagedOp::Delete(pk) => {
+                    let key = encode_pk(pk);
+                    outcomes.push(None);
+                    keyed.push(Some((pk.clone(), key)));
+                }
+            }
+        }
+
+        // Lock every touched key in sorted, deduplicated order — two
+        // batches over overlapping key sets cannot deadlock.
+        let mut lock_keys: Vec<&[u8]> = keyed
+            .iter()
+            .flatten()
+            .map(|(_, key)| key.as_slice())
+            .collect();
+        lock_keys.sort_unstable();
+        lock_keys.dedup();
+
+        let _ds = self.dataset_lock.read();
+        for key in &lock_keys {
+            self.locks.lock_exclusive(key);
+        }
+
+        let mut staged: Vec<LogRecord> = Vec::new();
+        let mut infra_err: Option<Error> = None;
+        for (i, op) in ops.iter().enumerate() {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            let (pk, key) = keyed[i].as_ref().expect("validated op has a key");
+            let mut sink = LogSink::Staged(&mut staged);
+            let res = match op {
+                StagedOp::Insert(r) => self.insert_locked(r, pk, key, &mut sink).map(|ok| {
+                    if ok {
+                        BatchOpResult::Inserted
+                    } else {
+                        BatchOpResult::RejectedDuplicate
+                    }
+                }),
+                StagedOp::Upsert(r) => self
+                    .upsert_locked(r, pk, key, &mut sink)
+                    .map(|()| BatchOpResult::Upserted),
+                StagedOp::Delete(pk_value) => self
+                    .delete_locked(pk_value, key, &mut sink)
+                    .map(BatchOpResult::Deleted),
+            };
+            match res {
+                Ok(outcome) => outcomes[i] = Some(outcome),
+                Err(e) => {
+                    infra_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // One group append for the whole batch, while the drain lock and
+        // key locks are still held.
+        if infra_err.is_none() {
+            if let Err(e) = self.log_staged(&staged) {
+                infra_err = Some(e);
+            }
+        }
+
+        for key in lock_keys.iter().rev() {
+            self.locks.unlock_exclusive(key);
+        }
+        drop(_ds);
+
+        if let Some(e) = infra_err {
+            // Operations may already be applied in memory without their log
+            // records having reached the WAL; durability for them can no
+            // longer be promised, so fail every subsequent write too.
+            if !staged.is_empty() {
+                self.poison(e.clone());
+            }
+            return Err(e);
+        }
+
+        self.maybe_flush_and_merge()?;
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every staged op resolved"))
+            .collect())
+    }
+
+    pub(crate) fn upsert_locked(
+        &self,
+        record: &Record,
+        pk: &Value,
+        pk_key: &[u8],
+        sink: &mut LogSink<'_>,
+    ) -> Result<()> {
         let ts = self.clock.tick();
         let ets = self.ts_for_entries(ts);
         let record_bytes = record.encode();
@@ -801,7 +980,7 @@ impl Dataset {
                 self.stats.bump(&self.stats.maintenance_lookups);
                 let old = point_lookup(&self.primary, pk_key)?.filter(|e| !e.anti_matter);
                 let old_record = old.map(|e| Record::decode(&e.value)).transpose()?;
-                self.log(LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
+                self.log(sink, LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
                 self.primary
                     .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
                 if let Some(pk_tree) = &self.pk_index {
@@ -840,16 +1019,16 @@ impl Dataset {
                 // Filters maintained on BOTH the old and new record
                 // (Figure 3).
                 if let Some(v) = self.filter_value(record) {
-                    self.primary.widen_mem_filter(&v);
+                    self.primary.widen_mem_filter(pk_key, &v);
                 }
                 if let Some(old_rec) = &old_record {
                     if let Some(v) = self.filter_value(old_rec) {
-                        self.primary.widen_mem_filter(&v);
+                        self.primary.widen_mem_filter(pk_key, &v);
                     }
                 }
             }
             StrategyKind::Validation | StrategyKind::DeletedKeyBTree => {
-                self.log(LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
+                self.log(sink, LogOp::Upsert, pk_key, &record_bytes, ts, false)?;
                 let old =
                     self.primary
                         .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
@@ -866,12 +1045,12 @@ impl Dataset {
                 self.local_secondary_cleanup(pk, old, Some(record), ets, ts)?;
                 // Filters maintained on the new record only (Figure 4).
                 if let Some(v) = self.filter_value(record) {
-                    self.primary.widen_mem_filter(&v);
+                    self.primary.widen_mem_filter(pk_key, &v);
                 }
             }
             StrategyKind::MutableBitmap => {
                 let update_bit = self.mark_old_version_deleted(pk_key)?;
-                self.log(LogOp::Upsert, pk_key, &record_bytes, ts, update_bit)?;
+                self.log(sink, LogOp::Upsert, pk_key, &record_bytes, ts, update_bit)?;
                 let old =
                     self.primary
                         .put(pk_key.to_vec(), LsmEntry::put_ts(record_bytes, ets), ts);
@@ -890,7 +1069,7 @@ impl Dataset {
                 self.local_secondary_cleanup(pk, old, Some(record), ets, ts)?;
                 // Filters maintained on the new record only (Figure 9).
                 if let Some(v) = self.filter_value(record) {
-                    self.primary.widen_mem_filter(&v);
+                    self.primary.widen_mem_filter(pk_key, &v);
                 }
             }
         }
@@ -1111,7 +1290,7 @@ impl Dataset {
         (active, active + sealed)
     }
 
-    fn maybe_flush_and_merge(&self) -> Result<()> {
+    pub(crate) fn maybe_flush_and_merge(&self) -> Result<()> {
         // Recovery replay rewinds the clock between operations
         // (`advance_to` per log record); a background job racing that would
         // stamp components and stall writers against a queue nobody else
@@ -1228,8 +1407,8 @@ impl Dataset {
             }
             self.flush_sealed_mutable_bitmap()
         } else {
-            let primary_comp = self.primary.flush_sealed()?;
-            // Crash window: the primary component is installed, the pk
+            let primary_comps = self.primary.flush_sealed()?;
+            // Crash window: the primary generation is installed, the pk
             // index's is not yet.
             self.crash_site("flush_install")?;
             if let Some(pk_tree) = &self.pk_index {
@@ -1238,7 +1417,7 @@ impl Dataset {
             for sec in &self.secondaries {
                 sec.tree.flush_sealed()?;
             }
-            Ok(primary_comp.is_some())
+            Ok(!primary_comps.is_empty())
         }
     }
 
@@ -1261,15 +1440,26 @@ impl Dataset {
     /// therefore either appends to the open side-file or sees the fully
     /// installed component; it can never lose its mark.
     fn flush_sealed_mutable_bitmap(&self) -> Result<bool> {
-        let primary_comp = self.primary.build_sealed()?;
-        let pk_comp = match &self.pk_index {
+        let primary_comps = self.primary.build_sealed()?;
+        let pk_comps = match &self.pk_index {
             Some(t) => t.build_sealed()?,
-            None => None,
+            None => Vec::new(),
         };
         for sec in &self.secondaries {
             sec.tree.flush_sealed()?;
         }
-        if let (Some(p), Some(k)) = (&primary_comp, &pk_comp) {
+        // The primary and pk index receive identical key/timestamp streams,
+        // so their sealed generations have identical shard occupancy: the
+        // component vectors align position-for-position, and each pair
+        // shares one bitmap.
+        if self.pk_index.is_some() && primary_comps.len() != pk_comps.len() {
+            return Err(Error::corruption(format!(
+                "mutable-bitmap flush shard mismatch: {} primary vs {} pk components",
+                primary_comps.len(),
+                pk_comps.len()
+            )));
+        }
+        for (p, k) in primary_comps.iter().zip(&pk_comps) {
             let bitmap = p
                 .bitmap()
                 .ok_or_else(|| Error::corruption("primary flush produced no bitmap"))?;
@@ -1277,25 +1467,29 @@ impl Dataset {
         }
         let _drain = self.dataset_lock.write();
         let routed = self.flush_deletes.lock().take().unwrap_or_default();
-        if let Some(p) = &primary_comp {
-            if let Some(bitmap) = p.bitmap() {
-                for key in &routed {
-                    if let Some((_, ordinal)) = p.search(key)? {
-                        bitmap.set(ordinal);
-                    }
+        for key in &routed {
+            // A key lives in exactly one shard of the generation; mark it
+            // in whichever component holds it.
+            for p in &primary_comps {
+                if let (Some(bitmap), Some((_, ordinal))) = (p.bitmap(), p.search(key)?) {
+                    bitmap.set(ordinal);
+                    break;
                 }
             }
         }
-        if let Some(p) = &primary_comp {
-            self.primary.install_sealed(p.clone());
+        let flushed = !primary_comps.is_empty();
+        if flushed {
+            self.primary.install_sealed(primary_comps);
         }
-        // Crash window: the primary component is published, the paired
-        // pk-index component is not yet.
+        // Crash window: the primary generation is published, the paired
+        // pk-index generation is not yet.
         self.crash_site("flush_install")?;
-        if let (Some(pk_tree), Some(k)) = (&self.pk_index, pk_comp) {
-            pk_tree.install_sealed(k);
+        if let Some(pk_tree) = &self.pk_index {
+            if !pk_comps.is_empty() {
+                pk_tree.install_sealed(pk_comps);
+            }
         }
-        Ok(primary_comp.is_some())
+        Ok(flushed)
     }
 
     /// Applies the merge policy to the current component lists and returns
@@ -1344,12 +1538,16 @@ impl Dataset {
     /// stale — its range no longer fits the component list because another
     /// merge got there first.
     ///
-    /// Under background maintenance, a correlated merge of a Mutable-bitmap
-    /// dataset races live writers that mutate the very bitmaps being
-    /// merged, so it runs through the Section 5.3 concurrency-control path
+    /// A correlated merge of a Mutable-bitmap dataset races live writers
+    /// that mutate the very bitmaps being merged — under background
+    /// maintenance, and equally under inline maintenance now that sharded
+    /// memtables invite concurrent writers (one writer's inline merge runs
+    /// beside the others' upserts/deletes). It therefore always runs
+    /// through the Section 5.3 concurrency-control path
     /// ([`crate::cc::merge_primary_with_cc`]) with the configured
-    /// [`CcMethod`](crate::cc::CcMethod); inline merges have no concurrent
-    /// rebuild and use the plain path.
+    /// [`CcMethod`](crate::cc::CcMethod); the plain path would scan a
+    /// bitmap one moment and its sibling index the next, losing any
+    /// delete that landed in between.
     pub fn execute_merge_plan(&self, plan: &MergePlan) -> Result<bool> {
         let _merges = self.merge_mutex.lock();
         self.execute_merge_plan_locked(plan)
@@ -1373,7 +1571,7 @@ impl Dataset {
                         return Ok(false);
                     }
                 }
-                if self.cfg.strategy == StrategyKind::MutableBitmap && self.is_background() {
+                if self.cfg.strategy == StrategyKind::MutableBitmap {
                     crate::cc::merge_primary_with_cc(self, plan.range, self.cfg.cc_method)?;
                     for sec in &self.secondaries {
                         if !stale(&sec.tree) {

@@ -68,7 +68,8 @@
 //! # Architecture
 //!
 //! The full system map — the 8-crate layering, the write path
-//! (memtable → seal → flush → merge), the maintenance strategies, and the
+//! (shard → seal → flush → merge), the [`WriteBatch`] commit path and the
+//! group-commit WAL, the maintenance strategies, and the
 //! shared-runtime contract — lives in `ARCHITECTURE.md` at the repository
 //! root; its examples compile and run as doctests of this crate (see
 //! [`ArchitectureGuide`]). Operational tuning — worker bounds, read/write
@@ -244,6 +245,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cc;
 pub mod config;
 pub mod dataset;
@@ -256,6 +258,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
+pub use batch::{BatchOpResult, WriteBatch};
 pub use config::{
     DatasetConfig, EngineConfig, EngineConfigBuilder, MaintenanceMode, MergeConfig,
     SecondaryIndexDef, StrategyKind,

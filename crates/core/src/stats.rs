@@ -52,6 +52,13 @@ pub struct EngineStats {
     pub crash_sites_armed: AtomicU64,
     /// Crash-site passages where the fault plan actually fired.
     pub crash_sites_hit: AtomicU64,
+    /// WAL group commits: single device appends that each made one
+    /// committer group's page durable.
+    pub wal_groups: AtomicU64,
+    /// Log records covered by those group commits;
+    /// `wal_grouped_records / wal_groups` is the achieved group size
+    /// (`> 1` under concurrent commit).
+    pub wal_grouped_records: AtomicU64,
 }
 
 impl EngineStats {
@@ -108,6 +115,8 @@ impl EngineStats {
             query_partitions: self.query_partitions.load(Ordering::Relaxed),
             crash_sites_armed: self.crash_sites_armed.load(Ordering::Relaxed),
             crash_sites_hit: self.crash_sites_hit.load(Ordering::Relaxed),
+            wal_groups: self.wal_groups.load(Ordering::Relaxed),
+            wal_grouped_records: self.wal_grouped_records.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +144,8 @@ pub struct EngineStatsSnapshot {
     pub query_partitions: u64,
     pub crash_sites_armed: u64,
     pub crash_sites_hit: u64,
+    pub wal_groups: u64,
+    pub wal_grouped_records: u64,
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Write-ahead log.
+//! Write-ahead log with group commit.
 //!
 //! AsterixDB uses index-level logical logging with a no-steal/no-force
 //! buffer policy (Section 2.2); log records carry an **update bit** telling
@@ -8,8 +8,44 @@
 //! as the LSN, which makes "committed transactions beyond the maximum
 //! component LSN" directly computable from component IDs.
 //!
-//! Records are packed into pages with group commit: a page is written when
-//! it fills (or on [`Wal::force`]), charging the log device sequentially.
+//! # Group commit
+//!
+//! Records are staged into pages under a short-held mutex; completed pages
+//! queue FIFO and a single **leader** — whichever committer finds the queue
+//! non-empty with no writer active — drains them to the device *outside*
+//! the lock. Concurrent committers therefore never wait on each other's
+//! device writes: they stage and return (the engine is no-force, so a
+//! record is not promised durable until the next [`Wal::force`] /
+//! checkpoint), and one leader's single page-sized append covers the whole
+//! group. [`Wal::force`] waits for any active leader via a condvar and then
+//! drains whatever remains itself, so a failed leader cannot strand pages.
+//!
+//! ## Frame-ordering invariant
+//!
+//! Replay tolerates a damaged record only on the log's **final** page (a
+//! torn tail); anywhere earlier it is corruption. That is sound only if
+//! device frame order equals staging order — a page written out of order
+//! could leave a torn frame *behind* a good one and turn an ordinary crash
+//! into "corruption". Two rules preserve the invariant now that writes
+//! happen outside the lock:
+//!
+//! 1. **Single leader, FIFO queue.** Only one thread writes at a time and
+//!    always takes the oldest queued page, so a record staged into a
+//!    freshly started page can never reach the device ahead of an earlier
+//!    (e.g. concurrently forced) page.
+//! 2. **A failed page is dropped, not retried.** If the device rejects a
+//!    page (possibly leaving a torn frame as the last on the device), the
+//!    leader returns the error to its own caller and the page's records
+//!    are discarded — no-steal means they were never promised durable.
+//!    Retrying, or writing the *next* queued page, would bury the torn
+//!    frame mid-file. The remaining queue stays intact for a later leader
+//!    only because nothing was written after the failure point.
+//!
+//! Note that LSN order across pages is *not* an invariant: concurrent
+//! committers tick their timestamps under per-key locks and stage under
+//! the log mutex, so two records can stage in the opposite order of their
+//! LSNs. [`Wal::replay`] therefore stable-sorts the decoded records by
+//! LSN, which recovery's idempotent redo requires.
 //!
 //! Each record carries a checksum of its body, so a torn or short write of
 //! the log's final page (a crash mid-write, or an injected
@@ -20,10 +56,17 @@
 //! definition). Damage on an earlier page is real corruption and fails
 //! replay.
 
+use crate::stats::EngineStats;
 use lsm_common::{Bytes, Error, Key, Result, Timestamp};
-use lsm_storage::{FileId, Storage};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use lsm_storage::{FileId, SiteOutcome, Storage};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
+
+/// Crash site probed by the group-commit leader immediately before each
+/// device page write: a crash here loses the whole staged group, which is
+/// exactly the committed-prefix contract torture verifies.
+pub const GROUP_WRITE_SITE: &str = "wal_group_write";
 
 /// Logical operation kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,12 +194,40 @@ pub struct Wal {
     storage: Arc<Storage>,
     file: FileId,
     inner: Mutex<WalBuf>,
+    /// Signaled each time a group-commit leader finishes (or aborts) its
+    /// drain; [`Wal::force`] waits here.
+    drained: Condvar,
+    /// Engine counters for group-commit accounting and the
+    /// [`GROUP_WRITE_SITE`] crash-site coverage signal; bound once by the
+    /// owning dataset (a standalone log still counts on its device's
+    /// [`IoStats`](lsm_storage::IoStats)).
+    stats: OnceLock<Arc<EngineStats>>,
 }
 
 #[derive(Debug, Default)]
 struct WalBuf {
+    /// The currently filling page.
     page: Vec<u8>,
+    /// Records staged into `page`.
+    page_records: u64,
+    /// Completed pages awaiting the device, oldest first, each with its
+    /// record count. Only the group-commit leader pops from this, front to
+    /// back — see the frame-ordering invariant in the module docs.
+    pending: VecDeque<(Vec<u8>, u64)>,
+    /// True while a leader is writing pending pages outside the lock.
+    writer_active: bool,
     last_checkpoint: Timestamp,
+}
+
+impl WalBuf {
+    /// Moves the filling page (if any) onto the pending queue.
+    fn rotate_page(&mut self) {
+        if !self.page.is_empty() {
+            let page = std::mem::take(&mut self.page);
+            let n = std::mem::replace(&mut self.page_records, 0);
+            self.pending.push_back((page, n));
+        }
+    }
 }
 
 impl Wal {
@@ -167,6 +238,8 @@ impl Wal {
             storage,
             file,
             inner: Mutex::new(WalBuf::default()),
+            drained: Condvar::new(),
+            stats: OnceLock::new(),
         }
     }
 
@@ -175,34 +248,144 @@ impl Wal {
         &self.storage
     }
 
-    /// Appends a record; the page is written out when full (group commit).
+    /// Binds the owning engine's counters so group commits (and crash-site
+    /// passages) show up in [`EngineStats`]. Idempotent; later binds are
+    /// ignored.
+    pub fn bind_stats(&self, stats: Arc<EngineStats>) {
+        let _ = self.stats.set(stats);
+    }
+
+    /// Appends a record. The record is staged under a short-held lock; when
+    /// a page fills, this committer either becomes the group leader (no
+    /// writer active) and writes the group's pages, or returns immediately
+    /// and lets the active leader cover it. No-force: the record is not
+    /// durable until the next [`Wal::force`].
     pub fn append(&self, rec: &LogRecord) -> Result<()> {
-        let bytes = rec.encode();
-        if bytes.len() > self.storage.page_size() {
+        self.append_all(std::slice::from_ref(rec))
+    }
+
+    /// Appends a batch of records under ONE lock acquisition, so a
+    /// multi-operation commit stages its group atomically and triggers at
+    /// most one leader election. Page rotation still happens per fill —
+    /// a large batch simply queues several pages for the same leader.
+    pub fn append_batch(&self, recs: &[LogRecord]) -> Result<()> {
+        self.append_all(recs)
+    }
+
+    fn append_all(&self, recs: &[LogRecord]) -> Result<()> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let page_size = self.storage.page_size();
+        let encoded: Vec<Vec<u8>> = recs.iter().map(LogRecord::encode).collect();
+        if encoded.iter().any(|b| b.len() > page_size) {
             return Err(Error::Storage("log record larger than page".into()));
         }
         let mut inner = self.inner.lock();
-        if inner.page.len() + bytes.len() > self.storage.page_size() {
-            let page = std::mem::take(&mut inner.page);
+        for bytes in &encoded {
+            if inner.page.len() + bytes.len() > page_size {
+                inner.rotate_page();
+            }
+            inner.page.extend_from_slice(bytes);
+            inner.page_records += 1;
+        }
+        if inner.pending.is_empty() || inner.writer_active {
+            // Nothing to write, or an active leader will pick the pages up
+            // on its next loop iteration (push and leader handoff are both
+            // under this mutex, so the page cannot be missed).
+            return Ok(());
+        }
+        self.drain_as_leader(inner)
+    }
+
+    /// Writes the pending queue to the device as the group-commit leader.
+    /// Called with the lock held and `writer_active == false`; the lock is
+    /// released across each device write and reacquired to pop the next
+    /// page, so committers keep staging while the leader writes.
+    fn drain_as_leader<'a>(&'a self, mut inner: MutexGuard<'a, WalBuf>) -> Result<()> {
+        debug_assert!(!inner.writer_active);
+        inner.writer_active = true;
+        while let Some((page, n)) = inner.pending.pop_front() {
+            drop(inner);
             // Log writes are commit durability, not background rebuild
             // output: never charge them to a maintenance write bucket,
-            // whichever thread happens to flush the page.
-            lsm_storage::throttle::exempt_writes(|| self.storage.append_page(self.file, &page))?;
+            // whichever thread happens to lead the group.
+            let res = self.group_write_site().and_then(|()| {
+                lsm_storage::throttle::exempt_writes(|| self.storage.append_page(self.file, &page))
+            });
+            inner = self.inner.lock();
+            match res {
+                Ok(_) => self.note_group(n),
+                Err(e) => {
+                    // Drop the failed page (its records were never promised
+                    // durable) and stand down WITHOUT touching later pages:
+                    // a torn frame must stay last on the device. A waiting
+                    // force takes over the remainder.
+                    inner.writer_active = false;
+                    drop(inner);
+                    self.drained.notify_all();
+                    return Err(e);
+                }
+            }
         }
-        inner.page.extend_from_slice(&bytes);
+        inner.writer_active = false;
+        drop(inner);
+        self.drained.notify_all();
         Ok(())
     }
 
-    /// Forces buffered records to the device. Exempt from maintenance
-    /// write throttling even when called from a flush job (flushes force
-    /// the log to make flushed operations durable).
+    /// Probes the [`GROUP_WRITE_SITE`] crash site, mirroring the engine's
+    /// armed/hit accounting when stats are bound.
+    fn group_write_site(&self) -> Result<()> {
+        match self.storage.probe_crash_site(GROUP_WRITE_SITE) {
+            SiteOutcome::Unarmed => Ok(()),
+            SiteOutcome::Armed => {
+                if let Some(s) = self.stats.get() {
+                    s.bump(&s.crash_sites_armed);
+                }
+                Ok(())
+            }
+            SiteOutcome::Fired(e) => {
+                if let Some(s) = self.stats.get() {
+                    s.bump(&s.crash_sites_armed);
+                    s.bump(&s.crash_sites_hit);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Counts one durable group of `records` on the device and engine
+    /// counters.
+    fn note_group(&self, records: u64) {
+        self.storage.note_wal_group(records);
+        if let Some(s) = self.stats.get() {
+            s.bump(&s.wal_groups);
+            s.wal_grouped_records
+                .fetch_add(records, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Forces buffered records to the device: stages the partial page and
+    /// drains the queue, waiting out (or taking over from) any active
+    /// leader, so on return every record staged before the call is durable.
+    /// Exempt from maintenance write throttling even when called from a
+    /// flush job (flushes force the log to make flushed operations
+    /// durable).
     pub fn force(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        if !inner.page.is_empty() {
-            let page = std::mem::take(&mut inner.page);
-            lsm_storage::throttle::exempt_writes(|| self.storage.append_page(self.file, &page))?;
+        inner.rotate_page();
+        loop {
+            if !inner.writer_active {
+                if inner.pending.is_empty() {
+                    return Ok(());
+                }
+                // No leader — drain the queue ourselves (including pages a
+                // failed leader left behind).
+                return self.drain_as_leader(inner);
+            }
+            self.drained.wait(&mut inner);
         }
-        Ok(())
     }
 
     /// Writes a checkpoint record at `lsn` and forces the log.
@@ -224,9 +407,12 @@ impl Wal {
         self.inner.lock().last_checkpoint
     }
 
-    /// Reads back all records with `lsn > after_lsn`, in order. Includes
-    /// buffered (unforced) records only if `include_unforced` — a crash
-    /// loses those, which is what recovery tests exercise.
+    /// Reads back all records with `lsn > after_lsn`, sorted by LSN
+    /// (stable, so a checkpoint marker stays after the equal-LSN operation
+    /// it covers — concurrent committers may stage out of LSN order, see
+    /// the module docs). Includes buffered (unforced) records only if
+    /// `include_unforced` — a crash loses those, which is what recovery
+    /// tests exercise.
     pub fn replay(&self, after_lsn: Timestamp, include_unforced: bool) -> Result<Vec<LogRecord>> {
         let mut out = Vec::new();
         let pages = self.storage.file_pages(self.file)?;
@@ -249,14 +435,29 @@ impl Wal {
                     // A damaged record on the final page is a torn tail —
                     // the write it belonged to never completed, so the log
                     // ends at the last intact record. Anywhere earlier it
-                    // is corruption of already-committed history.
-                    Err(_) if last_page => return Ok(out),
+                    // is corruption of already-committed history (the
+                    // frame-ordering invariant guarantees a torn frame can
+                    // only be last).
+                    Err(_) if last_page => {
+                        out.sort_by_key(|r| r.lsn);
+                        return Ok(out);
+                    }
                     Err(e) => return Err(e),
                 }
             }
         }
         if include_unforced {
             let inner = self.inner.lock();
+            for (page, _) in &inner.pending {
+                let mut off = 0;
+                while off + 4 <= page.len() {
+                    let (rec, used) = LogRecord::decode(&page[off..])?;
+                    if rec.lsn > after_lsn {
+                        out.push(rec);
+                    }
+                    off += used;
+                }
+            }
             let mut off = 0;
             while off + 4 <= inner.page.len() {
                 let (rec, used) = LogRecord::decode(&inner.page[off..])?;
@@ -266,12 +467,18 @@ impl Wal {
                 off += used;
             }
         }
+        out.sort_by_key(|r| r.lsn);
         Ok(out)
     }
 
-    /// Drops buffered, unforced records (simulates losing them in a crash).
+    /// Drops buffered, unforced records — the staging page and any pending
+    /// pages that never reached the device (simulates losing them in a
+    /// crash).
     pub fn drop_unforced(&self) {
-        self.inner.lock().page.clear();
+        let mut inner = self.inner.lock();
+        inner.page.clear();
+        inner.page_records = 0;
+        inner.pending.clear();
     }
 }
 
@@ -369,5 +576,146 @@ mod tests {
             update_bit: false,
         };
         assert!(w.append(&r).is_err());
+    }
+
+    #[test]
+    fn group_commit_counters_cover_all_records() {
+        let w = wal();
+        let stats = Arc::new(EngineStats::new());
+        w.bind_stats(stats.clone());
+        let n = (w.storage().page_size() / 30) * 2;
+        for i in 1..=n as u64 {
+            w.append(&rec(i, LogOp::Upsert)).unwrap();
+        }
+        w.force().unwrap();
+        let io = w.storage().stats();
+        assert!(io.wal_groups >= 2, "several pages → several groups");
+        assert_eq!(io.wal_grouped_records, n as u64, "every record grouped");
+        let snap = stats.snapshot();
+        assert_eq!(snap.wal_groups, io.wal_groups);
+        assert_eq!(snap.wal_grouped_records, io.wal_grouped_records);
+        assert!(snap.wal_grouped_records / snap.wal_groups > 1);
+    }
+
+    #[test]
+    fn batch_append_is_one_staging_step() {
+        let w = wal();
+        let recs: Vec<LogRecord> = (1..=10u64).map(|i| rec(i, LogOp::Upsert)).collect();
+        w.append_batch(&recs).unwrap();
+        w.force().unwrap();
+        let all = w.replay(0, false).unwrap();
+        assert_eq!(all.len(), 10);
+        assert!(all.windows(2).all(|p| p[0].lsn < p[1].lsn));
+    }
+
+    #[test]
+    fn device_frame_order_follows_staging_order() {
+        // Regression for the flush-then-buffer reorder hazard: with a full
+        // page queued AND records already staged into the fresh page, a
+        // force must write the queued page first — the fresh page's
+        // records may never reach the device ahead of it.
+        let w = wal();
+        let page_size = w.storage().page_size();
+        let mut lsn = 0u64;
+        // Fill until at least one page has rotated to the device, then
+        // stage one more record into the fresh page and force.
+        let before = w.storage().stats().pages_written;
+        while w.storage().stats().pages_written == before {
+            lsn += 1;
+            w.append(&rec(lsn, LogOp::Upsert)).unwrap();
+        }
+        lsn += 1;
+        w.append(&rec(lsn, LogOp::Upsert)).unwrap();
+        w.force().unwrap();
+        // Decode the device pages raw: the first LSN of each page must be
+        // larger than every LSN of the page before it.
+        let pages = w.storage().file_pages(w.file).unwrap();
+        assert!(pages >= 2);
+        let mut prev_max = 0u64;
+        for p in 0..pages {
+            let data = w.storage().read_page(w.file, p).unwrap();
+            let mut off = 0;
+            let mut page_lsns = Vec::new();
+            while off + 4 <= data.len() {
+                if u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) == 0 {
+                    break;
+                }
+                let (r, used) = LogRecord::decode(&data[off..]).unwrap();
+                page_lsns.push(r.lsn);
+                off += used;
+            }
+            assert!(!page_lsns.is_empty());
+            assert!(
+                *page_lsns.first().unwrap() > prev_max,
+                "page {p} starts at {} but an earlier page reached {prev_max}",
+                page_lsns.first().unwrap()
+            );
+            prev_max = *page_lsns.last().unwrap();
+        }
+        assert_eq!(w.replay(0, false).unwrap().len(), lsn as usize);
+        let _ = page_size;
+    }
+
+    #[test]
+    fn concurrent_committers_share_groups() {
+        // 4 writer threads × disjoint LSN ranges; all records must survive
+        // replay exactly once, LSN-sorted, and the forced tail must be
+        // covered by group-commit appends.
+        let w = Arc::new(wal());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let lsn = 1 + t * 200 + i;
+                        w.append(&rec(lsn, LogOp::Upsert)).unwrap();
+                    }
+                });
+            }
+        });
+        w.force().unwrap();
+        let all = w.replay(0, false).unwrap();
+        assert_eq!(all.len(), 800);
+        assert!(all.windows(2).all(|p| p[0].lsn < p[1].lsn));
+        let io = w.storage().stats();
+        assert_eq!(io.wal_grouped_records, 800);
+        assert!(io.wal_groups >= 1);
+    }
+
+    #[test]
+    fn failed_leader_leaves_queue_for_force() {
+        use lsm_storage::fault::{FaultAction, FaultOp, FaultPlan, FaultSpec, FaultTrigger};
+        let w = wal();
+        // Fill two pages' worth, then make the next device append fail
+        // once. The force after the failure must still drain what remains.
+        let n = (w.storage().page_size() / 30) as u64;
+        for i in 1..=n {
+            w.append(&rec(i, LogOp::Upsert)).unwrap();
+        }
+        w.force().unwrap();
+        let durable = w.replay(0, false).unwrap().len();
+        let plan = FaultPlan::new(vec![FaultSpec {
+            trigger: FaultTrigger::OpIndex {
+                op: FaultOp::Append,
+                index: 0,
+            },
+            action: FaultAction::TransientError,
+        }]);
+        w.storage().install_fault_plan(plan.clone());
+        plan.arm();
+        let mut failed = 0u64;
+        for i in 1..=n {
+            if w.append(&rec(1000 + i, LogOp::Upsert)).is_err() {
+                failed += 1;
+            }
+        }
+        w.storage().clear_fault_plan();
+        assert!(failed > 0, "the injected write error surfaced to a leader");
+        w.force().unwrap();
+        let all = w.replay(0, false).unwrap();
+        // Everything before the dropped page plus everything after it that
+        // was re-staged survives; the log stays decodable end to end.
+        assert!(all.len() >= durable);
+        assert!(all.windows(2).all(|p| p[0].lsn < p[1].lsn));
     }
 }

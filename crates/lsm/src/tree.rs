@@ -4,6 +4,30 @@
 //! This is the per-index structure of Figure 1; the engine crate composes
 //! one primary index, one primary key index, and N secondary indexes over
 //! these trees and layers the maintenance strategies on top.
+//!
+//! # Sharded memory components
+//!
+//! The active memory component can be split into `mem_shards` hash shards
+//! (default 1 — one `BTreeMap` under one mutex, the classic shape).
+//! Writers hash their key to a shard and contend only with writers on the
+//! same shard, so concurrent ingest scales with cores the way the sharded
+//! buffer cache made reads scale. A key always hashes to the same shard,
+//! so all versions of a key live in one shard and per-key recency is
+//! preserved.
+//!
+//! Sealing is atomic across shards: [`LsmTree::seal_mem`] locks every
+//! shard (in index order) and captures one **sealed generation** — the
+//! per-shard immutable runs plus the generation's component ID, the
+//! `(minTS, maxTS)` interval across *all* shards. Each non-empty shard run
+//! is built into its own disk component (in parallel when there are
+//! several), and every component of the generation carries the *shared
+//! generation ID*: the engine seals all indexes under its drain lock, so
+//! generations are temporally disjoint and interval-based recovery
+//! reasoning (torn-install rollback, merged-interval containment) keeps
+//! working unchanged. Merge selection groups consecutive same-ID
+//! components back into generations and only ever merges whole
+//! generations, which keeps merged intervals distinguishable from flush
+//! generations.
 
 use crate::component::DiskComponent;
 use crate::component_id::ComponentId;
@@ -17,7 +41,9 @@ use lsm_btree::BTreeBuilder;
 use lsm_common::{Error, Key, Result, Timestamp, Value};
 use lsm_storage::Storage;
 use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Per-index configuration.
@@ -35,6 +61,10 @@ pub struct LsmOptions {
     /// Attach a zeroed mutable bitmap to every new disk component
     /// (Mutable-bitmap strategy).
     pub mutable_bitmaps: bool,
+    /// Hash shards for the active memory component (at least 1). `1` is
+    /// byte-identical to the unsharded tree; larger values let concurrent
+    /// writers on different shards proceed without contending.
+    pub mem_shards: usize,
 }
 
 impl Default for LsmOptions {
@@ -45,6 +75,7 @@ impl Default for LsmOptions {
             bloom_kind: BloomKind::Standard,
             bloom_fpr: 0.01,
             mutable_bitmaps: false,
+            mem_shards: 1,
         }
     }
 }
@@ -147,15 +178,45 @@ impl ComponentBuilder {
 /// the disk component list — see [`LsmTree::mem_and_disk_snapshot_if`].
 pub type TreeSnapshot = (Option<Vec<(Key, LsmEntry)>>, Vec<Arc<DiskComponent>>);
 
+/// One atomically sealed memory generation: the per-shard immutable runs
+/// (indexed like the active shard vector; `None` = shard was empty) and
+/// the generation's component ID — the timestamp interval across all
+/// shards, shared by every disk component the generation builds.
+#[derive(Debug)]
+struct SealedGen {
+    id: ComponentId,
+    shards: Vec<Option<Arc<MemComponent>>>,
+}
+
+impl SealedGen {
+    fn runs(&self) -> impl Iterator<Item = &Arc<MemComponent>> {
+        self.shards.iter().flatten()
+    }
+
+    fn bytes(&self) -> usize {
+        self.runs().map(|s| s.bytes()).sum()
+    }
+
+    fn len(&self) -> usize {
+        self.runs().map(|s| s.len()).sum()
+    }
+}
+
 /// An LSM-tree index.
 pub struct LsmTree {
     opts: LsmOptions,
     storage: Arc<Storage>,
-    mem: Mutex<MemComponent>,
-    /// Memory component sealed for an in-progress flush. Writers fill a
-    /// fresh active component while the builder turns this immutable
-    /// snapshot into a disk component; readers see both (active wins).
-    sealed: RwLock<Option<Arc<MemComponent>>>,
+    /// Active memory component, hash-sharded by key. Writers lock exactly
+    /// one shard; whole-tree captures lock all shards in index order.
+    mem: Vec<Mutex<MemComponent>>,
+    /// Aggregate bytes across the active shards, maintained under the
+    /// shard locks — the flush-trigger metric must stay cheap to read on
+    /// every write without touching N mutexes.
+    mem_bytes_total: AtomicUsize,
+    /// Memory generation sealed for an in-progress flush. Writers fill
+    /// fresh active shards while the builder turns these immutable
+    /// snapshots into disk components; readers see both (active wins).
+    sealed: RwLock<Option<Arc<SealedGen>>>,
     /// Disk components, newest first (as drawn in Figure 1, reading
     /// right-to-left).
     disk: RwLock<Vec<Arc<DiskComponent>>>,
@@ -165,6 +226,7 @@ impl std::fmt::Debug for LsmTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LsmTree")
             .field("name", &self.opts.name)
+            .field("mem_shards", &self.mem.len())
             .field("disk_components", &self.disk.read().len())
             .finish()
     }
@@ -173,10 +235,14 @@ impl std::fmt::Debug for LsmTree {
 impl LsmTree {
     /// Creates an empty tree.
     pub fn new(storage: Arc<Storage>, opts: LsmOptions) -> Self {
+        let shards = opts.mem_shards.max(1);
         LsmTree {
             opts,
             storage,
-            mem: Mutex::new(MemComponent::new()),
+            mem: (0..shards)
+                .map(|_| Mutex::new(MemComponent::new()))
+                .collect(),
+            mem_bytes_total: AtomicUsize::new(0),
             sealed: RwLock::new(None),
             disk: RwLock::new(Vec::new()),
         }
@@ -192,26 +258,68 @@ impl LsmTree {
         &self.storage
     }
 
+    /// Number of active memory shards.
+    pub fn mem_shards(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// The shard `key` hashes to (FNV-1a; stable across seals, so every
+    /// version of a key lives in the same shard).
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let n = self.mem.len();
+        if n == 1 {
+            return 0;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % n as u64) as usize
+    }
+
+    /// Locks every shard, in index order (the one multi-shard lock order,
+    /// shared by seals and whole-tree captures; single-shard writers take
+    /// one of these and therefore cannot deadlock against it).
+    fn lock_all_shards(&self) -> Vec<parking_lot::MutexGuard<'_, MemComponent>> {
+        self.mem.iter().map(|m| m.lock()).collect()
+    }
+
     // ---- memory component -------------------------------------------------
 
     /// Writes an entry into the memory component. `op_ts` is the operation
     /// timestamp used for the component ID. Returns the replaced entry.
     pub fn put(&self, key: Key, entry: LsmEntry, op_ts: Timestamp) -> Option<LsmEntry> {
         self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
-        self.mem.lock().put(key, entry, op_ts)
+        let shard = self.shard_of(&key);
+        let mut mem = self.mem[shard].lock();
+        let before = mem.bytes();
+        let old = mem.put(key, entry, op_ts);
+        let after = mem.bytes();
+        drop(mem);
+        if after >= before {
+            self.mem_bytes_total
+                .fetch_add(after - before, Ordering::Relaxed);
+        } else {
+            self.mem_bytes_total
+                .fetch_sub(before - after, Ordering::Relaxed);
+        }
+        old
     }
 
-    /// Reads the memory component: the active component first, then the
-    /// sealed snapshot of an in-progress flush (the active entry, being
-    /// newer, shadows the sealed one).
+    /// Reads the memory component: the active shard first, then the sealed
+    /// snapshot of an in-progress flush (the active entry, being newer,
+    /// shadows the sealed one).
     pub fn mem_get(&self, key: &[u8]) -> Option<LsmEntry> {
         self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
-        if let Some(e) = self.mem.lock().get(key).cloned() {
+        let shard = self.shard_of(key);
+        if let Some(e) = self.mem[shard].lock().get(key).cloned() {
             return Some(e);
         }
         self.sealed
             .read()
             .as_ref()
+            .and_then(|g| g.shards[shard].as_ref())
             .and_then(|s| s.get(key).cloned())
     }
 
@@ -221,90 +329,124 @@ impl LsmTree {
     /// [`LsmTree::sealed_get`].
     pub fn mem_get_active(&self, key: &[u8]) -> Option<LsmEntry> {
         self.storage.charge_cpu(self.storage.cpu().memtable_op_ns);
-        self.mem.lock().get(key).cloned()
+        self.mem[self.shard_of(key)].lock().get(key).cloned()
     }
 
     /// Reads the sealed (flushing) snapshot only.
     pub fn sealed_get(&self, key: &[u8]) -> Option<LsmEntry> {
+        let shard = self.shard_of(key);
         self.sealed
             .read()
             .as_ref()
+            .and_then(|g| g.shards[shard].as_ref())
             .and_then(|s| s.get(key).cloned())
     }
 
-    /// True if a sealed snapshot is pending (a flush is mid-build, or a
+    /// True if a sealed generation is pending (a flush is mid-build, or a
     /// previous flush attempt failed and should be retried).
     pub fn has_sealed(&self) -> bool {
         self.sealed.read().is_some()
     }
 
-    /// Approximate size of the *active* memory component in bytes (the
-    /// flush-trigger metric; a sealed snapshot is already on its way out).
+    /// Approximate size of the *active* memory component in bytes, across
+    /// all shards (the flush-trigger metric; a sealed generation is
+    /// already on its way out). Lock-free: maintained as an aggregate so
+    /// the per-write budget check does not serialize the shards it just
+    /// unserialized.
     pub fn mem_bytes(&self) -> usize {
-        self.mem.lock().bytes()
+        self.mem_bytes_total.load(Ordering::Relaxed)
     }
 
-    /// Approximate bytes of the sealed (flushing) snapshot, if any — memory
-    /// that is still held but no longer accepts writes. Backpressure counts
-    /// this on top of [`LsmTree::mem_bytes`].
+    /// Approximate bytes of the sealed (flushing) generation, if any —
+    /// memory that is still held but no longer accepts writes.
+    /// Backpressure counts this on top of [`LsmTree::mem_bytes`].
     pub fn sealed_bytes(&self) -> usize {
-        self.sealed.read().as_ref().map_or(0, |s| s.bytes())
+        self.sealed.read().as_ref().map_or(0, |g| g.bytes())
     }
 
     /// Number of keys buffered in memory (active + sealed).
     pub fn mem_len(&self) -> usize {
-        self.mem.lock().len() + self.sealed.read().as_ref().map_or(0, |s| s.len())
+        let active: usize = self.mem.iter().map(|m| m.lock().len()).sum();
+        active + self.sealed.read().as_ref().map_or(0, |g| g.len())
     }
 
-    /// Widens the memory component's range filter.
-    pub fn widen_mem_filter(&self, v: &Value) {
-        self.mem.lock().widen_filter(v);
+    /// Widens the memory component's range filter. `key` routes the update
+    /// to the entry's shard, so each shard's filter describes exactly the
+    /// entries that will flush with it.
+    pub fn widen_mem_filter(&self, key: &[u8], v: &Value) {
+        self.mem[self.shard_of(key)].lock().widen_filter(v);
     }
 
-    /// The in-memory range filter: the union of the active component's
-    /// filter and the sealed snapshot's, so filter pruning never hides
-    /// entries that are mid-flush.
+    /// The in-memory range filter: the union over every active shard and
+    /// the sealed generation's runs, so filter pruning never hides entries
+    /// that are buffered or mid-flush.
     pub fn mem_filter(&self) -> Option<RangeFilter> {
-        let active = self.mem.lock().filter().cloned();
-        let sealed = self
-            .sealed
-            .read()
-            .as_ref()
-            .and_then(|s| s.filter().cloned());
-        match (active, sealed) {
-            (Some(mut a), Some(s)) => {
-                a.union(&s);
-                Some(a)
+        let mut acc: Option<RangeFilter> = None;
+        let mut fold = |f: &RangeFilter| match &mut acc {
+            Some(a) => a.union(f),
+            None => acc = Some(f.clone()),
+        };
+        for m in &self.mem {
+            if let Some(f) = m.lock().filter() {
+                fold(f);
             }
-            (a, s) => a.or(s),
         }
+        if let Some(gen) = self.sealed.read().as_ref() {
+            for run in gen.runs() {
+                if let Some(f) = run.filter() {
+                    fold(f);
+                }
+            }
+        }
+        acc
     }
 
     /// Copies the in-memory entries in `[lo, hi]` in key order, merging the
-    /// active component over the sealed snapshot (active entries win).
+    /// active shards over the sealed generation (active entries win).
     ///
-    /// The active lock is taken FIRST and held while the sealed slot is
-    /// read — the same order `seal_mem` uses for its transition — so the
-    /// snapshot can never observe the torn state where entries have left
-    /// the active component but the sealed slot still reads empty.
+    /// All shard locks are taken FIRST (in index order) and held while the
+    /// sealed slot is read — the same order `seal_mem` uses for its
+    /// transition — so the snapshot can never observe the torn state where
+    /// entries have left the active shards but the sealed slot still reads
+    /// empty.
     pub fn mem_snapshot_range(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> Vec<(Key, LsmEntry)> {
-        let mem = self.mem.lock();
+        let guards = self.lock_all_shards();
         let sealed = self.sealed.read().clone();
-        let active: Vec<(Key, LsmEntry)> = mem
-            .range(lo, hi)
-            .map(|(k, e)| (k.clone(), e.clone()))
-            .collect();
-        drop(mem);
-        merge_mem_runs(active, sealed, lo, hi)
+        let runs = Self::capture_mem_runs(&guards, sealed.as_deref(), lo, hi);
+        drop(guards);
+        interleave_disjoint_runs(runs)
+    }
+
+    /// Per-shard merged runs (active over sealed) of `[lo, hi]`, captured
+    /// under the shard guards. Shards hold disjoint key sets, so the final
+    /// view is a plain ordered interleave of these runs.
+    fn capture_mem_runs(
+        guards: &[parking_lot::MutexGuard<'_, MemComponent>],
+        sealed: Option<&SealedGen>,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> Vec<Vec<(Key, LsmEntry)>> {
+        guards
+            .iter()
+            .enumerate()
+            .map(|(i, mem)| {
+                let active: Vec<(Key, LsmEntry)> = mem
+                    .range(lo, hi)
+                    .map(|(k, e)| (k.clone(), e.clone()))
+                    .collect();
+                let run = sealed.and_then(|g| g.shards[i].clone());
+                merge_mem_runs(active, run, lo, hi)
+            })
+            .collect()
     }
 
     /// An atomically consistent view of the tree: the merged in-memory
     /// entries of `[lo, hi]` plus the disk components, captured so that an
     /// entry mid-flush appears in exactly one of the two (lock order
-    /// mem → sealed → disk matches `seal_mem` and `install_sealed`, whose
-    /// transitions therefore cannot interleave with the capture). Scans
-    /// that do NOT reconcile duplicates (the Mutable-bitmap filter scan)
-    /// need this; reconciling readers can capture memory and disk
+    /// shards → sealed → disk matches `seal_mem` and `install_sealed`,
+    /// whose transitions therefore cannot interleave with the capture).
+    /// Scans that do NOT reconcile duplicates (the Mutable-bitmap filter
+    /// scan) need this; reconciling readers can capture memory and disk
     /// separately.
     ///
     /// `include_mem` is evaluated under the capture locks against the
@@ -320,26 +462,33 @@ impl LsmTree {
         hi: Bound<&[u8]>,
         include_mem: impl FnOnce(Option<&RangeFilter>, &[Arc<DiskComponent>]) -> bool,
     ) -> TreeSnapshot {
-        let mem = self.mem.lock();
+        let guards = self.lock_all_shards();
         let sealed_guard = self.sealed.read();
         let disk = self.disk.read().clone();
-        let mut filter = mem.filter().cloned();
-        if let Some(sf) = sealed_guard.as_ref().and_then(|s| s.filter()) {
-            match &mut filter {
-                Some(f) => f.union(sf),
-                None => filter = Some(sf.clone()),
+        let mut filter: Option<RangeFilter> = None;
+        let mut fold = |f: &RangeFilter| match &mut filter {
+            Some(acc) => acc.union(f),
+            None => filter = Some(f.clone()),
+        };
+        for mem in &guards {
+            if let Some(f) = mem.filter() {
+                fold(f);
             }
         }
-        let has_entries = !mem.is_empty() || sealed_guard.is_some();
+        if let Some(gen) = sealed_guard.as_ref() {
+            for run in gen.runs() {
+                if let Some(f) = run.filter() {
+                    fold(f);
+                }
+            }
+        }
+        let has_entries = guards.iter().any(|m| !m.is_empty()) || sealed_guard.is_some();
         let snapshot = (has_entries && include_mem(filter.as_ref(), &disk)).then(|| {
-            let active: Vec<(Key, LsmEntry)> = mem
-                .range(lo, hi)
-                .map(|(k, e)| (k.clone(), e.clone()))
-                .collect();
-            merge_mem_runs(active, sealed_guard.clone(), lo, hi)
+            let runs = Self::capture_mem_runs(&guards, sealed_guard.as_deref(), lo, hi);
+            interleave_disjoint_runs(runs)
         });
         drop(sealed_guard);
-        drop(mem);
+        drop(guards);
         (snapshot, disk)
     }
 
@@ -356,7 +505,10 @@ impl LsmTree {
 
     /// Discards the memory components (crash simulation in recovery tests).
     pub fn clear_mem(&self) {
-        self.mem.lock().clear();
+        for m in &self.mem {
+            m.lock().clear();
+        }
+        self.mem_bytes_total.store(0, Ordering::Relaxed);
         *self.sealed.write() = None;
     }
 
@@ -390,7 +542,10 @@ impl LsmTree {
     /// Removes the newest disk component and destroys its files. Crash
     /// recovery uses this to roll back a torn flush install — a component
     /// published by a crash-interrupted flush whose sibling indexes never
-    /// installed theirs; the WAL still covers its committed entries.
+    /// installed theirs; the WAL still covers its committed entries. A
+    /// sharded generation rolls back one component per call: every
+    /// component of the torn generation postdates the sibling index, so
+    /// the recovery loop peels them all.
     pub fn uninstall_newest(&self) -> Option<ComponentId> {
         let comp = {
             let mut disk = self.disk.write();
@@ -447,15 +602,24 @@ impl LsmTree {
         Ok(Arc::new(builder.finish()?))
     }
 
-    /// Seals the active memory component for flushing: writers continue
-    /// into a fresh active component while [`LsmTree::flush_sealed`] builds
-    /// the snapshot into a disk component. Returns `false` (and seals
-    /// nothing) if the active component is empty. Errors if a sealed
-    /// snapshot is already pending — callers must serialize flushes (the
-    /// engine holds a per-dataset flush lock).
+    /// Seals the active memory shards for flushing — atomically, under
+    /// every shard lock, so no operation is ever split across the seal:
+    /// writers continue into fresh active shards while
+    /// [`LsmTree::flush_sealed`] builds the generation into disk
+    /// components. Returns `false` (and seals nothing) if every shard is
+    /// empty. Errors if a sealed generation is already pending — callers
+    /// must serialize flushes (the engine holds a per-dataset flush lock).
     pub fn seal_mem(&self) -> Result<bool> {
-        let mut mem = self.mem.lock();
-        if mem.id().is_none() {
+        let mut guards = self.lock_all_shards();
+        let mut min_ts = Timestamp::MAX;
+        let mut max_ts = 0;
+        for g in &guards {
+            if let Some(id) = g.id() {
+                min_ts = min_ts.min(id.min_ts);
+                max_ts = max_ts.max(id.max_ts);
+            }
+        }
+        if max_ts == 0 {
             return Ok(false);
         }
         let mut sealed = self.sealed.write();
@@ -465,36 +629,75 @@ impl LsmTree {
                 self.opts.name
             )));
         }
-        *sealed = Some(Arc::new(std::mem::take(&mut *mem)));
+        let shards: Vec<Option<Arc<MemComponent>>> = guards
+            .iter_mut()
+            .map(|g| g.id().is_some().then(|| Arc::new(std::mem::take(&mut **g))))
+            .collect();
+        self.mem_bytes_total.store(0, Ordering::Relaxed);
+        *sealed = Some(Arc::new(SealedGen {
+            id: ComponentId::new(min_ts, max_ts),
+            shards,
+        }));
         Ok(true)
     }
 
-    /// Builds the sealed snapshot into a disk component and installs it as
-    /// the newest. Returns `None` when no snapshot is sealed. The snapshot
-    /// stays visible to readers throughout, so there is no window where its
-    /// entries are neither in memory nor on disk.
-    pub fn flush_sealed(&self) -> Result<Option<Arc<DiskComponent>>> {
-        match self.build_sealed()? {
-            None => Ok(None),
-            Some(comp) => {
-                self.install_sealed(comp.clone());
-                Ok(Some(comp))
-            }
+    /// Builds the sealed generation into disk components (one per
+    /// non-empty shard, each stamped with the shared generation ID) and
+    /// installs them as the newest. Returns an empty vector when nothing
+    /// is sealed. The generation stays visible to readers throughout, so
+    /// there is no window where its entries are neither in memory nor on
+    /// disk.
+    pub fn flush_sealed(&self) -> Result<Vec<Arc<DiskComponent>>> {
+        let comps = self.build_sealed()?;
+        if self.has_sealed() {
+            self.install_sealed(comps.clone());
         }
+        Ok(comps)
     }
 
-    /// Builds the sealed snapshot into a disk component WITHOUT installing
-    /// it — the engine uses this when the component needs preparation
+    /// Builds the sealed generation's disk components WITHOUT installing
+    /// them — the engine uses this when the components need preparation
     /// before becoming visible (shared-bitmap attachment, routed deletes
     /// of the Mutable-bitmap strategy), followed by
-    /// [`LsmTree::install_sealed`].
-    pub fn build_sealed(&self) -> Result<Option<Arc<DiskComponent>>> {
-        let Some(snapshot) = self.sealed.read().clone() else {
-            return Ok(None);
+    /// [`LsmTree::install_sealed`]. Components are returned in shard
+    /// order; when several shards have runs they are built in parallel on
+    /// scoped threads, each inheriting this thread's I/O throttles.
+    pub fn build_sealed(&self) -> Result<Vec<Arc<DiskComponent>>> {
+        let Some(gen) = self.sealed.read().clone() else {
+            return Ok(Vec::new());
         };
-        let id = snapshot.id().ok_or_else(|| {
-            Error::invalid(format!("{}: sealed an empty snapshot", self.opts.name))
-        })?;
+        let gen_id = gen.id;
+        let runs: Vec<&Arc<MemComponent>> = gen.runs().collect();
+        if runs.len() <= 1 {
+            return runs
+                .into_iter()
+                .map(|run| self.build_run(gen_id, run))
+                .collect();
+        }
+        let (read_t, write_t) = lsm_storage::throttle::current_throttles();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = runs
+                .into_iter()
+                .map(|run| {
+                    let read_t = read_t.clone();
+                    let write_t = write_t.clone();
+                    scope.spawn(move || {
+                        lsm_storage::throttle::with_throttles(read_t, write_t, || {
+                            self.build_run(gen_id, run)
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build panicked"))
+                .collect()
+        })
+    }
+
+    /// Builds one shard run into a disk component carrying the
+    /// generation's shared ID.
+    fn build_run(&self, id: ComponentId, snapshot: &MemComponent) -> Result<Arc<DiskComponent>> {
         let mut builder = ComponentBuilder::new(
             self.storage.clone(),
             id,
@@ -510,27 +713,29 @@ impl LsmTree {
         for (k, e) in snapshot.iter() {
             builder.add(k, e)?;
         }
-        let comp = Arc::new(builder.finish()?);
-        Ok(Some(comp))
+        Ok(Arc::new(builder.finish()?))
     }
 
-    /// Publishes a component built by [`LsmTree::build_sealed`] and
-    /// releases the sealed snapshot. The sealed lock is held across the
-    /// disk insert (lock order sealed → disk), and the component is
-    /// inserted before the snapshot clears: a reconciling reader that
-    /// captures memory first either sees the entries in the sealed
-    /// snapshot, on disk, or both (never neither), while the atomic
+    /// Publishes the components built by [`LsmTree::build_sealed`] (the
+    /// whole generation at once, preserving shard order) and releases the
+    /// sealed generation. The sealed lock is held across the disk insert
+    /// (lock order sealed → disk), and the components are inserted before
+    /// the generation clears: a reconciling reader that captures memory
+    /// first either sees the entries in the sealed generation, on disk, or
+    /// both (never neither), while the atomic
     /// [`LsmTree::mem_and_disk_snapshot`] capture sees them exactly once.
-    pub fn install_sealed(&self, comp: Arc<DiskComponent>) {
+    pub fn install_sealed(&self, comps: Vec<Arc<DiskComponent>>) {
         let mut sealed = self.sealed.write();
-        self.disk.write().insert(0, comp);
+        self.disk.write().splice(0..0, comps);
         *sealed = None;
     }
 
-    /// Flushes the memory component into a new disk component.
-    /// Returns `None` if the memory component was empty. A snapshot left
-    /// sealed by a previous failed attempt is flushed first, so transient
-    /// build errors stay retryable.
+    /// Flushes the memory component into new disk components.
+    /// Returns `None` if the memory component was empty, otherwise the
+    /// first (shard-order) component of the new generation — with one
+    /// shard, the generation's only component. A generation left sealed
+    /// by a previous failed attempt is flushed first, so transient build
+    /// errors stay retryable.
     pub fn flush(&self) -> Result<Option<Arc<DiskComponent>>> {
         if self.has_sealed() {
             self.flush_sealed()?;
@@ -538,17 +743,45 @@ impl LsmTree {
         if !self.seal_mem()? {
             return Ok(None);
         }
-        self.flush_sealed()
+        Ok(self.flush_sealed()?.into_iter().next())
     }
 
     // ---- merging -----------------------------------------------------------
 
+    /// Oldest-first component index ranges grouped into generations: runs
+    /// of consecutive components sharing a ComponentId are the per-shard
+    /// outputs of one sealed generation. Merged components carry unique
+    /// spanning intervals and group alone.
+    fn generation_groups(disk: &[Arc<DiskComponent>]) -> Vec<(usize, usize, u64)> {
+        let mut groups: Vec<(usize, usize, u64)> = Vec::new();
+        for (i, c) in disk.iter().rev().enumerate() {
+            match groups.last_mut() {
+                Some(g) if disk[disk.len() - 1 - g.1].id() == c.id() => {
+                    g.1 = i;
+                    g.2 += c.byte_size();
+                }
+                _ => groups.push((i, i, c.byte_size())),
+            }
+        }
+        groups
+    }
+
     /// Applies `policy` to the current disk components; returns the chosen
-    /// range (oldest-first indexing) without performing the merge.
+    /// range (oldest-first indexing) without performing the merge. The
+    /// policy sees one size per *generation* and selected ranges always
+    /// cover whole generations, so a merge never splits the per-shard
+    /// siblings of one flush (and a merged interval therefore always spans
+    /// at least two generations, keeping it distinguishable from any flush
+    /// generation's interval — recovery relies on that).
     pub fn select_merge(&self, policy: &dyn MergePolicy) -> Option<MergeRange> {
         let disk = self.disk.read();
-        let sizes: Vec<u64> = disk.iter().rev().map(|c| c.byte_size()).collect();
-        policy.select(&sizes)
+        let groups = Self::generation_groups(&disk);
+        let sizes: Vec<u64> = groups.iter().map(|g| g.2).collect();
+        let r = policy.select(&sizes)?;
+        Some(MergeRange {
+            start: groups[r.start].0,
+            end: groups[r.end].1,
+        })
     }
 
     /// Components of `range` (oldest-first indexing), returned newest-first.
@@ -689,7 +922,7 @@ impl LsmTree {
     }
 }
 
-/// Merges the active-component run over the sealed snapshot's `[lo, hi]`
+/// Merges the active-shard run over the same shard's sealed run `[lo, hi]`
 /// range; both are key-ordered, and the active entry wins a collision.
 fn merge_mem_runs(
     active: Vec<(Key, LsmEntry)>,
@@ -723,6 +956,34 @@ fn merge_mem_runs(
     out
 }
 
+/// Interleaves key-ordered runs with pairwise-disjoint key sets (the
+/// per-shard memory runs) into one ordered run.
+fn interleave_disjoint_runs(runs: Vec<Vec<(Key, LsmEntry)>>) -> Vec<(Key, LsmEntry)> {
+    let mut queues: Vec<VecDeque<(Key, LsmEntry)>> = runs
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .map(VecDeque::from)
+        .collect();
+    if queues.len() == 1 {
+        return queues.pop().unwrap().into();
+    }
+    let mut out = Vec::with_capacity(queues.iter().map(VecDeque::len).sum());
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, q) in queues.iter().enumerate() {
+            if let Some((k, _)) = q.front() {
+                best = match best {
+                    Some(b) if queues[b].front().unwrap().0 <= *k => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        let Some(b) = best else { break };
+        out.push(queues[b].pop_front().unwrap());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -731,6 +992,16 @@ mod tests {
 
     fn tree() -> LsmTree {
         LsmTree::new(Storage::new(StorageOptions::test()), LsmOptions::default())
+    }
+
+    fn sharded_tree(shards: usize) -> LsmTree {
+        LsmTree::new(
+            Storage::new(StorageOptions::test()),
+            LsmOptions {
+                mem_shards: shards,
+                ..Default::default()
+            },
+        )
     }
 
     fn key(i: u32) -> Key {
@@ -875,10 +1146,10 @@ mod tests {
     fn merged_filter_is_union_of_inputs() {
         let t = tree();
         t.put(key(1), LsmEntry::put(vec![]), 1);
-        t.widen_mem_filter(&Value::Int(2015));
+        t.widen_mem_filter(&key(1), &Value::Int(2015));
         t.flush().unwrap();
         t.put(key(2), LsmEntry::put(vec![]), 2);
-        t.widen_mem_filter(&Value::Int(2018));
+        t.widen_mem_filter(&key(2), &Value::Int(2018));
         t.flush().unwrap();
         let merged = t.merge_range(MergeRange { start: 0, end: 1 }).unwrap();
         let f = merged.range_filter().unwrap();
@@ -890,9 +1161,140 @@ mod tests {
     fn mem_filter_snapshot_on_flush() {
         let t = tree();
         t.put(key(1), LsmEntry::put(vec![]), 1);
-        t.widen_mem_filter(&Value::Int(7));
+        t.widen_mem_filter(&key(1), &Value::Int(7));
         let c = t.flush().unwrap().unwrap();
         assert!(c.range_filter().is_some());
         assert!(t.mem_filter().is_none(), "filter reset after flush");
+    }
+
+    // ---- sharded memory components ----------------------------------------
+
+    #[test]
+    fn sharded_puts_and_gets_roundtrip() {
+        let t = sharded_tree(4);
+        for i in 0..200 {
+            t.put(key(i), LsmEntry::put(vec![i as u8]), u64::from(i) + 1);
+        }
+        assert_eq!(t.mem_len(), 200);
+        for i in 0..200 {
+            assert_eq!(t.mem_get(&key(i)).unwrap().value, vec![i as u8]);
+        }
+        // Replacement stays within the key's shard and wins.
+        t.put(key(7), LsmEntry::put(b"new".to_vec()), 300);
+        assert_eq!(t.mem_get(&key(7)).unwrap().value, b"new");
+        assert_eq!(t.mem_len(), 200);
+    }
+
+    #[test]
+    fn sharded_flush_components_share_the_generation_id() {
+        let t = sharded_tree(4);
+        for i in 0..100 {
+            t.put(key(i), LsmEntry::put(vec![b'v']), u64::from(i) + 1);
+        }
+        t.flush().unwrap().unwrap();
+        let comps = t.disk_components();
+        assert!(comps.len() > 1, "expected several shard components");
+        assert!(comps.len() <= 4);
+        for c in &comps {
+            assert_eq!(c.id(), ComponentId::new(1, 100), "shared generation id");
+        }
+        let total: u64 = comps.iter().map(|c| c.num_entries()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(t.mem_len(), 0);
+        // Every key remains reachable in exactly one shard component.
+        for i in 0..100 {
+            let hits = comps
+                .iter()
+                .filter(|c| c.search(&key(i)).unwrap().is_some())
+                .count();
+            assert_eq!(hits, 1, "key {i} in exactly one shard component");
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_is_globally_key_ordered() {
+        let t = sharded_tree(3);
+        for i in (0..60).rev() {
+            t.put(key(i), LsmEntry::put(vec![]), u64::from(60 - i));
+        }
+        // Seal mid-stream, then overwrite a few keys in the fresh shards.
+        t.seal_mem().unwrap();
+        t.put(key(5), LsmEntry::put(b"new".to_vec()), 100);
+        t.put(key(40), LsmEntry::anti_matter(), 101);
+        let snap = t.mem_snapshot_range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(snap.len(), 60);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "ordered");
+        let e5 = snap.iter().find(|(k, _)| k == &key(5)).unwrap();
+        assert_eq!(e5.1.value, b"new", "active shadows sealed");
+        let e40 = snap.iter().find(|(k, _)| k == &key(40)).unwrap();
+        assert!(e40.1.anti_matter);
+        t.flush_sealed().unwrap();
+        assert!(!t.has_sealed());
+    }
+
+    #[test]
+    fn sharded_merge_selection_covers_whole_generations() {
+        let t = sharded_tree(4);
+        let policy = TieringPolicy::new(u64::MAX);
+        let mut ts = 1u64;
+        for _ in 0..3 {
+            for i in 0..80 {
+                t.put(key(i), LsmEntry::put(vec![0; 16]), ts);
+                ts += 1;
+            }
+            t.flush().unwrap();
+        }
+        let n = t.num_disk_components();
+        assert!(n > 3, "three generations of shard components");
+        let range = t.select_merge(&policy).expect("generations mergeable");
+        assert_eq!((range.start, range.end), (0, n - 1), "whole generations");
+        let merged = t.merge_range(range).unwrap();
+        assert_eq!(t.num_disk_components(), 1);
+        assert_eq!(merged.num_entries(), 80, "duplicates reconciled");
+    }
+
+    #[test]
+    fn single_generation_is_never_selected_for_merge() {
+        // A lone sharded generation must not merge with itself: its merged
+        // interval would equal the generation's, and recovery could no
+        // longer tell a merged component from a flush generation.
+        let t = sharded_tree(4);
+        let policy = TieringPolicy::new(u64::MAX);
+        for i in 0..80 {
+            t.put(key(i), LsmEntry::put(vec![0; 16]), u64::from(i) + 1);
+        }
+        t.flush().unwrap();
+        assert!(t.num_disk_components() > 1);
+        assert!(t.select_merge(&policy).is_none());
+    }
+
+    #[test]
+    fn shard_one_matches_unsharded_layout() {
+        // memtable_shards = 1 must be byte-identical to the historical
+        // unsharded tree: one component per flush, exact interval ids.
+        let t = sharded_tree(1);
+        for i in 0..50 {
+            t.put(key(i), LsmEntry::put(vec![b'x']), u64::from(i) + 1);
+        }
+        let c = t.flush().unwrap().unwrap();
+        assert_eq!(t.num_disk_components(), 1);
+        assert_eq!(c.id(), ComponentId::new(1, 50));
+        assert_eq!(c.num_entries(), 50);
+    }
+
+    #[test]
+    fn sharded_mem_bytes_tracks_all_shards() {
+        let t = sharded_tree(4);
+        assert_eq!(t.mem_bytes(), 0);
+        for i in 0..40 {
+            t.put(key(i), LsmEntry::put(vec![0; 50]), u64::from(i) + 1);
+        }
+        let total = t.mem_bytes();
+        assert!(total > 40 * 50, "aggregate covers every shard: {total}");
+        t.seal_mem().unwrap();
+        assert_eq!(t.mem_bytes(), 0, "sealed bytes move out of the active sum");
+        assert!(t.sealed_bytes() >= total);
+        t.flush_sealed().unwrap();
+        assert_eq!(t.sealed_bytes(), 0);
     }
 }

@@ -42,6 +42,12 @@ pub struct IoStats {
     pub faults_injected: AtomicU64,
     /// Appends damaged by an injected torn or short write.
     pub torn_writes: AtomicU64,
+    /// WAL group commits: device appends that each covered one committer
+    /// group's page.
+    pub wal_groups: AtomicU64,
+    /// Log records covered by those group commits
+    /// (`wal_grouped_records / wal_groups` = mean group size).
+    pub wal_grouped_records: AtomicU64,
 }
 
 impl IoStats {
@@ -66,6 +72,8 @@ impl IoStats {
             write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            wal_groups: self.wal_groups.load(Ordering::Relaxed),
+            wal_grouped_records: self.wal_grouped_records.load(Ordering::Relaxed),
         }
     }
 
@@ -100,6 +108,8 @@ pub struct IoStatsSnapshot {
     pub write_throttle_wait_ns: u64,
     pub faults_injected: u64,
     pub torn_writes: u64,
+    pub wal_groups: u64,
+    pub wal_grouped_records: u64,
 }
 
 impl IoStatsSnapshot {
@@ -124,6 +134,8 @@ impl IoStatsSnapshot {
             write_throttle_wait_ns: self.write_throttle_wait_ns - earlier.write_throttle_wait_ns,
             faults_injected: self.faults_injected - earlier.faults_injected,
             torn_writes: self.torn_writes - earlier.torn_writes,
+            wal_groups: self.wal_groups - earlier.wal_groups,
+            wal_grouped_records: self.wal_grouped_records - earlier.wal_grouped_records,
         }
     }
 

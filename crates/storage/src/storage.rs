@@ -261,6 +261,17 @@ impl Storage {
         self.stats.snapshot()
     }
 
+    /// Records one WAL group commit: a single device append that covered
+    /// `records` staged log records.
+    pub fn note_wal_group(&self, records: u64) {
+        self.stats
+            .wal_groups
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .wal_grouped_records
+            .fetch_add(records, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Live counters (for recording bloom checks etc. from upper layers).
     pub fn raw_stats(&self) -> &IoStats {
         &self.stats

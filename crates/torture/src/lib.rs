@@ -88,6 +88,13 @@ impl DeviceKind {
 pub enum FaultKind {
     /// Crash at the `wal_append` site: the op fails before it is logged.
     CrashWalAppend,
+    /// Crash at the `wal_group_write` site: the group-commit leader dies
+    /// after a whole group of records was staged but before its single
+    /// page append reached the device. Every member of the group must be
+    /// absent after recovery (the committed prefix before the group
+    /// survives untouched) — a group reaches the device in one append or
+    /// not at all.
+    CrashGroupCommit,
     /// Crash at the `flush_install` site: the primary's flushed component
     /// is installed, the primary key index's is not.
     CrashFlushInstall,
@@ -112,8 +119,9 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// All fault kinds, in sweep order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::CrashWalAppend,
+        FaultKind::CrashGroupCommit,
         FaultKind::CrashFlushInstall,
         FaultKind::CrashMergeInstall,
         FaultKind::CrashCheckpoint,
@@ -127,6 +135,7 @@ impl FaultKind {
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::CrashWalAppend => "crash-wal-append",
+            FaultKind::CrashGroupCommit => "crash-group-commit",
             FaultKind::CrashFlushInstall => "crash-flush-install",
             FaultKind::CrashMergeInstall => "crash-merge-install",
             FaultKind::CrashCheckpoint => "crash-checkpoint",
@@ -248,6 +257,10 @@ pub fn build_plan(fault: FaultKind) -> Arc<FaultPlan> {
     let spec = match fault {
         FaultKind::CrashWalAppend => FaultSpec {
             trigger: site("wal_append"),
+            action: FaultAction::Crash,
+        },
+        FaultKind::CrashGroupCommit => FaultSpec {
+            trigger: site("wal_group_write"),
             action: FaultAction::Crash,
         },
         FaultKind::CrashFlushInstall => FaultSpec {
@@ -520,6 +533,30 @@ impl<'a> Harness<'a> {
                 self.expect_crash_err(r, "upsert into crashing WAL")?;
                 Ok(Some(Trigger {
                     pending: vec![rec],
+                    rule: PendingRule::Absent,
+                }))
+            }
+            FaultKind::CrashGroupCommit => {
+                // Stage a whole group in the WAL's staging page (no-force:
+                // nothing is promised durable yet), then crash the
+                // group-commit leader at the `wal_group_write` site — the
+                // group was staged, its page never reached the device. The
+                // failed page is dropped, so every member of the group must
+                // be absent after recovery while the committed prefix
+                // before the group survives.
+                let mut pending = Vec::new();
+                for _ in 0..8 {
+                    let r = self.extra_record();
+                    self.chk(self.ds.upsert(&r), "staged group upsert")?;
+                    pending.push(r);
+                }
+                let wal = self.ds.wal().expect("wal");
+                self.plan.arm();
+                let r = wal.force();
+                self.plan.disarm();
+                self.expect_crash_err(r, "group-commit force with crashing leader")?;
+                Ok(Some(Trigger {
+                    pending,
                     rule: PendingRule::Absent,
                 }))
             }
@@ -910,12 +947,12 @@ mod tests {
 
     #[test]
     fn sweeps_cover_the_advertised_matrix() {
-        assert_eq!(full_sweep(1, 100).len(), 4 * 2 * 3 * 8);
-        assert_eq!(smoke_sweep(1, 100).len(), 2 * 2 * 8);
+        assert_eq!(full_sweep(1, 100).len(), 4 * 2 * 3 * 9);
+        assert_eq!(smoke_sweep(1, 100).len(), 2 * 2 * 9);
         // Every repro line is unique — one line identifies one case.
         let mut lines: Vec<String> = full_sweep(1, 100).iter().map(|c| c.repro()).collect();
         lines.sort();
         lines.dedup();
-        assert_eq!(lines.len(), 4 * 2 * 3 * 8);
+        assert_eq!(lines.len(), 4 * 2 * 3 * 9);
     }
 }

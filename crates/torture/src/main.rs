@@ -39,10 +39,10 @@ OPTIONS:
   --strategy <S>        eager | validation | mutable-bitmap | deleted-key-btree
   --maintenance <M>     inline | background
   --device <D>          hdd | ssd | nvme
-  --fault <F>           crash-wal-append | crash-flush-install |
-                        crash-merge-install | crash-checkpoint |
-                        torn-wal-write | short-wal-write |
-                        transient-flush | transient-read
+  --fault <F>           crash-wal-append | crash-group-commit |
+                        crash-flush-install | crash-merge-install |
+                        crash-checkpoint | torn-wal-write |
+                        short-wal-write | transient-flush | transient-read
   --failures-file <P>   where to write failing repro lines
                         (default torture-failures.txt, written only on failure)
   --help                this text

@@ -38,9 +38,11 @@ fn main() {
     checkpoint(&ds, &state).expect("checkpoint");
 
     println!("2. update 50 accounts (bitmap deletes of the old versions) and commit");
+    let mut batch = ds.batch();
     for i in 0..50 {
-        ds.upsert(&rec(i, 100 + i)).expect("upsert");
+        batch = batch.upsert(&rec(i, 100 + i));
     }
+    batch.commit().expect("batch commit"); // one WAL group for all 50
     ds.wal().expect("wal").force().expect("force"); // commit point
     let comp = &ds.primary().disk_components()[0];
     println!(

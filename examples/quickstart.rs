@@ -32,13 +32,21 @@ fn main() {
     let storage = Storage::new(StorageOptions::hdd(64 * 1024 * 1024));
     let ds = Dataset::open(storage, None, cfg).expect("open dataset");
 
-    // Ingest the initial records of Figure 2.
+    // Ingest the initial records of Figure 2 as one atomic WriteBatch:
+    // all three records commit under a single WAL group.
     let rec = |id: i64, loc: &str, t: i64| {
         Record::new(vec![Value::Int(id), Value::Str(loc.into()), Value::Int(t)])
     };
-    ds.insert(&rec(101, "CA", 2015)).expect("insert");
-    ds.insert(&rec(102, "CA", 2016)).expect("insert");
-    ds.insert(&rec(103, "MA", 2017)).expect("insert");
+    let outcomes = ds
+        .batch()
+        .insert(&rec(101, "CA", 2015))
+        .insert(&rec(102, "CA", 2016))
+        .insert(&rec(103, "MA", 2017))
+        .commit()
+        .expect("batch commit");
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, lsm_engine::BatchOpResult::Inserted)));
     ds.flush_all().expect("flush");
 
     // The upsert of Figure 4: user 101 moves to NY.

@@ -60,13 +60,19 @@ fn main() {
             UpsertWorkload::new(TweetConfig::default(), 0.25, UpdateDistribution::Uniform);
         let clock = ds.storage().clock().clone();
         let t0 = clock.now_secs();
+        let mut batch = ds.batch();
         for _ in 0..n {
-            match workload.next_op() {
-                lsm_workload::Op::Upsert(r) => ds.upsert(&r).expect("upsert"),
-                lsm_workload::Op::Insert(r) => {
-                    ds.insert(&r).expect("insert");
-                }
+            batch = match workload.next_op() {
+                lsm_workload::Op::Upsert(r) => batch.upsert(&r),
+                lsm_workload::Op::Insert(r) => batch.insert(&r),
+            };
+            if batch.len() == 32 {
+                batch.commit().expect("batch commit");
+                batch = ds.batch();
             }
+        }
+        if !batch.is_empty() {
+            batch.commit().expect("batch commit");
         }
         ds.flush_all().expect("flush");
         let ingest = clock.now_secs() - t0;

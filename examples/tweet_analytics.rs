@@ -37,13 +37,21 @@ fn main() {
     let mut workload =
         UpsertWorkload::new(TweetConfig::default(), 0.1, UpdateDistribution::Uniform);
     let max_time = {
+        // Ingest through the WriteBatch API: 32 records per commit, each
+        // batch one atomic unit (and one WAL group when a log is attached).
+        let mut batch = ds.batch();
         for _ in 0..n {
-            match workload.next_op() {
-                lsm_workload::Op::Upsert(r) => ds.upsert(&r).expect("upsert"),
-                lsm_workload::Op::Insert(r) => {
-                    ds.insert(&r).expect("insert");
-                }
+            batch = match workload.next_op() {
+                lsm_workload::Op::Upsert(r) => batch.upsert(&r),
+                lsm_workload::Op::Insert(r) => batch.insert(&r),
+            };
+            if batch.len() == 32 {
+                batch.commit().expect("batch commit");
+                batch = ds.batch();
             }
+        }
+        if !batch.is_empty() {
+            batch.commit().expect("batch commit");
         }
         workload.generator().time_watermark()
     };
