@@ -106,6 +106,8 @@ pub fn merge_primary_with_cc(
         CcMethod::SideFile => {
             // Scan with frozen snapshots; no per-key locks (Figure 11a).
             let pairs: Vec<(Arc<DiskComponent>, Option<BitmapSnapshot>)> =
+                // INVARIANT: the init phase above produced `Some(snaps)` for
+                // the SideFile arm; the two matches use the same `method`.
                 p_inputs.iter().cloned().zip(snapshots.unwrap()).collect();
             let mut scan = LsmScan::with_bitmap_snapshots(
                 ds.storage().clone(),

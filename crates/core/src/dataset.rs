@@ -908,6 +908,8 @@ impl Dataset {
             if outcomes[i].is_some() {
                 continue;
             }
+            // INVARIANT: the validation pass set `keyed[i]` for every op it
+            // did not already resolve into `outcomes[i]` (checked above).
             let (pk, key) = keyed[i].as_ref().expect("validated op has a key");
             let mut sink = LogSink::Staged(&mut staged);
             let res = match op {
@@ -960,6 +962,8 @@ impl Dataset {
         self.maybe_flush_and_merge()?;
         Ok(outcomes
             .into_iter()
+            // INVARIANT: the loop above filled every `None` slot, and an
+            // infra error already returned `Err` before this point.
             .map(|o| o.expect("every staged op resolved"))
             .collect())
     }

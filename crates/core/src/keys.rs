@@ -34,6 +34,7 @@ pub fn decode_sk_pk(key: &[u8]) -> Result<(Value, Value)> {
         )));
     }
     let mut it = parts.into_iter();
+    // INVARIANT: `parts.len() == 2` was checked above; both calls yield.
     Ok((it.next().unwrap(), it.next().unwrap()))
 }
 

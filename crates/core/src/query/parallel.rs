@@ -80,6 +80,8 @@ fn merge_candidates(parts: Vec<Vec<Candidate>>) -> Vec<Candidate> {
             best = match best {
                 None => Some(i),
                 Some(b) => {
+                    // INVARIANT: `b` was only ever set for an iterator whose
+                    // head existed, and nothing advances iterators in this loop.
                     let bc = iters[b].as_slice().first().expect("non-exhausted head");
                     // Same comparator as the serial sort: pk asc, ts desc.
                     if (&cand.pk_key, bc.ts) < (&bc.pk_key, cand.ts) {
@@ -92,6 +94,8 @@ fn merge_candidates(parts: Vec<Vec<Candidate>>) -> Vec<Candidate> {
         }
         match best {
             None => break,
+            // INVARIANT: `best` points at an iterator whose head was just
+            // peeked as present; `next()` consumes exactly that element.
             Some(i) => merged.push(iters[i].next().expect("peeked head present")),
         }
     }

@@ -73,6 +73,8 @@ impl QueryPool {
                 std::thread::Builder::new()
                     .name(format!("lsm-query-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // INVARIANT: spawn fails only on OS thread exhaustion at
+                    // startup; fatal by design, same policy as thread::spawn.
                     .expect("spawn query worker")
             })
             .collect();
@@ -160,6 +162,8 @@ impl<T: Send> Scatter<T> {
         if idx >= self.total {
             return false;
         }
+        // INVARIANT: `next.fetch_add` hands out each in-range index exactly
+        // once, and every slot started `Some` — no double claim is possible.
         let task = self.tasks.lock()[idx].take().expect("task claimed once");
         let (read, write) = self.throttles.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -255,6 +259,8 @@ pub(crate) fn scatter<T: Send + 'static>(
     let mut results = shared.results.lock();
     results
         .iter_mut()
+        // INVARIANT: every worker was joined above, so each claimed task
+        // either stored its result or re-raised its panic before this line.
         .map(|slot| slot.take().expect("completed task has a result"))
         .collect()
 }

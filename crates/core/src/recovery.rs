@@ -34,7 +34,7 @@ use std::collections::HashMap;
 
 /// Checkpointed bitmap state, keyed by component ID interval (component
 /// files are immutable, so the ID identifies the component).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CheckpointState {
     bitmaps: Mutex<HashMap<(Timestamp, Timestamp), BitmapSnapshot>>,
     lsn: Mutex<Timestamp>,
@@ -43,7 +43,19 @@ pub struct CheckpointState {
 impl CheckpointState {
     /// Creates empty checkpoint state.
     pub fn new() -> Self {
-        Self::default()
+        // Constructed field-by-field (not via derive) so the two locks get
+        // distinct lock classes: `checkpoint` stamps `lsn` while holding
+        // `bitmaps` (checkpoint-bitmaps -> checkpoint-lsn edge).
+        CheckpointState {
+            bitmaps: Mutex::new(HashMap::new()),
+            lsn: Mutex::new(0),
+        }
+    }
+}
+
+impl Default for CheckpointState {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -196,6 +196,8 @@ pub(crate) fn merge_repair(
     assert!(!inputs.is_empty());
     let prune_ts = inputs.iter().map(|c| c.repaired_ts()).min().unwrap_or(0);
     let drop_anti = sec_tree.range_includes_oldest(range);
+    // INVARIANT: `inputs` is non-empty (asserted above), so the merged id
+    // has at least one constituent.
     let id = ComponentId::merged(inputs.iter().map(|c| c.id())).expect("non-empty merge");
     let expected: u64 = inputs.iter().map(|c| c.num_entries()).sum();
 
@@ -399,7 +401,7 @@ pub(crate) fn repair_all_secondaries(
                 ));
             }
             for (i, h) in handles {
-                reports[i] = h.join().expect("repair thread panicked")?;
+                reports[i] = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))?;
             }
             Ok(())
         })?;
@@ -447,8 +449,7 @@ pub(crate) fn deli_primary_repair(dataset: &Dataset, with_merge: bool) -> Result
         // (component order in `comps` is newest-first).
         let mut versions: Vec<LsmEntry> = Vec::new();
         for (i, head) in heads.iter_mut().enumerate() {
-            if head.as_ref().is_some_and(|(k, _, _)| *k == min_key) {
-                let (_, raw, _) = head.take().unwrap();
+            if let Some((_, raw, _)) = head.take_if(|(k, _, _)| *k == min_key) {
                 versions.push(LsmEntry::decode(&raw)?);
                 *head = scans[i].next_entry()?;
             }

@@ -213,8 +213,12 @@ impl RuntimeShared {
     fn new(cfg: EngineConfig) -> Self {
         let read_throttle = cfg
             .io_read_bytes_per_sec
+            // INVARIANT: effective_burst_bytes() is Some whenever the read
+            // rate is Some (it defaults the burst to the rate itself).
             .map(|rate| lsm_storage::IoThrottle::new(rate, cfg.effective_burst_bytes().unwrap()));
         let write_throttle = cfg.io_write_bytes_per_sec.map(|rate| {
+            // INVARIANT: effective_write_burst_bytes() is Some whenever the
+            // write rate is Some (it defaults the burst to the rate itself).
             lsm_storage::IoThrottle::new(rate, cfg.effective_write_burst_bytes().unwrap())
         });
         RuntimeShared {
@@ -413,7 +417,9 @@ impl RuntimeShared {
         // Flush class: round-robin across datasets. Flushes are uniform
         // (seal + build what is sealed), so plain rotation is fair.
         for _ in 0..s.flush_ring.len() {
-            let id = *s.flush_ring.front().expect("ring non-empty in loop");
+            let Some(&id) = s.flush_ring.front() else {
+                break;
+            };
             let Some(entry) = s.datasets.get_mut(&id) else {
                 s.flush_ring.pop_front(); // deregistered: drop lazily
                 continue;
@@ -447,7 +453,9 @@ impl RuntimeShared {
             // dataset's head merge; None when nothing was deficit-blocked.
             let mut min_turns: Option<u64> = None;
             for _ in 0..s.merge_ring.len() {
-                let id = *s.merge_ring.front().expect("ring non-empty in loop");
+                let Some(&id) = s.merge_ring.front() else {
+                    break;
+                };
                 let Some(entry) = s.datasets.get_mut(&id) else {
                     s.merge_ring.pop_front(); // deregistered: drop lazily
                     continue;
@@ -470,6 +478,8 @@ impl RuntimeShared {
                     continue;
                 }
                 entry.deficit -= cost;
+                // INVARIANT: `merges.peek()` returned `Some(head)` above and
+                // the state lock is held; this pop yields that same job.
                 let Reverse(job) = entry.merges.pop().expect("peeked job present");
                 // Clear the dedup key immediately: work arriving while
                 // this job runs must be re-queueable (the job mutexes in
@@ -623,9 +633,11 @@ impl MaintenanceRuntime {
                 std::thread::Builder::new()
                     .name(format!("lsm-maint-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn maintenance worker")
+                    .map_err(|e| {
+                        lsm_common::Error::Storage(format!("spawn maintenance worker: {e}"))
+                    })
             })
-            .collect();
+            .collect::<Result<Vec<_>>>()?;
         Ok(Arc::new(MaintenanceRuntime {
             shared,
             permanent: Mutex::new(handles),

@@ -96,6 +96,8 @@ impl LockManager {
     pub fn unlock_shared(&self, key: &[u8]) {
         let shard = self.shard(key);
         let mut table = shard.table.lock();
+        // INVARIANT: callers pair this with a successful lock_shared (the
+        // with_* helpers enforce it); unlocking an unheld key is a caller bug.
         let state = table.get_mut(key).expect("unlock of unheld key");
         assert!(state.holders != X_HOLD && state.holders > 0, "not S-held");
         state.holders -= 1;
@@ -111,6 +113,8 @@ impl LockManager {
     pub fn unlock_exclusive(&self, key: &[u8]) {
         let shard = self.shard(key);
         let mut table = shard.table.lock();
+        // INVARIANT: callers pair this with a successful lock_exclusive (the
+        // with_* helpers enforce it); unlocking an unheld key is a caller bug.
         let state = table.get_mut(key).expect("unlock of unheld key");
         assert!(state.holders == X_HOLD, "not X-held");
         state.holders = 0;

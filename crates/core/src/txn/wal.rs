@@ -110,6 +110,20 @@ pub struct LogRecord {
     pub update_bit: bool,
 }
 
+/// Reads a little-endian `u32` from a slice the caller has already
+/// bounds-checked to exactly four bytes.
+fn le32(b: &[u8]) -> u32 {
+    // INVARIANT: every caller slices exactly 4 length-checked bytes.
+    u32::from_le_bytes(b.try_into().unwrap())
+}
+
+/// Reads a little-endian `u64` from a slice the caller has already
+/// bounds-checked to exactly eight bytes.
+fn le64(b: &[u8]) -> u64 {
+    // INVARIANT: every caller slices exactly 8 length-checked bytes.
+    u64::from_le_bytes(b.try_into().unwrap())
+}
+
 /// FNV-1a over a record body: cheap, and any zero-fill or truncation a
 /// torn write produces changes it.
 fn fnv1a(data: &[u8]) -> u32 {
@@ -142,33 +156,31 @@ impl LogRecord {
         if buf.len() < 4 {
             return Err(Error::corruption("truncated log length"));
         }
-        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let len = le32(&buf[0..4]) as usize;
         let body = buf
             .get(4..4 + len)
             .ok_or_else(|| Error::corruption("truncated log body"))?;
         let sum = buf
             .get(4 + len..8 + len)
             .ok_or_else(|| Error::corruption("truncated log checksum"))?;
-        if u32::from_le_bytes(sum.try_into().unwrap()) != fnv1a(body) {
+        if le32(sum) != fnv1a(body) {
             return Err(Error::corruption("log record checksum mismatch"));
         }
         if body.len() < 18 {
             return Err(Error::corruption("log body too short"));
         }
-        let lsn = u64::from_le_bytes(body[0..8].try_into().unwrap());
+        let lsn = le64(&body[0..8]);
         let op = LogOp::from_u8(body[8])?;
         let update_bit = body[9] != 0;
-        let klen = u32::from_le_bytes(body[10..14].try_into().unwrap()) as usize;
+        let klen = le32(&body[10..14]) as usize;
         let key = body
             .get(14..14 + klen)
             .ok_or_else(|| Error::corruption("truncated log key"))?
             .to_vec();
         let voff = 14 + klen;
-        let vlen = u32::from_le_bytes(
+        let vlen = le32(
             body.get(voff..voff + 4)
-                .ok_or_else(|| Error::corruption("truncated log vlen"))?
-                .try_into()
-                .unwrap(),
+                .ok_or_else(|| Error::corruption("truncated log vlen"))?,
         ) as usize;
         let value = body
             .get(voff + 4..voff + 4 + vlen)
@@ -421,7 +433,7 @@ impl Wal {
             let last_page = p + 1 == pages;
             let mut off = 0;
             while off + 4 <= data.len() {
-                let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                let len = le32(&data[off..off + 4]) as usize;
                 if len == 0 {
                     break;
                 }

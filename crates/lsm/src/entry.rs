@@ -107,6 +107,8 @@ impl LsmEntry {
             if buf.len() < 9 {
                 return Err(Error::corruption("truncated entry timestamp"));
             }
+            // INVARIANT: `buf.len() >= 9` was checked above; the slice is
+            // exactly the 8 timestamp bytes.
             (Timestamp::from_be_bytes(buf[1..9].try_into().unwrap()), 9)
         } else {
             (NO_TIMESTAMP, 1)

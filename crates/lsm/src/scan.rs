@@ -199,6 +199,8 @@ impl LsmScan {
             match winner {
                 None => winner = Some(i),
                 Some(w) => {
+                    // INVARIANT: `w` was only ever set for a `Some` head and
+                    // no head is advanced during this scan.
                     let wh = self.heads[w].as_ref().unwrap();
                     if h.key < wh.key || (h.key == wh.key && h.rank < wh.rank) {
                         winner = Some(i);
@@ -207,6 +209,7 @@ impl LsmScan {
             }
         }
         let Some(w) = winner else { return Ok(None) };
+        // INVARIANT: the winner index always points at a `Some` head.
         let win_key = self.heads[w].as_ref().unwrap().key.clone();
 
         // Charge the reconciliation cost: one heap round over the sources.
@@ -217,11 +220,9 @@ impl LsmScan {
         // Advance every source sitting on the winning key; keep the winner.
         let mut result: Option<(Key, LsmEntry, usize, u64)> = None;
         for i in 0..self.heads.len() {
-            let matches = self.heads[i].as_ref().is_some_and(|h| h.key == win_key);
-            if !matches {
+            let Some(head) = self.heads[i].take_if(|h| h.key == win_key) else {
                 continue;
-            }
-            let head = self.heads[i].take().unwrap();
+            };
             if i == w {
                 result = Some((head.key, head.entry, head.rank, head.ordinal));
             }

@@ -282,7 +282,10 @@ impl LsmTree {
     /// shared by seals and whole-tree captures; single-shard writers take
     /// one of these and therefore cannot deadlock against it).
     fn lock_all_shards(&self) -> Vec<parking_lot::MutexGuard<'_, MemComponent>> {
-        self.mem.iter().map(|m| m.lock()).collect()
+        // Same-class multi-acquisition, always in index order — sanctioned
+        // via the detector's escape hatch (ARCHITECTURE.md, "Lock
+        // hierarchy": mem-shard rank, ordered within the class).
+        parking_lot::ordered_acquisition(|| self.mem.iter().map(|m| m.lock()).collect())
     }
 
     // ---- memory component -------------------------------------------------
@@ -690,7 +693,7 @@ impl LsmTree {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard build panicked"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         })
     }
@@ -939,6 +942,8 @@ fn merge_mem_runs(
         while let Some((ok, _)) = old.peek() {
             match ok.as_slice().cmp(&k) {
                 std::cmp::Ordering::Less => {
+                    // INVARIANT: `peek()` just returned `Some`, so `next()`
+                    // yields that same element.
                     let (ok, oe) = old.next().unwrap();
                     out.push((ok.clone(), oe.clone()));
                 }
@@ -965,6 +970,7 @@ fn interleave_disjoint_runs(runs: Vec<Vec<(Key, LsmEntry)>>) -> Vec<(Key, LsmEnt
         .map(VecDeque::from)
         .collect();
     if queues.len() == 1 {
+        // INVARIANT: length is exactly 1, so the pop yields the only queue.
         return queues.pop().unwrap().into();
     }
     let mut out = Vec::with_capacity(queues.iter().map(VecDeque::len).sum());
@@ -973,12 +979,16 @@ fn interleave_disjoint_runs(runs: Vec<Vec<(Key, LsmEntry)>>) -> Vec<(Key, LsmEnt
         for (i, q) in queues.iter().enumerate() {
             if let Some((k, _)) = q.front() {
                 best = match best {
+                    // INVARIANT: `b` was only ever set for a queue with a
+                    // non-empty front, and nothing is popped in this scan.
                     Some(b) if queues[b].front().unwrap().0 <= *k => Some(b),
                     _ => Some(i),
                 };
             }
         }
         let Some(b) = best else { break };
+        // INVARIANT: `best` points at a queue seen non-empty in the scan
+        // just above; nothing was popped since.
         out.push(queues[b].pop_front().unwrap());
     }
     out

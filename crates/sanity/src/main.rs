@@ -1,0 +1,47 @@
+//! `lsm-sanity` binary: runs every workspace lint check and exits nonzero on
+//! any violation. Run from anywhere inside the repo (`cargo run -p
+//! lsm-sanity`); pass a root explicitly with `--root <path>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Built by cargo: the manifest lives at <root>/crates/sanity.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = workspace_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other} (usage: lsm-sanity [--root <path>])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let violations = lsm_sanity::run_all(&root);
+    if violations.is_empty() {
+        println!("lsm-sanity: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!("lsm-sanity: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

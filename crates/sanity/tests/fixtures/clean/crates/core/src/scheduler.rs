@@ -1,0 +1,3 @@
+pub struct RuntimeStatsSnapshot {
+    pub jobs: u64,
+}

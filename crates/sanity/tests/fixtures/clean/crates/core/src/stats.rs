@@ -1,0 +1,7 @@
+pub struct EngineStats {
+    pub reads: AtomicU64,
+}
+
+pub struct EngineStatsSnapshot {
+    pub reads: u64,
+}

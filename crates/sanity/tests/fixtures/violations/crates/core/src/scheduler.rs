@@ -1,0 +1,4 @@
+pub struct RuntimeStatsSnapshot {
+    pub documented: u64,
+    pub undocumented_counter: u64,
+}

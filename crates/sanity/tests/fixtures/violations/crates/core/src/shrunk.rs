@@ -1,0 +1,3 @@
+pub fn one_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

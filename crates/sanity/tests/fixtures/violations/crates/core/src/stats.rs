@@ -1,0 +1,8 @@
+pub struct EngineStats {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+}
+
+pub struct EngineStatsSnapshot {
+    pub reads: u64,
+}

@@ -1,0 +1,3 @@
+pub fn build_plan() -> Trigger {
+    site("orphan_site")
+}

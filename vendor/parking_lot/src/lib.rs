@@ -6,87 +6,326 @@
 //!   `Result` / poisoning — a poisoned `std` lock is unwrapped here, since a
 //!   panic while holding a lock is already fatal for these use cases);
 //! * `Condvar::wait` takes `&mut MutexGuard`.
+//!
+//! # Lock-order checking (`--cfg lock_order_check`)
+//!
+//! Because every lock in the workspace is constructed through this shim, it
+//! doubles as a lockdep-style deadlock detector. Compiling the workspace with
+//! `RUSTFLAGS="--cfg lock_order_check"` turns on instrumentation:
+//!
+//! * every [`Mutex`] / [`RwLock`] belongs to a **lock class** keyed by the
+//!   `#[track_caller]` construction site of `new()` — all instances born at
+//!   one source location (e.g. the 16 key-lock shards) share a class;
+//! * each thread keeps a stack of currently-held classes, and each blocking
+//!   acquisition records `held → acquired` edges into one global directed
+//!   graph shared by the whole process;
+//! * adding an edge runs incremental cycle detection. A cycle means two code
+//!   paths take the same pair of lock classes in opposite orders — a
+//!   *potential* deadlock — and the acquisition **panics deterministically**
+//!   on the first single-threaded run that exercises both orders, naming the
+//!   construction site of every class on the cycle and the acquisition sites
+//!   that established the conflicting edges;
+//! * acquiring a class already held by the same thread (a different instance
+//!   of the same class, or the same lock reentrantly) panics as a
+//!   **reentrant acquisition** unless wrapped in [`ordered_acquisition`];
+//! * [`Condvar::wait`] / [`Condvar::wait_for`] pop the mutex's class for the
+//!   duration of the wait (the lock is genuinely released) and re-push it —
+//!   re-running the edge check — when the wait returns.
+//!
+//! Without the cfg every type compiles down to a plain newtype over
+//! `std::sync` and the guards are bare type aliases: zero cost in release.
+//!
+//! The sanctioned class hierarchy for this workspace is documented in
+//! ARCHITECTURE.md ("Lock hierarchy"); docs/OPERATIONS.md describes running
+//! the test suite instrumented and reading a cycle report.
 
 use std::sync;
 
-/// A mutex whose `lock` returns the guard directly.
-#[derive(Default, Debug)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[cfg(lock_order_check)]
+use std::panic::Location;
 
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    #[cfg(lock_order_check)]
+    class: &'static Location<'static>,
+    inner: sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+#[cfg(not(lock_order_check))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 
+/// Guard returned by [`Mutex::lock`]; pops its lock class on drop.
+#[cfg(lock_order_check)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    held: order::Held,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 impl<T> Mutex<T> {
+    /// Creates a mutex. Under `lock_order_check` the caller's source
+    /// location becomes the lock class of every instance built here.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(lock_order_check)]
+            class: Location::caller(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg_attr(lock_order_check, track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_order_check)]
+        {
+            let held = order::acquire(self.class, Location::caller());
+            MutexGuard {
+                held,
+                inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+        #[cfg(not(lock_order_check))]
+        {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
+    /// Non-blocking acquisition attempt. A `try_lock` cannot participate in
+    /// a deadlock as the blocked party, so under `lock_order_check` a
+    /// success is pushed as held (it constrains *later* blocking
+    /// acquisitions) but adds no incoming edges itself.
+    #[cfg_attr(lock_order_check, track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
+        let inner = match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        }?;
+        #[cfg(lock_order_check)]
+        {
+            Some(MutexGuard {
+                held: order::acquire_try(self.class),
+                inner,
+            })
+        }
+        #[cfg(not(lock_order_check))]
+        {
+            Some(inner)
         }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// A reader-writer lock whose `read` / `write` return guards directly.
-#[derive(Default, Debug)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(lock_order_check)]
+    class: &'static Location<'static>,
+    inner: sync::RwLock<T>,
+}
 
+/// Guard returned by [`RwLock::read`].
+#[cfg(not(lock_order_check))]
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+#[cfg(not(lock_order_check))]
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
+/// Guard returned by [`RwLock::read`]; pops its lock class on drop.
+#[cfg(lock_order_check)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[allow(dead_code)] // held for its Drop
+    held: order::Held,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Guard returned by [`RwLock::write`]; pops its lock class on drop.
+#[cfg(lock_order_check)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[allow(dead_code)] // held for its Drop
+    held: order::Held,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(lock_order_check)]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 impl<T> RwLock<T> {
+    /// Creates a reader-writer lock. Under `lock_order_check` the caller's
+    /// source location becomes the lock class (readers and writers share
+    /// it — the detector is deliberately conservative about read locks,
+    /// since `std` readers can deadlock against a queued writer).
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(lock_order_check)]
+            class: Location::caller(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg_attr(lock_order_check, track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
-    }
-
-    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
+        #[cfg(lock_order_check)]
+        {
+            let held = order::acquire(self.class, Location::caller());
+            RwLockReadGuard {
+                held,
+                inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+        #[cfg(not(lock_order_check))]
+        {
+            self.inner.read().unwrap_or_else(|e| e.into_inner())
         }
     }
 
-    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
+    #[cfg_attr(lock_order_check, track_caller)]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(lock_order_check)]
+        {
+            let held = order::acquire(self.class, Location::caller());
+            RwLockWriteGuard {
+                held,
+                inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+        #[cfg(not(lock_order_check))]
+        {
+            self.inner.write().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Non-blocking read attempt (see [`Mutex::try_lock`] for the
+    /// `lock_order_check` semantics).
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = match self.inner.try_read() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        }?;
+        #[cfg(lock_order_check)]
+        {
+            Some(RwLockReadGuard {
+                held: order::acquire_try(self.class),
+                inner,
+            })
+        }
+        #[cfg(not(lock_order_check))]
+        {
+            Some(inner)
+        }
+    }
+
+    /// Non-blocking write attempt (see [`Mutex::try_lock`] for the
+    /// `lock_order_check` semantics).
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let inner = match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }?;
+        #[cfg(lock_order_check)]
+        {
+            Some(RwLockWriteGuard {
+                held: order::acquire_try(self.class),
+                inner,
+            })
+        }
+        #[cfg(not(lock_order_check))]
+        {
+            Some(inner)
         }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -100,19 +339,49 @@ impl Condvar {
         Condvar(sync::Condvar::new())
     }
 
+    /// Blocks until notified. Under `lock_order_check` the mutex's class is
+    /// popped from the held stack for the duration of the wait (the lock is
+    /// genuinely released) and re-pushed — re-running the order check — on
+    /// reacquisition.
+    #[cfg_attr(lock_order_check, track_caller)]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(lock_order_check)]
+        let class = {
+            let class = guard.held.class;
+            order::release_for_wait(class);
+            class
+        };
         // Temporarily move the guard out so std's by-value wait can run,
         // then put the reacquired guard back.
-        replace_with(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+        #[cfg(lock_order_check)]
+        let slot = &mut guard.inner;
+        #[cfg(not(lock_order_check))]
+        let slot = guard;
+        replace_with(slot, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+        #[cfg(lock_order_check)]
+        order::reacquire_after_wait(class, Location::caller());
     }
 
+    /// Like [`Condvar::wait`] with a timeout; same `lock_order_check`
+    /// pop/re-push behavior.
+    #[cfg_attr(lock_order_check, track_caller)]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: std::time::Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(lock_order_check)]
+        let class = {
+            let class = guard.held.class;
+            order::release_for_wait(class);
+            class
+        };
+        #[cfg(lock_order_check)]
+        let slot = &mut guard.inner;
+        #[cfg(not(lock_order_check))]
+        let slot = guard;
         let mut timed_out = false;
-        replace_with(guard, |g| {
+        replace_with(slot, |g| {
             let (g, r) = self
                 .0
                 .wait_timeout(g, timeout)
@@ -120,6 +389,8 @@ impl Condvar {
             timed_out = r.timed_out();
             g
         });
+        #[cfg(lock_order_check)]
+        order::reacquire_after_wait(class, Location::caller());
         WaitTimeoutResult(timed_out)
     }
 
@@ -142,6 +413,252 @@ impl WaitTimeoutResult {
     /// True if the wait ended because the timeout elapsed.
     pub fn timed_out(&self) -> bool {
         self.0
+    }
+}
+
+/// Marks a scope whose same-class lock acquisitions follow a deterministic
+/// total order (e.g. "all memtable shards, in index order" or "key locks in
+/// sorted key order") and therefore cannot deadlock against each other.
+///
+/// Under `lock_order_check` this suppresses the reentrant-same-class panic
+/// for the dynamic extent of `f` on this thread; cross-class ordering is
+/// still checked and recorded. Without the cfg it is a direct call to `f`.
+///
+/// This is an escape hatch for *documented* ordered acquisition protocols
+/// only — each use site must say what the order is. An unordered use hides
+/// real deadlocks from the detector.
+pub fn ordered_acquisition<R>(f: impl FnOnce() -> R) -> R {
+    #[cfg(lock_order_check)]
+    {
+        order::with_ordered_scope(f)
+    }
+    #[cfg(not(lock_order_check))]
+    {
+        f()
+    }
+}
+
+/// Number of lock classes the current thread holds (test hook; only
+/// meaningful under `lock_order_check`).
+#[cfg(lock_order_check)]
+#[doc(hidden)]
+pub fn held_lock_classes() -> usize {
+    order::held_count()
+}
+
+/// Lock-order detector internals: class interning, per-thread held stacks,
+/// the global edge graph and its incremental cycle check.
+#[cfg(lock_order_check)]
+mod order {
+    use std::cell::{Cell, RefCell};
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::{LazyLock, Mutex};
+
+    type ClassId = u32;
+    type Loc = &'static Location<'static>;
+
+    /// One held-stack entry; popped (last occurrence of the class) on drop.
+    pub(crate) struct Held {
+        pub(crate) class: ClassId,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            pop(self.class);
+        }
+    }
+
+    struct Registry {
+        /// Construction-site key → class id.
+        ids: HashMap<(&'static str, u32, u32), ClassId>,
+        /// Class id → construction site.
+        ctors: Vec<Loc>,
+        /// `edges[holder]` = classes acquired while `holder` was held.
+        edges: Vec<Vec<ClassId>>,
+        /// First acquisition site that established each `(holder, acquired)`
+        /// edge — the witness printed in a cycle report.
+        witness: HashMap<(ClassId, ClassId), Loc>,
+    }
+
+    static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(|| {
+        Mutex::new(Registry {
+            ids: HashMap::new(),
+            ctors: Vec::new(),
+            edges: Vec::new(),
+            witness: HashMap::new(),
+        })
+    });
+
+    thread_local! {
+        static HELD: RefCell<Vec<ClassId>> = const { RefCell::new(Vec::new()) };
+        static ORDERED_DEPTH: Cell<usize> = const { Cell::new(0) };
+    }
+
+    impl Registry {
+        fn intern(&mut self, ctor: Loc) -> ClassId {
+            let key = (ctor.file(), ctor.line(), ctor.column());
+            if let Some(&id) = self.ids.get(&key) {
+                return id;
+            }
+            let id = self.ctors.len() as ClassId;
+            self.ids.insert(key, id);
+            self.ctors.push(ctor);
+            self.edges.push(Vec::new());
+            id
+        }
+
+        /// Depth-first path `from → … → to` over the edge graph, if any.
+        fn path(&self, from: ClassId, to: ClassId) -> Option<Vec<ClassId>> {
+            let mut visited = vec![false; self.ctors.len()];
+            let mut stack = vec![(from, 0usize)];
+            let mut trail = vec![from];
+            visited[from as usize] = true;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if node == to {
+                    return Some(trail);
+                }
+                let outs = &self.edges[node as usize];
+                let mut advanced = false;
+                while *next < outs.len() {
+                    let n = outs[*next];
+                    *next += 1;
+                    if !visited[n as usize] {
+                        visited[n as usize] = true;
+                        stack.push((n, 0));
+                        trail.push(n);
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    stack.pop();
+                    trail.pop();
+                }
+            }
+            None
+        }
+
+        fn cycle_report(&self, holder: ClassId, acquired: ClassId, site: Loc) -> String {
+            let mut msg = format!(
+                "lock-order cycle detected: acquiring lock class constructed at \
+                 {acq_ctor} (acquisition at {site}) while holding lock class \
+                 constructed at {hold_ctor}, but the reverse order already exists:\n",
+                acq_ctor = self.ctors[acquired as usize],
+                hold_ctor = self.ctors[holder as usize],
+            );
+            if let Some(path) = self.path(acquired, holder) {
+                for pair in path.windows(2) {
+                    let w = self.witness.get(&(pair[0], pair[1]));
+                    msg.push_str(&format!(
+                        "  class {} -> class {} (established at {})\n",
+                        self.ctors[pair[0] as usize],
+                        self.ctors[pair[1] as usize],
+                        w.map(|l| l.to_string()).unwrap_or_else(|| "?".into()),
+                    ));
+                }
+            }
+            msg.push_str(
+                "fix: acquire these classes in the sanctioned order \
+                 (ARCHITECTURE.md, \"Lock hierarchy\"), or wrap a documented \
+                 deterministic-order protocol in parking_lot::ordered_acquisition",
+            );
+            msg
+        }
+    }
+
+    /// Records a blocking acquisition of `ctor`'s class at `site`: panics on
+    /// reentrant same-class acquisition (outside an ordered scope) or on a
+    /// lock-order cycle, otherwise adds `held → class` edges and pushes the
+    /// class. Called *before* blocking on the real lock, so a panic never
+    /// strands a held lock.
+    pub(crate) fn acquire(ctor: Loc, site: Loc) -> Held {
+        let held: Vec<ClassId> = HELD.with(|h| h.borrow().clone());
+        let ordered = ORDERED_DEPTH.with(|d| d.get()) > 0;
+        let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        let class = reg.intern(ctor);
+        if held.contains(&class) && !ordered {
+            panic!(
+                "lock-order violation: reentrant acquisition of lock class \
+                 constructed at {} (acquisition at {site}); a second instance \
+                 of this class is already held by this thread. If the \
+                 acquisitions follow a deterministic total order, wrap them \
+                 in parking_lot::ordered_acquisition and document the order.",
+                reg.ctors[class as usize],
+            );
+        }
+        for &h in &held {
+            if h == class || reg.edges[h as usize].contains(&class) {
+                continue;
+            }
+            if reg.path(class, h).is_some() {
+                let msg = reg.cycle_report(h, class, site);
+                drop(reg);
+                panic!("{msg}");
+            }
+            reg.edges[h as usize].push(class);
+            reg.witness.insert((h, class), site);
+        }
+        drop(reg);
+        HELD.with(|h| h.borrow_mut().push(class));
+        Held { class }
+    }
+
+    /// Records a successful non-blocking acquisition: pushed as held (it
+    /// constrains later blocking acquisitions) but no incoming edges and no
+    /// cycle check — a `try_lock` cannot block, so it cannot close a
+    /// deadlock cycle.
+    pub(crate) fn acquire_try(ctor: Loc) -> Held {
+        let class = {
+            let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            reg.intern(ctor)
+        };
+        HELD.with(|h| h.borrow_mut().push(class));
+        Held { class }
+    }
+
+    /// Pops `class` for the duration of a `Condvar` wait.
+    pub(crate) fn release_for_wait(class: ClassId) {
+        pop(class);
+    }
+
+    /// Re-pushes `class` when a `Condvar` wait returns, re-running the edge
+    /// check (the reacquisition is a genuine blocking acquisition).
+    pub(crate) fn reacquire_after_wait(class: ClassId, site: Loc) {
+        let ctor = {
+            let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            reg.ctors[class as usize]
+        };
+        // `acquire` pushes and returns a Held whose drop would double-pop;
+        // forget it — the original guard's Held owns the pop.
+        std::mem::forget(acquire(ctor, site));
+    }
+
+    fn pop(class: ClassId) {
+        // `try_with`: guards dropped during thread teardown must not panic.
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&c| c == class) {
+                held.remove(i);
+            }
+        });
+    }
+
+    /// Runs `f` with the reentrant-same-class check suppressed (panic-safe).
+    pub(crate) fn with_ordered_scope<R>(f: impl FnOnce() -> R) -> R {
+        struct Scope;
+        impl Drop for Scope {
+            fn drop(&mut self) {
+                ORDERED_DEPTH.with(|d| d.set(d.get() - 1));
+            }
+        }
+        ORDERED_DEPTH.with(|d| d.set(d.get() + 1));
+        let _scope = Scope;
+        f()
+    }
+
+    pub(crate) fn held_count() -> usize {
+        HELD.with(|h| h.borrow().len())
     }
 }
 
@@ -201,5 +718,157 @@ mod tests {
             cv.notify_all();
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Arc::new(Mutex::new(0));
+        let g = m.lock();
+        let m2 = m.clone();
+        std::thread::spawn(move || assert!(m2.try_lock().is_none()))
+            .join()
+            .unwrap();
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+}
+
+/// Detector-only tests; they run in the instrumented CI `sanity` job
+/// (`RUSTFLAGS="--cfg lock_order_check"`), while the plain tests above run
+/// in both modes — the behavior-identity half of the contract.
+#[cfg(all(test, lock_order_check))]
+mod order_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe, Location};
+
+    /// `file:line:` prefix of a `Location` captured on the same source line
+    /// as a lock construction (columns differ; the detector prints
+    /// `file:line:col`).
+    fn at(loc: &'static Location<'static>) -> String {
+        format!("{}:{}:", loc.file(), loc.line())
+    }
+
+    fn panic_message(r: std::thread::Result<impl Sized>) -> String {
+        match r {
+            Ok(_) => panic!("expected a lock-order panic"),
+            Err(e) => e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("panic payload is a string"),
+        }
+    }
+
+    #[test]
+    fn inversion_panics_with_both_construction_sites() {
+        let (a, la) = (Mutex::new(()), Location::caller());
+        let (b, lb) = (Mutex::new(()), Location::caller());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        let _gb = b.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| a.lock())));
+        assert!(msg.contains("lock-order cycle"), "message: {msg}");
+        assert!(msg.contains(&at(la)), "ctor of a missing: {msg}");
+        assert!(msg.contains(&at(lb)), "ctor of b missing: {msg}");
+    }
+
+    #[test]
+    fn three_class_cycle_is_found() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a -> b
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // b -> c
+        }
+        let _gc = c.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| a.lock())));
+        assert!(msg.contains("lock-order cycle"), "message: {msg}");
+    }
+
+    #[test]
+    fn reentrant_same_class_is_reported() {
+        let mut pair = Vec::new();
+        for _ in 0..2 {
+            pair.push((Mutex::new(()), Location::caller())); // one site = one class
+        }
+        let l = pair[0].1;
+        let _g0 = pair[0].0.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| pair[1].0.lock())));
+        assert!(msg.contains("reentrant acquisition"), "message: {msg}");
+        assert!(msg.contains(&at(l)), "ctor site missing: {msg}");
+    }
+
+    #[test]
+    fn ordered_acquisition_permits_same_class_nesting() {
+        let shards: Vec<Mutex<u32>> = (0..4).map(|_| Mutex::new(0)).collect();
+        let guards = ordered_acquisition(|| shards.iter().map(|m| m.lock()).collect::<Vec<_>>());
+        assert_eq!(guards.len(), 4);
+        drop(guards);
+        assert_eq!(held_lock_classes(), 0);
+    }
+
+    #[test]
+    fn rwlock_read_participates_in_ordering() {
+        let (a, la) = (RwLock::new(()), Location::caller());
+        let (b, lb) = (Mutex::new(()), Location::caller());
+        {
+            let _ga = a.read();
+            let _gb = b.lock(); // a -> b
+        }
+        let _gb = b.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| a.read())));
+        assert!(msg.contains("lock-order cycle"), "message: {msg}");
+        assert!(msg.contains(&at(la)) && msg.contains(&at(lb)), "{msg}");
+    }
+
+    #[test]
+    fn condvar_wait_pops_and_repushes_its_mutex() {
+        let outer = Mutex::new(());
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let _go = outer.lock();
+        let mut g = m.lock();
+        assert_eq!(held_lock_classes(), 2);
+        // Nobody notifies: the wait must time out, popping the mutex class
+        // for its duration and re-pushing exactly one entry on return.
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+        assert_eq!(held_lock_classes(), 2, "wait must re-push its mutex");
+        drop(g);
+        assert_eq!(held_lock_classes(), 1, "guard drop must pop once");
+    }
+
+    #[test]
+    fn try_lock_adds_no_incoming_edge() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.try_lock().unwrap(); // no b-incoming edge recorded
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // b -> a: fine, no a -> b edge exists
+        }
+    }
+
+    #[test]
+    fn guard_drop_restores_held_stack() {
+        let a = Mutex::new(());
+        let b = RwLock::new(());
+        let ga = a.lock();
+        let gb = b.write();
+        assert_eq!(held_lock_classes(), 2);
+        drop(ga); // out-of-order drop
+        assert_eq!(held_lock_classes(), 1);
+        drop(gb);
+        assert_eq!(held_lock_classes(), 0);
     }
 }
