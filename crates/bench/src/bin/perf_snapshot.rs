@@ -6,12 +6,14 @@
 //! secondary range queries over a multi-component dataset on a sharded
 //! buffer cache), and a repair-heavy scenario (standalone repair of an
 //! update-heavy lazy dataset), a device sweep (the same inline ingest
-//! on the hdd / ssd / nvme profiles), and a multi-writer scenario
+//! on the hdd / ssd / nvme profiles), a multi-writer scenario
 //! (1/2/4/8 writer threads committing `WriteBatch`es against one sharded,
-//! WAL-backed dataset — the group-commit measurement), written as JSON so
-//! the perf trajectory accumulates across commits. Schema history is
-//! documented in `docs/OPERATIONS.md` (`schema_version` 6: adds the
-//! `multi_writer` array).
+//! WAL-backed dataset — the group-commit measurement), and a scan-heavy
+//! scenario (serial vs `parallel(4)` filter scans on plain vs
+//! prefix-compressed leaf pages, with live on-disk bytes and cache
+//! hit-rates), written as JSON so the perf trajectory accumulates across
+//! commits. Schema history is documented in `docs/OPERATIONS.md`
+//! (`schema_version` 7: adds the `scan_heavy` array).
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -23,12 +25,13 @@
 
 use lsm_bench::{
     pk_of, run_fairness_scenario, run_multi_writer_scenario, run_query_heavy_scenario,
-    run_repair_heavy_scenario, run_shared_runtime_scenario, scale, scaled, tweet_dataset_config,
-    BenchDevice, Env, EnvConfig, FairnessRun, MultiWriterRun, QueryHeavyRun, RepairHeavyRun,
-    SharedRuntimeRun,
+    run_repair_heavy_scenario, run_scan_heavy_scenario, run_shared_runtime_scenario, scale, scaled,
+    tweet_dataset_config, BenchDevice, Env, EnvConfig, FairnessRun, MultiWriterRun, QueryHeavyRun,
+    RepairHeavyRun, ScanHeavyRun, SharedRuntimeRun,
 };
 use lsm_common::Value;
 use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
+use lsm_storage::LeafEncoding;
 use lsm_workload::{Op, TweetConfig, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
 use std::time::Instant;
@@ -212,6 +215,43 @@ fn json_query_heavy(q: &QueryHeavyRun) -> String {
     )
 }
 
+fn json_scan_heavy(s: &ScanHeavyRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"filter-scan-{}\",\n",
+            "      \"encoding\": \"{}\",\n",
+            "      \"records\": {},\n",
+            "      \"scans\": {},\n",
+            "      \"parallelism\": {},\n",
+            "      \"components\": {},\n",
+            "      \"index_bytes\": {},\n",
+            "      \"rows\": {},\n",
+            "      \"partitions\": {},\n",
+            "      \"serial_wall_secs\": {:.4},\n",
+            "      \"parallel_wall_secs\": {:.4},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"serial_cache_hit_ratio\": {:.4},\n",
+            "      \"parallel_cache_hit_ratio\": {:.4}\n",
+            "    }}"
+        ),
+        s.encoding.name(),
+        s.encoding.name(),
+        s.records,
+        s.scans,
+        s.parallelism,
+        s.components,
+        s.index_bytes,
+        s.rows,
+        s.partitions,
+        s.serial_wall_secs,
+        s.parallel_wall_secs,
+        s.speedup,
+        s.serial_cache_hit_ratio,
+        s.parallel_cache_hit_ratio,
+    )
+}
+
 fn json_repair_heavy(r: &RepairHeavyRun) -> String {
     format!(
         concat!(
@@ -365,6 +405,15 @@ fn main() {
         .map(|&w| run_multi_writer_scenario(w, mw_n, 32))
         .collect();
 
+    // Scan-heavy scenario (schema_version 7): serial vs parallel(4) filter
+    // scans over the same dataset built with plain and prefix-compressed
+    // leaf pages — the read-path + compression acceptance measurement
+    // (`index_bytes` for prefix must undercut plain).
+    let scan_heavy = [
+        run_scan_heavy_scenario(scaled(60_000), 24, 4, LeafEncoding::Plain),
+        run_scan_heavy_scenario(scaled(60_000), 24, 4, LeafEncoding::Prefix),
+    ];
+
     let body: Vec<String> = variants.iter().map(json_variant).collect();
     let multi_body: Vec<String> = multi.iter().map(json_multi).collect();
     let fairness_body: Vec<String> = fairness.iter().map(json_fairness).collect();
@@ -372,8 +421,9 @@ fn main() {
     let repair_body: Vec<String> = repair_heavy.iter().map(json_repair_heavy).collect();
     let device_body: Vec<String> = device_sweep.iter().map(json_variant).collect();
     let mw_body: Vec<String> = multi_writer.iter().map(json_multi_writer).collect();
+    let scan_body: Vec<String> = scan_heavy.iter().map(json_scan_heavy).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 6,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ],\n  \"multi_writer\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 7,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ],\n  \"multi_writer\": [\n{}\n  ],\n  \"scan_heavy\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n"),
         multi_body.join(",\n"),
@@ -381,7 +431,8 @@ fn main() {
         query_body.join(",\n"),
         repair_body.join(",\n"),
         device_body.join(",\n"),
-        mw_body.join(",\n")
+        mw_body.join(",\n"),
+        scan_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -446,6 +497,23 @@ fn main() {
             m.backpressure_stalls,
             m.wal_groups,
             m.wal_records_per_group
+        );
+    }
+    for s in &scan_heavy {
+        eprintln!(
+            "scan_heavy {}: {} scans × {} recs, {} bytes on disk — serial {:.3}s vs \
+             parallel({}) {:.3}s = {:.2}x ({} partitions, hit {:.2}/{:.2})",
+            s.encoding.name(),
+            s.scans,
+            s.records,
+            s.index_bytes,
+            s.serial_wall_secs,
+            s.parallelism,
+            s.parallel_wall_secs,
+            s.speedup,
+            s.partitions,
+            s.serial_cache_hit_ratio,
+            s.parallel_cache_hit_ratio
         );
     }
     eprintln!("wrote {out}");

@@ -23,7 +23,7 @@
 
 use lsm_common::{Record, Value};
 use lsm_engine::{Dataset, DatasetConfig, MaintenanceRuntime, SecondaryIndexDef, StrategyKind};
-use lsm_storage::{SimClock, Storage, StorageOptions};
+use lsm_storage::{LeafEncoding, SimClock, Storage, StorageOptions};
 use lsm_workload::{Op, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
 
@@ -99,6 +99,10 @@ pub struct EnvConfig {
     /// Buffer-cache shards (1 = the classic single CLOCK; raise for
     /// parallel-query scenarios so readers stop serializing on one lock).
     pub cache_shards: usize,
+    /// Leaf-page encoding for every B+-tree the run builds (`Plain` keeps
+    /// the byte-for-byte legacy pages; `Prefix` turns on restart-point
+    /// prefix compression).
+    pub leaf_encoding: LeafEncoding,
 }
 
 impl Default for EnvConfig {
@@ -108,6 +112,7 @@ impl Default for EnvConfig {
             cache_fraction: 0.067,
             ssd: false,
             cache_shards: 1,
+            leaf_encoding: LeafEncoding::Plain,
         }
     }
 }
@@ -129,6 +134,7 @@ impl Env {
         let cache_bytes = (cfg.dataset_bytes as f64 * cfg.cache_fraction) as usize;
         let opts = StorageOptions {
             cache_shards: cfg.cache_shards.max(1),
+            leaf_encoding: cfg.leaf_encoding,
             ..device.options(cache_bytes)
         };
         let clock = SimClock::new();
@@ -662,6 +668,134 @@ pub fn run_query_heavy_scenario(n: usize, queries: usize, parallelism: usize) ->
         speedup: serial_wall_secs / parallel_wall_secs.max(1e-9),
         rows: serial_rows,
         partitions: snap.query_partitions - before.query_partitions,
+    }
+}
+
+/// What one scan-heavy run measured: the same `creation_time` filter scans
+/// executed serially and with `parallel(n)` over a pre-loaded dataset built
+/// with one leaf-page encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanHeavyRun {
+    /// Records pre-loaded into the dataset.
+    pub records: usize,
+    /// Filter scans per pass.
+    pub scans: usize,
+    /// The `parallel(n)` fan-out measured against serial.
+    pub parallelism: usize,
+    /// Leaf-page encoding every B+-tree in the run was built with.
+    pub encoding: LeafEncoding,
+    /// Disk components of the primary index at scan time.
+    pub components: usize,
+    /// Live bytes on the data device after the load — the compression
+    /// acceptance number (`Prefix` must come in under `Plain`).
+    pub index_bytes: u64,
+    /// Wall seconds for the serial pass.
+    pub serial_wall_secs: f64,
+    /// Wall seconds for the parallel pass (same scans, cold cache both).
+    pub parallel_wall_secs: f64,
+    /// `serial_wall_secs / parallel_wall_secs` — ≥ 1 means parallel won.
+    pub speedup: f64,
+    /// Rows matched per pass (asserted identical between the passes).
+    pub rows: usize,
+    /// Scan partitions actually planned across the parallel pass.
+    pub partitions: u64,
+    /// Buffer-cache hit ratio over the serial pass.
+    pub serial_cache_hit_ratio: f64,
+    /// Buffer-cache hit ratio over the parallel pass.
+    pub parallel_cache_hit_ratio: f64,
+}
+
+/// The scan-heavy scenario shared by `perf_snapshot` and the filter-scan
+/// benches: pre-load a Validation tweet dataset (leaving several disk
+/// components) with `encoding` leaf pages, then run `scans` rotating ~10%
+/// `creation_time` slices twice — serially and with `parallel(n)` — from a
+/// cold cache each time. Besides the wall-clock comparison it records the
+/// live on-disk bytes after the load, so the prefix encoding's size win
+/// lands in the perf trajectory next to its scan cost.
+pub fn run_scan_heavy_scenario(
+    n: usize,
+    scans: usize,
+    parallelism: usize,
+    encoding: LeafEncoding,
+) -> ScanHeavyRun {
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        cache_shards: 8,
+        leaf_encoding: encoding,
+        ..Default::default()
+    });
+    let mut cfg = tweet_dataset_config(StrategyKind::Validation, dataset_bytes, 1);
+    // Size memory so the load leaves a real component stack behind.
+    cfg.memory_budget = ((dataset_bytes / 24) as usize).max(64 * 1024);
+    let ds = open_tweet_dataset(&env, cfg);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.3, UpdateDistribution::Uniform);
+    for _ in 0..n {
+        apply(&ds, &workload.next_op());
+    }
+    ds.flush_all().expect("flush");
+    let index_bytes = env.storage.total_bytes();
+
+    // `creation_time` is monotonic from 0, so the watermark is the domain.
+    let max_time = workload.generator().time_watermark().max(1);
+    let slice = (max_time / 10).max(1);
+    let range_of = |s: usize| {
+        let lo = (s as i64 * slice * 3) % (max_time - slice).max(1);
+        (lo, lo + slice - 1)
+    };
+
+    env.storage.clear_cache();
+    let io_start = env.storage.stats();
+    let serial_t = std::time::Instant::now();
+    let mut serial_rows = 0usize;
+    for s in 0..scans {
+        let (lo, hi) = range_of(s);
+        serial_rows += ds
+            .filter_scan()
+            .range(lo, hi)
+            .records()
+            .expect("serial scan")
+            .len();
+    }
+    let serial_wall_secs = serial_t.elapsed().as_secs_f64();
+    let serial_io = env.storage.stats().since(&io_start);
+
+    env.storage.clear_cache();
+    let before = ds.stats().snapshot();
+    let io_start = env.storage.stats();
+    let par_t = std::time::Instant::now();
+    let mut par_rows = 0usize;
+    for s in 0..scans {
+        let (lo, hi) = range_of(s);
+        par_rows += ds
+            .filter_scan()
+            .range(lo, hi)
+            .parallel(parallelism)
+            .records()
+            .expect("parallel scan")
+            .len();
+    }
+    let parallel_wall_secs = par_t.elapsed().as_secs_f64();
+    let parallel_io = env.storage.stats().since(&io_start);
+    assert_eq!(serial_rows, par_rows, "parallel pass changed the answer");
+    let snap = ds.stats().snapshot();
+
+    ScanHeavyRun {
+        records: n,
+        scans,
+        parallelism,
+        encoding,
+        components: ds.primary().num_disk_components(),
+        index_bytes,
+        serial_wall_secs,
+        parallel_wall_secs,
+        speedup: serial_wall_secs / parallel_wall_secs.max(1e-9),
+        rows: serial_rows,
+        partitions: snap.filter_scan_partitions - before.filter_scan_partitions,
+        serial_cache_hit_ratio: serial_io.cache_hit_ratio(),
+        parallel_cache_hit_ratio: parallel_io.cache_hit_ratio(),
     }
 }
 

@@ -40,6 +40,15 @@ pub trait BloomFilter: Send + Sync {
     fn num_bits(&self) -> usize;
     /// True if a membership test touches a single cache line.
     fn is_blocked(&self) -> bool;
+    /// Tests many keys in one call, writing one verdict per key into `out`
+    /// (cleared first). The default probes key by key; blocked filters
+    /// override it with a two-pass layout that resolves every key's block
+    /// up front before probing — the batched shape scan and fetch paths
+    /// issue, which keeps the block loads independent of the probe loop.
+    fn may_contain_batch(&self, keys: &[&[u8]], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(keys.iter().map(|k| self.may_contain(k)));
+    }
 }
 
 /// Returns the optimal number of probes for a given bits-per-key budget.
@@ -205,6 +214,28 @@ impl BloomFilter for BlockedBloom {
     fn is_blocked(&self) -> bool {
         true
     }
+
+    /// Two-pass batched probe: pass one hashes every key and resolves its
+    /// block index (on real hardware this is where the block's cache line
+    /// would be prefetched); pass two runs the in-block probes. Verdicts
+    /// are identical to per-key [`BloomFilter::may_contain`].
+    fn may_contain_batch(&self, keys: &[&[u8]], out: &mut Vec<bool>) {
+        let resolved: Vec<(usize, u64, u64)> = keys
+            .iter()
+            .map(|k| {
+                let (h1, h2) = probe_pair(k);
+                (self.block_of(h1), h1.rotate_left(21), h2)
+            })
+            .collect();
+        out.clear();
+        out.extend(resolved.into_iter().map(|(b, g1, h2)| {
+            let block = &self.blocks[b];
+            (0..self.k as u64).all(|i| {
+                let bit = (g1.wrapping_add(i.wrapping_mul(h2)) % BLOCK_BITS as u64) as usize;
+                block[bit / 64] & (1 << (bit % 64)) != 0
+            })
+        }));
+    }
 }
 
 /// Which Bloom filter variant a component should build.
@@ -318,6 +349,27 @@ mod tests {
     fn build_filter_dispatches() {
         assert!(!build_filter(BloomKind::Standard, 10, 0.01).is_blocked());
         assert!(build_filter(BloomKind::Blocked, 10, 0.01).is_blocked());
+    }
+
+    #[test]
+    fn batched_probe_agrees_with_single_probe() {
+        let mut s = StandardBloom::new(5_000, 0.01);
+        let mut b = BlockedBloom::new(5_000, 0.01);
+        for k in keys(5_000, 1) {
+            s.insert(&k);
+            b.insert(&k);
+        }
+        let mut probes = keys(2_000, 1);
+        probes.extend(keys(2_000, 2));
+        let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+        for f in [&s as &dyn BloomFilter, &b as &dyn BloomFilter] {
+            let mut out = vec![true; 3]; // must be cleared by the impl
+            f.may_contain_batch(&refs, &mut out);
+            assert_eq!(out.len(), refs.len());
+            for (k, got) in refs.iter().zip(&out) {
+                assert_eq!(*got, f.may_contain(k));
+            }
+        }
     }
 
     #[test]

@@ -7,19 +7,25 @@
 //! level, then a metadata page last.
 
 use crate::encoding::put_slice;
-use crate::page::{InternalPageBuilder, LeafPageBuilder};
+use crate::leaf::AnyLeafBuilder;
+use crate::page::InternalPageBuilder;
 use crate::tree::{BTree, TreeMeta, META_MAGIC};
 use lsm_common::{Error, Result};
-use lsm_storage::{FileId, Storage};
+use lsm_storage::{FileId, LeafEncoding, Storage};
 use std::sync::Arc;
 
 /// Streaming bulk loader. Feed strictly ascending keys via [`BTreeBuilder::add`],
 /// then call [`BTreeBuilder::finish`].
+///
+/// Leaves are emitted in the encoding the storage was configured with
+/// ([`lsm_storage::StorageOptions::leaf_encoding`]); internal pages and the
+/// metadata page are encoding-independent.
 pub struct BTreeBuilder {
     storage: Arc<Storage>,
     file: FileId,
     page_size: usize,
-    leaf: LeafPageBuilder,
+    encoding: LeafEncoding,
+    leaf: AnyLeafBuilder,
     /// `(first_key, page_no)` of each completed leaf, for the router levels.
     leaf_index: Vec<(Vec<u8>, u32)>,
     next_page: u32,
@@ -34,11 +40,13 @@ impl BTreeBuilder {
     pub fn new(storage: Arc<Storage>) -> Self {
         let file = storage.create_file();
         let page_size = storage.page_size();
+        let encoding = storage.leaf_encoding();
         BTreeBuilder {
             storage,
             file,
             page_size,
-            leaf: LeafPageBuilder::new(page_size, 0),
+            encoding,
+            leaf: AnyLeafBuilder::new(encoding, page_size, 0),
             leaf_index: Vec::new(),
             next_page: 0,
             num_entries: 0,
@@ -95,7 +103,7 @@ impl BTreeBuilder {
         let next_base = self.leaf.count() as u64 + self.leaf_base();
         let page = std::mem::replace(
             &mut self.leaf,
-            LeafPageBuilder::new(self.page_size, next_base),
+            AnyLeafBuilder::new(self.encoding, self.page_size, next_base),
         );
         let data = page.finish();
         let page_no = self.storage.append_page(self.file, &data)?;

@@ -13,7 +13,7 @@
 //! Probe keys must be non-decreasing; this is guaranteed by the sorted fetch
 //! lists the engine produces.
 
-use crate::page::LeafPage;
+use crate::leaf::LeafView;
 use crate::tree::BTree;
 use lsm_common::Result;
 use lsm_storage::PageNo;
@@ -75,7 +75,7 @@ impl<'t> StatefulCursor<'t> {
         exponential: bool,
     ) -> Result<Option<(Vec<u8>, u64)>> {
         let data = self.tree.read_leaf(leaf_no)?;
-        let leaf = LeafPage::parse(&data)?;
+        let leaf = LeafView::parse(&data)?;
         let (found, cmps) = if exponential {
             leaf.exponential_search(key, from)?
         } else {
@@ -89,7 +89,7 @@ impl<'t> StatefulCursor<'t> {
             Ok(i) => i,
             Err(i) => i.min(leaf.count().saturating_sub(1)),
         };
-        let last_key = leaf.last_key()?.map(<[u8]>::to_vec).unwrap_or_default();
+        let last_key = leaf.last_key()?.map(|k| k.into_owned()).unwrap_or_default();
         self.state = Some(CursorState {
             leaf_no,
             pos,

@@ -10,7 +10,11 @@
 //!   which validity bitmaps index by), range scans, key-range metadata;
 //! * [`cursor::StatefulCursor`] — the "stateful B+-tree lookup" of
 //!   Section 3.2: remembers the last leaf/position and uses exponential
-//!   search for sorted probe streams.
+//!   search for sorted probe streams;
+//! * [`leaf::LeafView`] — per-page leaf-codec dispatch: the plain slotted
+//!   format and the opt-in prefix-compressed format
+//!   ([`lsm_storage::LeafEncoding`]) read through one view, so
+//!   mixed-encoding trees need no migration.
 //!
 //! All page reads go through [`lsm_storage::Storage`], so every search and
 //! scan is charged to the simulated device and CPU cost models.
@@ -20,9 +24,11 @@
 pub mod builder;
 pub mod cursor;
 pub mod encoding;
+pub mod leaf;
 pub mod page;
 pub mod tree;
 
 pub use builder::BTreeBuilder;
 pub use cursor::StatefulCursor;
+pub use leaf::{AnyLeafBuilder, LeafView, PrefixLeafPage, PrefixLeafPageBuilder};
 pub use tree::{BTree, BTreeScan};

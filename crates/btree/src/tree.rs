@@ -6,7 +6,8 @@
 //! cursors, and range/full scans that read leaves sequentially.
 
 use crate::encoding::get_slice;
-use crate::page::{InternalPage, LeafPage};
+use crate::leaf::LeafView;
+use crate::page::InternalPage;
 use lsm_common::{Error, Result};
 use lsm_storage::{FileId, PageNo, Storage};
 use std::ops::Bound;
@@ -157,7 +158,7 @@ impl BTree {
             return Ok(None);
         };
         let data = self.storage.read_page(self.file, leaf_no)?;
-        let leaf = LeafPage::parse(&data)?;
+        let leaf = LeafView::parse(&data)?;
         let (found, cmps) = leaf.search(key)?;
         self.charge_node(cmps);
         match found {
@@ -170,7 +171,7 @@ impl BTree {
     }
 
     /// Reads and parses leaf page `leaf_no`, returning the raw page bytes.
-    /// Callers re-parse with [`LeafPage::parse`]; pages are cheap to parse
+    /// Callers re-parse with [`LeafView::parse`]; pages are cheap to parse
     /// (header + slot directory only).
     pub fn read_leaf(&self, leaf_no: PageNo) -> Result<Arc<[u8]>> {
         debug_assert!(leaf_no < self.meta.num_leaves);
@@ -182,8 +183,8 @@ impl BTree {
     /// `None` only for an empty leaf (which the bulk loader never writes).
     pub fn leaf_first_key(&self, leaf_no: PageNo) -> Result<Option<Vec<u8>>> {
         let data = self.read_leaf(leaf_no)?;
-        let leaf = LeafPage::parse(&data)?;
-        Ok(leaf.first_key()?.map(|k| k.to_vec()))
+        let leaf = LeafView::parse(&data)?;
+        Ok(leaf.first_key()?.map(|k| k.into_owned()))
     }
 
     /// Creates a scan over entries in `[lo, hi]` (bounds on encoded keys).
@@ -194,7 +195,7 @@ impl BTree {
                 None => (0, 0),
                 Some(leaf_no) => {
                     let data = self.read_leaf(leaf_no)?;
-                    let leaf = LeafPage::parse(&data)?;
+                    let leaf = LeafView::parse(&data)?;
                     let (found, cmps) = leaf.search(k)?;
                     self.charge_node(cmps);
                     let idx = match (found, &lo) {
@@ -282,7 +283,7 @@ impl BTreeScan {
             } else {
                 self.tree.read_leaf(self.leaf_no)?
             };
-            let leaf = LeafPage::parse(&data)?;
+            let leaf = LeafView::parse(&data)?;
             if self.idx >= leaf.count() {
                 self.leaf_no += 1;
                 self.idx = 0;
@@ -291,8 +292,8 @@ impl BTreeScan {
             let (k, v) = leaf.entry(self.idx)?;
             let within = match &self.hi {
                 Bound::Unbounded => true,
-                Bound::Included(h) => k <= h.as_slice(),
-                Bound::Excluded(h) => k < h.as_slice(),
+                Bound::Included(h) => k.as_ref() <= h.as_slice(),
+                Bound::Excluded(h) => k.as_ref() < h.as_slice(),
             };
             if !within {
                 self.done = true;
@@ -304,7 +305,7 @@ impl BTreeScan {
             self.tree
                 .storage
                 .charge_cpu(self.tree.storage.cpu().key_cmp_ns);
-            return Ok(Some((k.to_vec(), v.to_vec(), ordinal)));
+            return Ok(Some((k.into_owned(), v.to_vec(), ordinal)));
         }
     }
 }

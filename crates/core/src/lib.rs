@@ -264,10 +264,13 @@ pub use config::{
     SecondaryIndexDef, StrategyKind,
 };
 pub use dataset::{Dataset, MergePlan, MergeTarget, SecondaryIndex};
+// Re-exported so consumers can set `DatasetConfig::bloom_kind` without a
+// direct lsm-bloom dependency.
+pub use lsm_bloom::BloomKind;
 pub use maintenance::{Maintenance, RepairPlan};
 pub use query::{
-    PreparedQuery, QueryBuilder, QueryOptions, QueryPool, QueryResult, RecordStream,
-    ValidationMethod,
+    FilterScanBuilder, FilterScanReport, FilterScanStream, PreparedQuery, QueryBuilder,
+    QueryOptions, QueryPool, QueryResult, RecordStream, ValidationMethod,
 };
 pub use repair::{RepairMode, RepairOptions, RepairReport};
 pub use scheduler::{DatasetRuntimeStats, MaintenanceRuntime, RuntimeStatsSnapshot};

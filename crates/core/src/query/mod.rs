@@ -27,7 +27,7 @@ pub mod pool;
 pub mod stream;
 
 pub use builder::{PreparedQuery, QueryBuilder};
-pub use filter_scan::{filter_scan_count, FilterScanReport};
+pub use filter_scan::{filter_scan_count, FilterScanBuilder, FilterScanReport, FilterScanStream};
 pub use pool::QueryPool;
 pub use stream::RecordStream;
 

@@ -44,8 +44,13 @@ use std::sync::Arc;
 type GatherOutcome = Result<(Vec<Candidate>, Vec<RepairMark>)>;
 
 /// Slices a key-ordered run down to `lo..hi` by binary search, returning
-/// the sub-slice bounds as indices.
-fn slice_range(run: &[(Key, LsmEntry)], lo: &Bound<Key>, hi: &Bound<Key>) -> (usize, usize) {
+/// the sub-slice bounds as indices. Shared with the partitioned filter-scan
+/// path, which slices its captured memory run the same way.
+pub(crate) fn slice_range(
+    run: &[(Key, LsmEntry)],
+    lo: &Bound<Key>,
+    hi: &Bound<Key>,
+) -> (usize, usize) {
     let start = match lo {
         Bound::Unbounded => 0,
         Bound::Included(k) => run.partition_point(|(key, _)| key < k),

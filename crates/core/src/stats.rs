@@ -45,6 +45,14 @@ pub struct EngineStats {
     /// `parallel_queries` for the average fan-out actually achieved —
     /// small ranges may split into fewer partitions than requested).
     pub query_partitions: AtomicU64,
+    /// Primary-index filter scans executed through the partitioned path
+    /// ([`FilterScanBuilder::parallel`](crate::FilterScanBuilder::parallel)).
+    pub parallel_filter_scans: AtomicU64,
+    /// Scan partitions planned across all partitioned filter scans (divide
+    /// by `parallel_filter_scans` for the average fan-out actually
+    /// achieved — small trees may split into fewer partitions than
+    /// requested).
+    pub filter_scan_partitions: AtomicU64,
     /// Passages through an engine crash site (`wal_append`,
     /// `flush_install`, `merge_install`, `checkpoint`) while an armed
     /// [`FaultPlan`](lsm_storage::FaultPlan) was installed on the dataset's
@@ -88,6 +96,14 @@ impl EngineStats {
             .fetch_add(partitions as u64, Ordering::Relaxed);
     }
 
+    /// Counts one partitioned filter-scan execution planned into
+    /// `partitions`.
+    pub(crate) fn record_parallel_filter_scan(&self, partitions: usize) {
+        self.bump(&self.parallel_filter_scans);
+        self.filter_scan_partitions
+            .fetch_add(partitions as u64, Ordering::Relaxed);
+    }
+
     /// Total records that entered the dataset (inserts + upserts).
     pub fn records_ingested(&self) -> u64 {
         self.inserts.load(Ordering::Relaxed) + self.upserts.load(Ordering::Relaxed)
@@ -113,6 +129,8 @@ impl EngineStats {
             write_throttle_wait_ns: self.write_throttle_wait_ns.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             query_partitions: self.query_partitions.load(Ordering::Relaxed),
+            parallel_filter_scans: self.parallel_filter_scans.load(Ordering::Relaxed),
+            filter_scan_partitions: self.filter_scan_partitions.load(Ordering::Relaxed),
             crash_sites_armed: self.crash_sites_armed.load(Ordering::Relaxed),
             crash_sites_hit: self.crash_sites_hit.load(Ordering::Relaxed),
             wal_groups: self.wal_groups.load(Ordering::Relaxed),
@@ -142,6 +160,8 @@ pub struct EngineStatsSnapshot {
     pub write_throttle_wait_ns: u64,
     pub parallel_queries: u64,
     pub query_partitions: u64,
+    pub parallel_filter_scans: u64,
+    pub filter_scan_partitions: u64,
     pub crash_sites_armed: u64,
     pub crash_sites_hit: u64,
     pub wal_groups: u64,

@@ -117,6 +117,35 @@ impl DiskComponent {
         positive
     }
 
+    /// Batched Bloom probe: one [`BloomFilter::may_contain_batch`] call
+    /// resolves every key's verdict (blocked filters use their two-pass
+    /// cache-line layout), charged and recorded per key exactly like
+    /// [`DiskComponent::bloom_may_contain`]. With no filter every verdict
+    /// is `true` and nothing is charged.
+    pub fn bloom_may_contain_batch(&self, storage: &Storage, keys: &[&[u8]], out: &mut Vec<bool>) {
+        let Some(bloom) = &self.bloom else {
+            out.clear();
+            out.resize(keys.len(), true);
+            return;
+        };
+        if keys.is_empty() {
+            out.clear();
+            return;
+        }
+        let cpu = storage.cpu();
+        let k = u64::from(bloom.num_probes());
+        let per_key = if bloom.is_blocked() {
+            cpu.bloom_probe_miss_ns + (k - 1) * cpu.bloom_probe_hit_ns
+        } else {
+            k * cpu.bloom_probe_miss_ns
+        };
+        storage.charge_cpu(per_key * keys.len() as u64);
+        bloom.may_contain_batch(keys, out);
+        for positive in out.iter() {
+            storage.raw_stats().record_bloom_check(!positive);
+        }
+    }
+
     /// True if the component has a Bloom filter.
     pub fn has_bloom(&self) -> bool {
         self.bloom.is_some()

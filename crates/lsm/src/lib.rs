@@ -39,5 +39,8 @@ pub use lookup::{
 pub use memtable::MemComponent;
 pub use merge_policy::{LevelingPolicy, MergePolicy, MergeRange, NoMergePolicy, TieringPolicy};
 pub use range_filter::RangeFilter;
-pub use scan::{scan_components_sequential, LsmScan, ScanOptions, ScanPartition};
+pub use scan::{
+    scan_components_sequential, scan_components_sequential_frozen,
+    scan_components_sequential_range, LsmScan, ScanOptions, ScanPartition,
+};
 pub use tree::{BuildOptions, ComponentBuilder, LsmOptions, LsmTree};

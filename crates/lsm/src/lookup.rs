@@ -279,6 +279,22 @@ fn lookup_batch(
         if remaining.is_empty() {
             break;
         }
+        // Batched Bloom pre-pass: probe every key that survives
+        // component-ID pruning in ONE filter call, so blocked filters can
+        // resolve all block loads before the in-block probes (and the
+        // B+-tree probe loop below stays branch-simple). Pruned keys are
+        // never probed, so the bloom-check stats match the naive path.
+        let candidates: Vec<&[u8]> = remaining
+            .iter()
+            .filter(|&&i| {
+                opts.id_hints
+                    .is_none_or(|hints| comp.id().overlaps(&hints[i]))
+            })
+            .map(|&i| keys[i].as_slice())
+            .collect();
+        let mut verdicts: Vec<bool> = Vec::new();
+        comp.bloom_may_contain_batch(storage, &candidates, &mut verdicts);
+        let mut vi = 0usize;
         let mut cursor = opts.stateful.then(|| StatefulCursor::new(comp.btree()));
         let mut still_unresolved: Vec<usize> = Vec::with_capacity(remaining.len());
         for &i in &remaining {
@@ -289,7 +305,9 @@ fn lookup_batch(
                     continue;
                 }
             }
-            if !comp.bloom_may_contain(storage, key) {
+            let positive = verdicts[vi];
+            vi += 1;
+            if !positive {
                 still_unresolved.push(i);
                 continue;
             }

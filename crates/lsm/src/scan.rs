@@ -337,8 +337,56 @@ impl LsmScan {
 pub fn scan_components_sequential(
     mem_snapshot: Option<Vec<(Key, LsmEntry)>>,
     components: &[Arc<DiskComponent>],
+    visit: impl FnMut(Key, LsmEntry),
+) -> Result<()> {
+    scan_components_sequential_range(
+        mem_snapshot,
+        components,
+        Bound::Unbounded,
+        Bound::Unbounded,
+        visit,
+    )
+}
+
+/// [`scan_components_sequential`] restricted to the key range `[lo, hi]` —
+/// one partition of a partitioned filter scan. Disk components are scanned
+/// with ranged B+-tree scans; memory entries are visited as given (the
+/// caller slices its mem snapshot to the partition), still skipping
+/// anti-matter.
+pub fn scan_components_sequential_range(
+    mem_snapshot: Option<Vec<(Key, LsmEntry)>>,
+    components: &[Arc<DiskComponent>],
+    lo: Bound<&[u8]>,
+    hi: Bound<&[u8]>,
+    visit: impl FnMut(Key, LsmEntry),
+) -> Result<()> {
+    let bitmaps: Vec<Option<BitmapSnapshot>> = components
+        .iter()
+        .map(|c| c.bitmap().map(|b| b.snapshot()))
+        .collect();
+    scan_components_sequential_frozen(mem_snapshot, components, &bitmaps, lo, hi, visit)
+}
+
+/// [`scan_components_sequential_range`] with **pre-frozen** bitmap
+/// snapshots: `bitmaps[i]` pairs with `components[i]`.
+///
+/// Under the Mutable-bitmap strategy, a concurrent writer marks the old
+/// on-disk version's bitmap bit *before* inserting the replacement into
+/// the memory component; snapshotting a live bitmap after the memory
+/// capture could therefore observe the mark without the replacement and
+/// lose the record. Callers racing in-place deletes must freeze the
+/// bitmaps atomically with the memory+disk capture (the filter-scan
+/// capture does this under the dataset write lock) and every partition of
+/// a partitioned scan must reuse the same frozen snapshots.
+pub fn scan_components_sequential_frozen(
+    mem_snapshot: Option<Vec<(Key, LsmEntry)>>,
+    components: &[Arc<DiskComponent>],
+    bitmaps: &[Option<BitmapSnapshot>],
+    lo: Bound<&[u8]>,
+    hi: Bound<&[u8]>,
     mut visit: impl FnMut(Key, LsmEntry),
 ) -> Result<()> {
+    debug_assert_eq!(components.len(), bitmaps.len());
     if let Some(entries) = mem_snapshot {
         for (k, e) in entries {
             if !e.anti_matter {
@@ -346,11 +394,11 @@ pub fn scan_components_sequential(
             }
         }
     }
-    for comp in components {
-        let bitmap = comp.bitmap().map(|b| b.snapshot());
-        let mut scan = comp.btree().scan_all()?;
+    for (i, comp) in components.iter().enumerate() {
+        let bitmap = bitmaps.get(i).and_then(|b| b.as_ref());
+        let mut scan = comp.btree().scan(lo, clone_bound(&hi))?;
         while let Some((k, raw, ordinal)) = scan.next_entry()? {
-            if let Some(bm) = &bitmap {
+            if let Some(bm) = bitmap {
                 if bm.get(ordinal) {
                     continue;
                 }

@@ -45,5 +45,5 @@ pub use fault::{FaultAction, FaultOp, FaultPlan, FaultSpec, FaultTrigger, SiteOu
 pub use profile::{CpuCosts, DiskProfile};
 pub use sim_clock::SimClock;
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use storage::{FileId, PageNo, Storage, StorageOptions};
+pub use storage::{FileId, LeafEncoding, PageNo, Storage, StorageOptions};
 pub use throttle::IoThrottle;

@@ -24,6 +24,42 @@ pub struct FileId(pub u32);
 /// Page number within a file.
 pub type PageNo = u32;
 
+/// On-disk encoding for B+-tree leaf pages built on this storage.
+///
+/// `Plain` is the original format and stays byte-for-byte identical to what
+/// earlier versions wrote. `Prefix` shares key prefixes between adjacent
+/// entries with restart points every K entries, trading a little decode CPU
+/// for smaller leaves — and therefore more entries per buffer-cache page.
+/// Readers detect the encoding per page, so mixed-encoding trees (old
+/// components plus new flushes) need no migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafEncoding {
+    /// The original slot-directory format; the default.
+    #[default]
+    Plain,
+    /// Prefix-compressed entries with periodic restart points.
+    Prefix,
+}
+
+impl LeafEncoding {
+    /// Short name for reports and repro lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeafEncoding::Plain => "plain",
+            LeafEncoding::Prefix => "prefix",
+        }
+    }
+
+    /// Parses [`LeafEncoding::name`] output back into an encoding.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "plain" => Some(LeafEncoding::Plain),
+            "prefix" => Some(LeafEncoding::Prefix),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for a [`Storage`] instance.
 #[derive(Debug, Clone)]
 pub struct StorageOptions {
@@ -42,6 +78,10 @@ pub struct StorageOptions {
     pub profile: DiskProfile,
     /// CPU cost model.
     pub cpu: CpuCosts,
+    /// Leaf-page encoding for B+-trees built on this storage (see
+    /// [`LeafEncoding`]). Defaults to [`LeafEncoding::Plain`], the
+    /// original on-disk format.
+    pub leaf_encoding: LeafEncoding,
 }
 
 impl StorageOptions {
@@ -58,6 +98,7 @@ impl StorageOptions {
             readahead_pages: (4 * 1024 * 1024 / page_size) as u32,
             profile: DiskProfile::hdd(),
             cpu: CpuCosts::default(),
+            leaf_encoding: LeafEncoding::Plain,
         }
     }
 
@@ -73,6 +114,7 @@ impl StorageOptions {
             readahead_pages: (4 * 1024 * 1024 / page_size) as u32,
             profile: DiskProfile::ssd(),
             cpu: CpuCosts::default(),
+            leaf_encoding: LeafEncoding::Plain,
         }
     }
 
@@ -90,6 +132,7 @@ impl StorageOptions {
             readahead_pages: (4 * 1024 * 1024 / page_size) as u32,
             profile: DiskProfile::nvme(),
             cpu: CpuCosts::default(),
+            leaf_encoding: LeafEncoding::Plain,
         }
     }
 
@@ -112,6 +155,7 @@ impl StorageOptions {
             readahead_pages: 8,
             profile: DiskProfile::hdd(),
             cpu: CpuCosts::default(),
+            leaf_encoding: LeafEncoding::Plain,
         }
     }
 }
@@ -562,6 +606,11 @@ impl Storage {
     /// Number of buffer-cache shards.
     pub fn cache_shards(&self) -> usize {
         self.cache.num_shards()
+    }
+
+    /// Leaf-page encoding B+-tree builders on this storage should emit.
+    pub fn leaf_encoding(&self) -> LeafEncoding {
+        self.opts.leaf_encoding
     }
 
     /// Per-shard buffer-cache hit/miss/occupancy rows. The aggregate hits

@@ -8,6 +8,7 @@
 //! torture --list              # print the selected cases without running them
 //! ```
 
+use lsm_storage::LeafEncoding;
 use lsm_torture::{
     full_sweep, parse_strategy, run_case, smoke_sweep, strategy_name, DeviceKind, FaultKind,
     TortureCase,
@@ -22,6 +23,7 @@ struct Cli {
     maintenance: Option<String>,
     device: Option<String>,
     fault: Option<String>,
+    leaf_encoding: Option<String>,
     failures_file: String,
 }
 
@@ -43,6 +45,7 @@ OPTIONS:
                         crash-flush-install | crash-merge-install |
                         crash-checkpoint | torn-wal-write |
                         short-wal-write | transient-flush | transient-read
+  --leaf-encoding <E>   plain | prefix
   --failures-file <P>   where to write failing repro lines
                         (default torture-failures.txt, written only on failure)
   --help                this text
@@ -58,6 +61,7 @@ fn parse_cli() -> Result<Cli, String> {
         maintenance: None,
         device: None,
         fault: None,
+        leaf_encoding: None,
         failures_file: "torture-failures.txt".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -85,6 +89,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--maintenance" => cli.maintenance = Some(value("--maintenance")?),
             "--device" => cli.device = Some(value("--device")?),
             "--fault" => cli.fault = Some(value("--fault")?),
+            "--leaf-encoding" => cli.leaf_encoding = Some(value("--leaf-encoding")?),
             "--failures-file" => cli.failures_file = value("--failures-file")?,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -123,6 +128,10 @@ fn select_cases(cli: &Cli) -> Result<Vec<TortureCase>, String> {
         let k = FaultKind::parse(f).ok_or_else(|| format!("unknown fault {f}"))?;
         cases.retain(|c| c.fault == k);
     }
+    if let Some(e) = &cli.leaf_encoding {
+        let k = LeafEncoding::parse(e).ok_or_else(|| format!("unknown leaf encoding {e}"))?;
+        cases.retain(|c| c.leaf_encoding == k);
+    }
     if cases.is_empty() {
         return Err("the selected filters match no cases".to_string());
     }
@@ -131,7 +140,7 @@ fn select_cases(cli: &Cli) -> Result<Vec<TortureCase>, String> {
 
 fn label(case: &TortureCase) -> String {
     format!(
-        "{}/{}/{}/{}",
+        "{}/{}/{}/{}/{}",
         strategy_name(case.strategy),
         if case.background {
             "background"
@@ -139,7 +148,8 @@ fn label(case: &TortureCase) -> String {
             "inline"
         },
         case.device.name(),
-        case.fault.name()
+        case.fault.name(),
+        case.leaf_encoding.name()
     )
 }
 
