@@ -9,11 +9,14 @@
 //! on the hdd / ssd / nvme profiles), a multi-writer scenario
 //! (1/2/4/8 writer threads committing `WriteBatch`es against one sharded,
 //! WAL-backed dataset — the group-commit measurement), and a scan-heavy
-//! scenario (serial vs `parallel(4)` filter scans on plain vs
-//! prefix-compressed leaf pages, with live on-disk bytes and cache
-//! hit-rates), written as JSON so the perf trajectory accumulates across
+//! scenario (serial vs `parallel(4)` filter scans on plain, prefix and
+//! columnar leaf pages, with live on-disk bytes and cache
+//! hit-rates), and an index-only scenario (cold-cache `index_only()`
+//! secondary range queries per leaf encoding, comparing device bytes
+//! read), written as JSON so the perf trajectory accumulates across
 //! commits. Schema history is documented in `docs/OPERATIONS.md`
-//! (`schema_version` 7: adds the `scan_heavy` array).
+//! (`schema_version` 8: adds the `index_only` array, the columnar
+//! `scan_heavy` row, and `lookup_allocs_per_op` on the variants).
 //!
 //! ```sh
 //! cargo run -p lsm-bench --release --bin perf_snapshot
@@ -24,10 +27,11 @@
 //! the file as a build artifact.
 
 use lsm_bench::{
-    pk_of, run_fairness_scenario, run_multi_writer_scenario, run_query_heavy_scenario,
-    run_repair_heavy_scenario, run_scan_heavy_scenario, run_shared_runtime_scenario, scale, scaled,
-    tweet_dataset_config, BenchDevice, Env, EnvConfig, FairnessRun, MultiWriterRun, QueryHeavyRun,
-    RepairHeavyRun, ScanHeavyRun, SharedRuntimeRun,
+    pk_of, run_fairness_scenario, run_index_only_scenario, run_multi_writer_scenario,
+    run_query_heavy_scenario, run_repair_heavy_scenario, run_scan_heavy_scenario,
+    run_shared_runtime_scenario, scale, scaled, tweet_dataset_config, BenchDevice, Env, EnvConfig,
+    FairnessRun, IndexOnlyRun, MultiWriterRun, QueryHeavyRun, RepairHeavyRun, ScanHeavyRun,
+    SharedRuntimeRun,
 };
 use lsm_common::Value;
 use lsm_engine::{Dataset, EngineConfig, MaintenanceMode, MaintenanceRuntime, StrategyKind};
@@ -36,6 +40,11 @@ use lsm_workload::{Op, TweetConfig, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
 use std::time::Instant;
 
+// Count every heap allocation so the zero-copy fetch path's
+// allocations-per-lookup lands in the perf trajectory.
+#[global_allocator]
+static ALLOC: lsm_bench::alloc_track::CountingAlloc = lsm_bench::alloc_track::CountingAlloc;
+
 struct VariantResult {
     mode: &'static str,
     records: usize,
@@ -43,6 +52,7 @@ struct VariantResult {
     ingest_ops_per_sec: f64,
     quiesce_wall_secs: f64,
     lookup_wall_us: f64,
+    lookup_allocs_per_op: f64,
     flushes: u64,
     merges: u64,
     flush_jobs: u64,
@@ -97,14 +107,17 @@ fn run_on_device(
     let quiesce_wall_secs = q.elapsed().as_secs_f64();
 
     let l = Instant::now();
+    let allocs_before = lsm_bench::alloc_track::allocations();
     let mut found = 0usize;
     for pk in &probe_keys {
         if ds.get(&Value::Int(*pk)).expect("lookup").is_some() {
             found += 1;
         }
     }
+    let lookup_allocs = lsm_bench::alloc_track::allocations() - allocs_before;
     assert!(found > 0, "lookups found no records");
     let lookup_wall_us = l.elapsed().as_secs_f64() * 1e6 / probe_keys.len() as f64;
+    let lookup_allocs_per_op = lookup_allocs as f64 / probe_keys.len() as f64;
 
     let snap = ds.stats().snapshot();
     VariantResult {
@@ -114,6 +127,7 @@ fn run_on_device(
         ingest_ops_per_sec: n as f64 / ingest_wall_secs,
         quiesce_wall_secs,
         lookup_wall_us,
+        lookup_allocs_per_op,
         flushes: snap.flushes,
         merges: snap.merges,
         flush_jobs: snap.flush_jobs,
@@ -252,6 +266,33 @@ fn json_scan_heavy(s: &ScanHeavyRun) -> String {
     )
 }
 
+fn json_index_only(r: &IndexOnlyRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"index-only-{}\",\n",
+            "      \"encoding\": \"{}\",\n",
+            "      \"records\": {},\n",
+            "      \"queries\": {},\n",
+            "      \"index_bytes\": {},\n",
+            "      \"bytes_read\": {},\n",
+            "      \"rows\": {},\n",
+            "      \"rows_per_sec\": {:.1},\n",
+            "      \"wall_secs\": {:.4}\n",
+            "    }}"
+        ),
+        r.encoding.name(),
+        r.encoding.name(),
+        r.records,
+        r.queries,
+        r.index_bytes,
+        r.bytes_read,
+        r.rows,
+        r.rows_per_sec,
+        r.wall_secs,
+    )
+}
+
 fn json_repair_heavy(r: &RepairHeavyRun) -> String {
     format!(
         concat!(
@@ -311,6 +352,7 @@ fn json_variant(v: &VariantResult) -> String {
             "      \"ingest_ops_per_sec\": {:.1},\n",
             "      \"quiesce_wall_secs\": {:.4},\n",
             "      \"point_lookup_us\": {:.3},\n",
+            "      \"lookup_allocs_per_op\": {:.2},\n",
             "      \"flushes\": {},\n",
             "      \"merges\": {},\n",
             "      \"flush_jobs\": {},\n",
@@ -324,6 +366,7 @@ fn json_variant(v: &VariantResult) -> String {
         v.ingest_ops_per_sec,
         v.quiesce_wall_secs,
         v.lookup_wall_us,
+        v.lookup_allocs_per_op,
         v.flushes,
         v.merges,
         v.flush_jobs,
@@ -406,12 +449,22 @@ fn main() {
         .collect();
 
     // Scan-heavy scenario (schema_version 7): serial vs parallel(4) filter
-    // scans over the same dataset built with plain and prefix-compressed
-    // leaf pages — the read-path + compression acceptance measurement
-    // (`index_bytes` for prefix must undercut plain).
+    // scans over the same dataset built with each leaf-page encoding — the
+    // read-path + compression acceptance measurement (`index_bytes` for
+    // the compressed encodings must undercut plain).
     let scan_heavy = [
         run_scan_heavy_scenario(scaled(60_000), 24, 4, LeafEncoding::Plain),
         run_scan_heavy_scenario(scaled(60_000), 24, 4, LeafEncoding::Prefix),
+        run_scan_heavy_scenario(scaled(60_000), 24, 4, LeafEncoding::Columnar),
+    ];
+
+    // Index-only scenario (schema_version 8): cold-cache `index_only()`
+    // secondary range queries per leaf encoding — the key-strip acceptance
+    // measurement (`bytes_read` for columnar must undercut plain by >=20%).
+    let index_only = [
+        run_index_only_scenario(scaled(60_000), 24, LeafEncoding::Plain),
+        run_index_only_scenario(scaled(60_000), 24, LeafEncoding::Prefix),
+        run_index_only_scenario(scaled(60_000), 24, LeafEncoding::Columnar),
     ];
 
     let body: Vec<String> = variants.iter().map(json_variant).collect();
@@ -422,8 +475,9 @@ fn main() {
     let device_body: Vec<String> = device_sweep.iter().map(json_variant).collect();
     let mw_body: Vec<String> = multi_writer.iter().map(json_multi_writer).collect();
     let scan_body: Vec<String> = scan_heavy.iter().map(json_scan_heavy).collect();
+    let index_only_body: Vec<String> = index_only.iter().map(json_index_only).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 7,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ],\n  \"multi_writer\": [\n{}\n  ],\n  \"scan_heavy\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 8,\n  \"bench\": \"ingest\",\n  \"scale\": {},\n  \"variants\": [\n{}\n  ],\n  \"maintenance_heavy\": [\n{}\n  ],\n  \"fairness\": [\n{}\n  ],\n  \"query_heavy\": [\n{}\n  ],\n  \"repair_heavy\": [\n{}\n  ],\n  \"device_sweep\": [\n{}\n  ],\n  \"multi_writer\": [\n{}\n  ],\n  \"scan_heavy\": [\n{}\n  ],\n  \"index_only\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n"),
         multi_body.join(",\n"),
@@ -432,7 +486,8 @@ fn main() {
         repair_body.join(",\n"),
         device_body.join(",\n"),
         mw_body.join(",\n"),
-        scan_body.join(",\n")
+        scan_body.join(",\n"),
+        index_only_body.join(",\n")
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
     std::fs::write(&out, &json).expect("write snapshot");
@@ -514,6 +569,19 @@ fn main() {
             s.partitions,
             s.serial_cache_hit_ratio,
             s.parallel_cache_hit_ratio
+        );
+    }
+    for r in &index_only {
+        eprintln!(
+            "index_only {}: {} queries x {} recs — {} bytes read ({} on disk), \
+             {:.0} rows/s over {:.3}s",
+            r.encoding.name(),
+            r.queries,
+            r.records,
+            r.bytes_read,
+            r.index_bytes,
+            r.rows_per_sec,
+            r.wall_secs
         );
     }
     eprintln!("wrote {out}");

@@ -27,6 +27,54 @@ use lsm_storage::{LeafEncoding, SimClock, Storage, StorageOptions};
 use lsm_workload::{Op, TweetConfig, TweetGenerator, UpdateDistribution, UpsertWorkload};
 use std::sync::Arc;
 
+/// Allocation counting for the zero-copy acceptance numbers.
+///
+/// The tracker is a pass-through [`System`](std::alloc::System) allocator
+/// that counts calls. It only counts when a binary registers it:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: lsm_bench::alloc_track::CountingAlloc =
+///     lsm_bench::alloc_track::CountingAlloc;
+/// ```
+///
+/// `perf_snapshot` registers it and reports allocations per point lookup;
+/// in binaries that don't, [`allocations`](alloc_track::allocations) stays
+/// at zero and derived metrics are reported as zero.
+pub mod alloc_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// A counting pass-through over the system allocator.
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counter has no effect on
+    // the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Heap allocations made so far by this process (0 unless the binary
+    /// registered [`CountingAlloc`] as its global allocator).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
 /// Scale factor for bench sizes; override with `LSM_BENCH_SCALE` (e.g. 0.2
 /// for a quick smoke run, 4.0 for a long run).
 pub fn scale() -> f64 {
@@ -796,6 +844,95 @@ pub fn run_scan_heavy_scenario(
         partitions: snap.filter_scan_partitions - before.filter_scan_partitions,
         serial_cache_hit_ratio: serial_io.cache_hit_ratio(),
         parallel_cache_hit_ratio: parallel_io.cache_hit_ratio(),
+    }
+}
+
+/// What one index-only run measured: secondary `user_id` range queries
+/// answered from the index alone (no record fetch) over a dataset built
+/// with one leaf-page encoding, from a cold cache.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOnlyRun {
+    /// Records pre-loaded into the dataset.
+    pub records: usize,
+    /// Index-only queries per pass.
+    pub queries: usize,
+    /// Leaf-page encoding every B+-tree in the run was built with.
+    pub encoding: LeafEncoding,
+    /// Live bytes on the data device after the load.
+    pub index_bytes: u64,
+    /// Device bytes read during the cold-cache query pass — the
+    /// compression acceptance number (`Columnar` must undercut `Plain`).
+    pub bytes_read: u64,
+    /// Primary keys returned per pass.
+    pub rows: usize,
+    /// Keys returned per wall-clock second over the pass.
+    pub rows_per_sec: f64,
+    /// Wall seconds for the pass.
+    pub wall_secs: f64,
+}
+
+/// The index-only scenario: pre-load an Eager tweet dataset with
+/// `encoding` leaf pages (several disk components), then answer rotating
+/// ~10% `user_id` range queries with `index_only()` — primary keys
+/// straight from the always-accurate secondary index, no validation and
+/// no record fetch — from a cold cache. Every byte the pass reads is
+/// index structure, so the bytes-read comparison across encodings is the
+/// key-strip acceptance number: the prefix and columnar codecs shrink
+/// what the device has to deliver.
+pub fn run_index_only_scenario(n: usize, queries: usize, encoding: LeafEncoding) -> IndexOnlyRun {
+    use lsm_workload::USER_ID_DOMAIN;
+    let dataset_bytes = (n as u64) * 550;
+    let env = Env::new(&EnvConfig {
+        dataset_bytes,
+        ssd: true,
+        cache_shards: 8,
+        leaf_encoding: encoding,
+        ..Default::default()
+    });
+    let mut cfg = tweet_dataset_config(StrategyKind::Eager, dataset_bytes, 1);
+    // Size memory so the load leaves a real component stack behind.
+    cfg.memory_budget = ((dataset_bytes / 24) as usize).max(64 * 1024);
+    let ds = open_tweet_dataset(&env, cfg);
+    let mut workload =
+        UpsertWorkload::new(TweetConfig::default(), 0.3, UpdateDistribution::Uniform);
+    for _ in 0..n {
+        apply(&ds, &workload.next_op());
+    }
+    ds.flush_all().expect("flush");
+    let index_bytes = env.storage.total_bytes();
+
+    let slice = (USER_ID_DOMAIN / 10).max(1);
+    let range_of = |q: usize| {
+        let lo = (q as i64 * slice * 3) % (USER_ID_DOMAIN - slice);
+        (lo, lo + slice - 1)
+    };
+
+    env.storage.clear_cache();
+    let io_start = env.storage.stats();
+    let t = std::time::Instant::now();
+    let mut rows = 0usize;
+    for q in 0..queries {
+        let (lo, hi) = range_of(q);
+        rows += ds
+            .query("user_id")
+            .range(lo, hi)
+            .index_only()
+            .execute()
+            .expect("index-only query")
+            .len();
+    }
+    let wall_secs = t.elapsed().as_secs_f64();
+    let io = env.storage.stats().since(&io_start);
+
+    IndexOnlyRun {
+        records: n,
+        queries,
+        encoding,
+        index_bytes,
+        bytes_read: io.bytes_read,
+        rows,
+        rows_per_sec: rows as f64 / wall_secs.max(1e-9),
+        wall_secs,
     }
 }
 

@@ -16,7 +16,7 @@
 use crate::leaf::LeafView;
 use crate::tree::BTree;
 use lsm_common::Result;
-use lsm_storage::PageNo;
+use lsm_storage::{PageNo, PageSlice};
 
 /// A stateful lookup cursor over one [`BTree`].
 pub struct StatefulCursor<'t> {
@@ -50,6 +50,12 @@ impl<'t> StatefulCursor<'t> {
     ///
     /// Keys across successive calls must be non-decreasing.
     pub fn seek(&mut self, key: &[u8]) -> Result<Option<(Vec<u8>, u64)>> {
+        Ok(self.seek_pinned(key)?.map(|(v, ord)| (v.to_vec(), ord)))
+    }
+
+    /// Like [`StatefulCursor::seek`] but the value pins the cached leaf
+    /// page instead of being copied — the zero-copy batched-probe path.
+    pub fn seek_pinned(&mut self, key: &[u8]) -> Result<Option<(PageSlice, u64)>> {
         // Fast path: the remembered leaf still covers `key`.
         if let Some(state) = &self.state {
             if key <= state.last_key.as_slice() {
@@ -73,7 +79,7 @@ impl<'t> StatefulCursor<'t> {
         key: &[u8],
         from: usize,
         exponential: bool,
-    ) -> Result<Option<(Vec<u8>, u64)>> {
+    ) -> Result<Option<(PageSlice, u64)>> {
         let data = self.tree.read_leaf(leaf_no)?;
         let leaf = LeafView::parse(&data)?;
         let (found, cmps) = if exponential {
@@ -98,7 +104,8 @@ impl<'t> StatefulCursor<'t> {
         match found {
             Ok(i) => {
                 let (_, v) = leaf.entry(i)?;
-                Ok(Some((v.to_vec(), leaf.base_ordinal() + i as u64)))
+                let ordinal = leaf.base_ordinal() + i as u64;
+                Ok(Some((PageSlice::from_subslice(&data, v), ordinal)))
             }
             Err(_) => Ok(None),
         }

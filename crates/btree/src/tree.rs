@@ -9,7 +9,7 @@ use crate::encoding::get_slice;
 use crate::leaf::LeafView;
 use crate::page::InternalPage;
 use lsm_common::{Error, Result};
-use lsm_storage::{FileId, PageNo, Storage};
+use lsm_storage::{FileId, PageNo, PageSlice, Storage, ValueBuf};
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -154,6 +154,14 @@ impl BTree {
 
     /// Point lookup. Returns `(value, global ordinal)` if the key exists.
     pub fn search(&self, key: &[u8]) -> Result<Option<(Vec<u8>, u64)>> {
+        Ok(self.search_pinned(key)?.map(|(v, ord)| (v.to_vec(), ord)))
+    }
+
+    /// Point lookup without copying the value: the returned [`PageSlice`]
+    /// pins the cached leaf page and references the value bytes in place.
+    /// This is the zero-copy entry point the LSM lookup path uses; plain
+    /// [`BTree::search`] copies at the same spot callers always paid.
+    pub fn search_pinned(&self, key: &[u8]) -> Result<Option<(PageSlice, u64)>> {
         let Some(leaf_no) = self.locate_leaf(key)? else {
             return Ok(None);
         };
@@ -164,7 +172,8 @@ impl BTree {
         match found {
             Ok(idx) => {
                 let (_, v) = leaf.entry(idx)?;
-                Ok(Some((v.to_vec(), leaf.base_ordinal() + idx as u64)))
+                let ordinal = leaf.base_ordinal() + idx as u64;
+                Ok(Some((PageSlice::from_subslice(&data, v), ordinal)))
             }
             Err(_) => Ok(None),
         }
@@ -250,6 +259,15 @@ impl BTreeScan {
     /// Returns the next `(key, value, ordinal)`, or `None` at end of range.
     #[allow(clippy::type_complexity)]
     pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>, u64)>> {
+        Ok(self
+            .next_entry_pinned()?
+            .map(|(k, v, ord)| (k, v.into_bytes(), ord)))
+    }
+
+    /// Like [`BTreeScan::next_entry`] but the value pins the scan-buffer
+    /// page instead of being copied out — the zero-copy scan path.
+    #[allow(clippy::type_complexity)]
+    pub fn next_entry_pinned(&mut self) -> Result<Option<(Vec<u8>, ValueBuf, u64)>> {
         loop {
             if self.done {
                 return Ok(None);
@@ -265,15 +283,13 @@ impl BTreeScan {
             if self.leaf_no >= self.next_readahead {
                 let ra = self.tree.storage.readahead_pages();
                 let count = ra.min(self.tree.meta.num_leaves - self.leaf_no);
-                self.tree
+                // One batched call charges the burst AND returns the page
+                // handles — no per-page `page_data` re-locking.
+                self.buffer = self
+                    .tree
                     .storage
                     .read_pages(self.tree.file, self.leaf_no, count)?;
                 self.buffer_start = self.leaf_no;
-                self.buffer.clear();
-                for p in self.leaf_no..self.leaf_no + count {
-                    self.buffer
-                        .push(self.tree.storage.page_data(self.tree.file, p)?);
-                }
                 self.next_readahead = self.leaf_no + count;
             }
             let data = if self.leaf_no >= self.buffer_start
@@ -305,7 +321,8 @@ impl BTreeScan {
             self.tree
                 .storage
                 .charge_cpu(self.tree.storage.cpu().key_cmp_ns);
-            return Ok(Some((k.into_owned(), v.to_vec(), ordinal)));
+            let value = ValueBuf::from(PageSlice::from_subslice(&data, v));
+            return Ok(Some((k.into_owned(), value, ordinal)));
         }
     }
 }

@@ -152,11 +152,12 @@ impl DiskComponent {
     }
 
     /// Searches the B+-tree (no Bloom check). Returns the decoded entry and
-    /// its ordinal position.
+    /// its ordinal position. The entry's value pins the cached leaf page —
+    /// no copy until the caller asks for owned bytes.
     pub fn search(&self, key: &[u8]) -> Result<Option<(LsmEntry, u64)>> {
-        match self.btree.search(key)? {
+        match self.btree.search_pinned(key)? {
             None => Ok(None),
-            Some((raw, ordinal)) => Ok(Some((LsmEntry::decode(&raw)?, ordinal))),
+            Some((raw, ordinal)) => Ok(Some((LsmEntry::decode_slice(raw)?, ordinal))),
         }
     }
 

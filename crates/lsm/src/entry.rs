@@ -11,6 +11,7 @@
 
 use lsm_common::clock::NO_TIMESTAMP;
 use lsm_common::{Bytes, Error, Result, Timestamp};
+use lsm_storage::{PageSlice, ValueBuf};
 
 const FLAG_ANTI_MATTER: u8 = 0b01;
 const FLAG_HAS_TS: u8 = 0b10;
@@ -24,8 +25,10 @@ pub struct LsmEntry {
     /// Ingestion timestamp ([`NO_TIMESTAMP`] when the maintenance strategy
     /// does not store timestamps).
     pub ts: Timestamp,
-    /// The stored value (empty for anti-matter entries and key-only indexes).
-    pub value: Bytes,
+    /// The stored value (empty for anti-matter entries and key-only
+    /// indexes). Owned on the write path; pinned inside a cached page on
+    /// the zero-copy lookup/scan paths.
+    pub value: ValueBuf,
 }
 
 impl LsmEntry {
@@ -34,7 +37,7 @@ impl LsmEntry {
         LsmEntry {
             anti_matter: false,
             ts: NO_TIMESTAMP,
-            value,
+            value: value.into(),
         }
     }
 
@@ -43,7 +46,7 @@ impl LsmEntry {
         LsmEntry {
             anti_matter: false,
             ts,
-            value,
+            value: value.into(),
         }
     }
 
@@ -52,7 +55,7 @@ impl LsmEntry {
         LsmEntry {
             anti_matter: true,
             ts: NO_TIMESTAMP,
-            value: Vec::new(),
+            value: ValueBuf::empty(),
         }
     }
 
@@ -61,7 +64,7 @@ impl LsmEntry {
         LsmEntry {
             anti_matter: true,
             ts,
-            value: Vec::new(),
+            value: ValueBuf::empty(),
         }
     }
 
@@ -71,7 +74,7 @@ impl LsmEntry {
         LsmEntry {
             anti_matter: self.anti_matter,
             ts: self.ts,
-            value: Vec::new(),
+            value: ValueBuf::empty(),
         }
     }
 
@@ -94,15 +97,45 @@ impl LsmEntry {
         out
     }
 
-    /// Deserializes an entry produced by [`LsmEntry::encode`].
+    /// Deserializes an entry produced by [`LsmEntry::encode`], copying the
+    /// payload into owned bytes (WAL replay, memtable paths).
     pub fn decode(buf: &[u8]) -> Result<Self> {
+        let (header, off) = Self::header_of(buf)?;
+        Ok(LsmEntry {
+            value: buf[off..].to_vec().into(),
+            ..header
+        })
+    }
+
+    /// Deserializes an entry whose encoded bytes are pinned inside a cached
+    /// page: flags and timestamp are parsed out, and the payload stays a
+    /// [`PageSlice`] into the same page — no allocation, no copy. This is
+    /// the zero-copy twin of [`LsmEntry::decode`].
+    pub fn decode_slice(raw: PageSlice) -> Result<Self> {
+        let (header, off) = Self::header_of(&raw)?;
+        Ok(LsmEntry {
+            value: raw.slice_from(off).into(),
+            ..header
+        })
+    }
+
+    /// Deserializes from either representation: zero-copy when `raw` is
+    /// pinned, copying (exactly like [`LsmEntry::decode`]) when owned.
+    pub fn decode_buf(raw: ValueBuf) -> Result<Self> {
+        match raw {
+            ValueBuf::Owned(v) => Self::decode(&v),
+            ValueBuf::Pinned(s) => Self::decode_slice(s),
+        }
+    }
+
+    /// Parses flags and timestamp, returning the payload offset.
+    fn header_of(buf: &[u8]) -> Result<(Self, usize)> {
         let flags = *buf
             .first()
             .ok_or_else(|| Error::corruption("empty lsm entry"))?;
         if flags & !(FLAG_ANTI_MATTER | FLAG_HAS_TS) != 0 {
             return Err(Error::corruption(format!("bad entry flags {flags:#x}")));
         }
-        let anti_matter = flags & FLAG_ANTI_MATTER != 0;
         let (ts, off) = if flags & FLAG_HAS_TS != 0 {
             if buf.len() < 9 {
                 return Err(Error::corruption("truncated entry timestamp"));
@@ -113,11 +146,14 @@ impl LsmEntry {
         } else {
             (NO_TIMESTAMP, 1)
         };
-        Ok(LsmEntry {
-            anti_matter,
-            ts,
-            value: buf[off..].to_vec(),
-        })
+        Ok((
+            LsmEntry {
+                anti_matter: flags & FLAG_ANTI_MATTER != 0,
+                ts,
+                value: ValueBuf::empty(),
+            },
+            off,
+        ))
     }
 
     /// Approximate in-memory footprint, for memory-budget accounting.

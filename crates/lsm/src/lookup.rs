@@ -312,12 +312,12 @@ fn lookup_batch(
                 continue;
             }
             let hit = match &mut cursor {
-                Some(c) => c.seek(key)?,
-                None => comp.btree().search(key)?,
+                Some(c) => c.seek_pinned(key)?,
+                None => comp.btree().search_pinned(key)?,
             };
             match hit {
                 Some((raw, ordinal)) => {
-                    let entry = LsmEntry::decode(&raw)?;
+                    let entry = LsmEntry::decode_slice(raw)?;
                     if comp.is_valid(ordinal) && !entry.anti_matter {
                         found.push((i, entry));
                     }
@@ -387,7 +387,7 @@ mod tests {
             let mut got: Vec<(Key, Vec<u8>)> = lookup_sorted(t, &keys, &opts)
                 .unwrap()
                 .into_iter()
-                .map(|(i, e)| (keys[i].clone(), e.value))
+                .map(|(i, e)| (keys[i].clone(), e.value.into_bytes()))
                 .collect();
             got.sort();
             let mut want: Vec<(Key, Vec<u8>)> =
@@ -550,13 +550,13 @@ mod tests {
             let mut live: Vec<(usize, Vec<u8>)> = lookup_sorted(&t, &keys, &opts)
                 .unwrap()
                 .into_iter()
-                .map(|(i, e)| (i, e.value))
+                .map(|(i, e)| (i, e.value.into_bytes()))
                 .collect();
             let mut view: Vec<(usize, Vec<u8>)> =
                 lookup_sorted_view(t.storage(), Some(&mem), &comps, &keys, &opts)
                     .unwrap()
                     .into_iter()
-                    .map(|(i, e)| (i, e.value))
+                    .map(|(i, e)| (i, e.value.into_bytes()))
                     .collect();
             live.sort();
             view.sort();

@@ -56,7 +56,7 @@ impl Source {
         match self {
             Source::Mem { entries } => Ok(entries.next().map(|(k, e)| (k, e, 0))),
             Source::Disk { scan, bitmap, .. } => loop {
-                let Some((k, raw, ordinal)) = scan.next_entry()? else {
+                let Some((k, raw, ordinal)) = scan.next_entry_pinned()? else {
                     return Ok(None);
                 };
                 if respect_bitmaps {
@@ -66,7 +66,7 @@ impl Source {
                         }
                     }
                 }
-                return Ok(Some((k, LsmEntry::decode(&raw)?, ordinal)));
+                return Ok(Some((k, LsmEntry::decode_buf(raw)?, ordinal)));
             },
         }
     }
@@ -397,13 +397,13 @@ pub fn scan_components_sequential_frozen(
     for (i, comp) in components.iter().enumerate() {
         let bitmap = bitmaps.get(i).and_then(|b| b.as_ref());
         let mut scan = comp.btree().scan(lo, clone_bound(&hi))?;
-        while let Some((k, raw, ordinal)) = scan.next_entry()? {
+        while let Some((k, raw, ordinal)) = scan.next_entry_pinned()? {
             if let Some(bm) = bitmap {
                 if bm.get(ordinal) {
                     continue;
                 }
             }
-            let entry = LsmEntry::decode(&raw)?;
+            let entry = LsmEntry::decode_buf(raw)?;
             if !entry.anti_matter {
                 visit(k, entry);
             }

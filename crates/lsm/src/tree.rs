@@ -597,7 +597,7 @@ impl LsmTree {
             builder.add(
                 &k,
                 &LsmEntry {
-                    value: Vec::new(),
+                    value: lsm_storage::ValueBuf::empty(),
                     ..e
                 },
             )?;
@@ -1108,9 +1108,9 @@ mod tests {
             .scan(Bound::Unbounded, Bound::Unbounded, ScanOptions::default())
             .unwrap();
         let (k, e) = scan.next_entry().unwrap().unwrap();
-        assert_eq!((k, e.value), (key(1), b"mem".to_vec()));
+        assert_eq!((k, e.value.into_bytes()), (key(1), b"mem".to_vec()));
         let (k, e) = scan.next_entry().unwrap().unwrap();
-        assert_eq!((k, e.value), (key(2), b"disk".to_vec()));
+        assert_eq!((k, e.value.into_bytes()), (key(2), b"disk".to_vec()));
         assert!(scan.next_entry().unwrap().is_none());
     }
 

@@ -65,7 +65,7 @@ proptest! {
             let got = point_lookup(&tree, &key(k))
                 .unwrap()
                 .filter(|e| !e.anti_matter)
-                .map(|e| e.value);
+                .map(|e| e.value.into_bytes());
             prop_assert_eq!(got, model.get(&key(k)).cloned(), "key {}", k);
         }
 
@@ -75,7 +75,7 @@ proptest! {
             .unwrap();
         let mut got = Vec::new();
         while let Some((k, e)) = scan.next_entry().unwrap() {
-            got.push((k, e.value));
+            got.push((k, e.value.into_bytes()));
         }
         let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         prop_assert_eq!(got, want);

@@ -34,6 +34,7 @@
 
 pub mod cache;
 pub mod fault;
+pub mod pin;
 pub mod profile;
 pub mod sim_clock;
 pub mod stats;
@@ -42,6 +43,7 @@ pub mod throttle;
 
 pub use cache::{BufferCache, CacheShardStats, ShardedCache};
 pub use fault::{FaultAction, FaultOp, FaultPlan, FaultSpec, FaultTrigger, SiteOutcome};
+pub use pin::{PageSlice, ValueBuf};
 pub use profile::{CpuCosts, DiskProfile};
 pub use sim_clock::SimClock;
 pub use stats::{IoStats, IoStatsSnapshot};

@@ -1,0 +1,243 @@
+//! Pinned-page byte slices: the zero-copy value representation.
+//!
+//! The buffer pool hands out whole pages as `Arc<[u8]>`. A [`PageSlice`]
+//! pins one of those pages and names a byte range inside it, so lookup and
+//! fetch paths can pass record bytes around without copying them into
+//! fresh allocations — the `Arc` keeps the bytes alive even if the file is
+//! deleted underneath (a merge retiring the source component). [`ValueBuf`]
+//! is the either-or used in entry values: owned bytes on the write path
+//! (memtables, WAL replay), pinned slices on the read path, copied only at
+//! the public-API boundary where ownership is required.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A byte range pinned inside a cached page. Cloning is cheap (one `Arc`
+/// bump); the underlying page cannot be freed while any slice points into
+/// it.
+#[derive(Clone)]
+pub struct PageSlice {
+    page: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl PageSlice {
+    /// Pins `page[start..start + len]`. Panics if the range is out of
+    /// bounds — the caller derived it from the same page.
+    pub fn new(page: Arc<[u8]>, start: usize, len: usize) -> Self {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= page.len()),
+            "page slice {start}+{len} out of bounds for page of {}",
+            page.len()
+        );
+        PageSlice { page, start, len }
+    }
+
+    /// Pins the range of `page` that `sub` occupies. `sub` must be a
+    /// subslice borrowed from `page`'s buffer (the usual case: a value
+    /// slice handed out by a leaf view parsed over that page); panics
+    /// otherwise.
+    pub fn from_subslice(page: &Arc<[u8]>, sub: &[u8]) -> Self {
+        let base = page.as_ptr() as usize;
+        let p = sub.as_ptr() as usize;
+        assert!(
+            p >= base && p + sub.len() <= base + page.len(),
+            "subslice does not borrow from the given page"
+        );
+        PageSlice::new(page.clone(), p - base, sub.len())
+    }
+
+    /// The pinned bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.page[self.start..self.start + self.len]
+    }
+
+    /// The tail of this slice from `offset`, still pinning the same page.
+    /// Panics if `offset > len` — callers derived it from these bytes.
+    pub fn slice_from(&self, offset: usize) -> PageSlice {
+        assert!(offset <= self.len, "slice offset {offset} > {}", self.len);
+        PageSlice {
+            page: self.page.clone(),
+            start: self.start + offset,
+            len: self.len - offset,
+        }
+    }
+}
+
+impl Deref for PageSlice {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PageSlice {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for PageSlice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageSlice({} bytes @ {})", self.len, self.start)
+    }
+}
+
+/// Entry-value bytes: owned on the write path, pinned on the read path.
+/// Dereferences to `[u8]` either way, so consumers that only *look* at the
+/// bytes never know the difference; [`ValueBuf::into_bytes`] is the single
+/// copy point for callers that need ownership.
+#[derive(Clone, Debug)]
+pub enum ValueBuf {
+    /// Heap-owned bytes (memtable entries, WAL replay, tests).
+    Owned(Vec<u8>),
+    /// Bytes pinned inside a cached page (zero-copy lookup/fetch path).
+    Pinned(PageSlice),
+}
+
+impl ValueBuf {
+    /// The empty owned buffer (anti-matter / key-only entries).
+    pub fn empty() -> Self {
+        ValueBuf::Owned(Vec::new())
+    }
+
+    /// The bytes, wherever they live.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ValueBuf::Owned(v) => v,
+            ValueBuf::Pinned(s) => s.as_slice(),
+        }
+    }
+
+    /// True if the bytes are pinned inside a cached page rather than
+    /// heap-owned — the zero-copy observability hook tests assert on.
+    pub fn is_pinned(&self) -> bool {
+        matches!(self, ValueBuf::Pinned(_))
+    }
+
+    /// Converts to owned bytes: free for `Owned`, one copy for `Pinned`.
+    /// This is the public-API boundary copy.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            ValueBuf::Owned(v) => v,
+            ValueBuf::Pinned(s) => s.as_slice().to_vec(),
+        }
+    }
+}
+
+impl Deref for ValueBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for ValueBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for ValueBuf {
+    fn from(v: Vec<u8>) -> Self {
+        ValueBuf::Owned(v)
+    }
+}
+
+impl From<&[u8]> for ValueBuf {
+    fn from(v: &[u8]) -> Self {
+        ValueBuf::Owned(v.to_vec())
+    }
+}
+
+impl From<PageSlice> for ValueBuf {
+    fn from(s: PageSlice) -> Self {
+        ValueBuf::Pinned(s)
+    }
+}
+
+impl PartialEq for ValueBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ValueBuf {}
+
+impl PartialEq<[u8]> for ValueBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for ValueBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for ValueBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for ValueBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for ValueBuf {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Arc<[u8]> {
+        (0u8..32).collect::<Vec<u8>>().into()
+    }
+
+    #[test]
+    fn slice_pins_range() {
+        let p = page();
+        let s = PageSlice::new(p.clone(), 4, 3);
+        assert_eq!(s.as_slice(), &[4, 5, 6]);
+        drop(p);
+        assert_eq!(&*s, &[4, 5, 6], "slice outlives other handles");
+    }
+
+    #[test]
+    fn from_subslice_recovers_offsets() {
+        let p = page();
+        let sub = &p[10..14];
+        let s = PageSlice::from_subslice(&p, sub);
+        assert_eq!(s.as_slice(), sub);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not borrow")]
+    fn from_foreign_slice_panics() {
+        let p = page();
+        let other = vec![1u8, 2, 3];
+        let _ = PageSlice::from_subslice(&p, &other);
+    }
+
+    #[test]
+    fn value_buf_equality_crosses_representations() {
+        let p = page();
+        let pinned: ValueBuf = PageSlice::new(p, 1, 2).into();
+        let owned: ValueBuf = vec![1u8, 2].into();
+        assert_eq!(pinned, owned);
+        assert_eq!(pinned, [1u8, 2]);
+        assert_eq!(owned, vec![1u8, 2]);
+        assert!(pinned.is_pinned());
+        assert!(!owned.is_pinned());
+        assert_eq!(pinned.into_bytes(), vec![1, 2]);
+    }
+}

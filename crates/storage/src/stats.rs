@@ -48,6 +48,11 @@ pub struct IoStats {
     /// Log records covered by those group commits
     /// (`wal_grouped_records / wal_groups` = mean group size).
     pub wal_grouped_records: AtomicU64,
+    /// Per-page file-table lookups avoided by batched page reads
+    /// ([`Storage::page_data_batch`](crate::Storage::page_data_batch) /
+    /// [`Storage::read_pages`](crate::Storage::read_pages)): `count - 1`
+    /// per batch, versus fetching each page individually.
+    pub batched_lookups_saved: AtomicU64,
 }
 
 impl IoStats {
@@ -74,6 +79,7 @@ impl IoStats {
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
             wal_groups: self.wal_groups.load(Ordering::Relaxed),
             wal_grouped_records: self.wal_grouped_records.load(Ordering::Relaxed),
+            batched_lookups_saved: self.batched_lookups_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -110,6 +116,7 @@ pub struct IoStatsSnapshot {
     pub torn_writes: u64,
     pub wal_groups: u64,
     pub wal_grouped_records: u64,
+    pub batched_lookups_saved: u64,
 }
 
 impl IoStatsSnapshot {
@@ -136,6 +143,7 @@ impl IoStatsSnapshot {
             torn_writes: self.torn_writes - earlier.torn_writes,
             wal_groups: self.wal_groups - earlier.wal_groups,
             wal_grouped_records: self.wal_grouped_records - earlier.wal_grouped_records,
+            batched_lookups_saved: self.batched_lookups_saved - earlier.batched_lookups_saved,
         }
     }
 

@@ -30,8 +30,12 @@ pub type PageNo = u32;
 /// earlier versions wrote. `Prefix` shares key prefixes between adjacent
 /// entries with restart points every K entries, trading a little decode CPU
 /// for smaller leaves — and therefore more entries per buffer-cache page.
-/// Readers detect the encoding per page, so mixed-encoding trees (old
-/// components plus new flushes) need no migration.
+/// `Columnar` keeps the same key compression but splits each page into a
+/// key strip and a value strip, so index-only scans and probe filtering
+/// read keys without ever decoding value bytes, and each value comes out
+/// as one contiguous page slice (the zero-copy fetch path). Readers detect
+/// the encoding per page, so mixed-encoding trees (old components plus new
+/// flushes) need no migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LeafEncoding {
     /// The original slot-directory format; the default.
@@ -39,6 +43,8 @@ pub enum LeafEncoding {
     Plain,
     /// Prefix-compressed entries with periodic restart points.
     Prefix,
+    /// Separate in-page key and value strips; keys prefix-compressed.
+    Columnar,
 }
 
 impl LeafEncoding {
@@ -47,6 +53,7 @@ impl LeafEncoding {
         match self {
             LeafEncoding::Plain => "plain",
             LeafEncoding::Prefix => "prefix",
+            LeafEncoding::Columnar => "columnar",
         }
     }
 
@@ -55,6 +62,7 @@ impl LeafEncoding {
         match s {
             "plain" => Some(LeafEncoding::Plain),
             "prefix" => Some(LeafEncoding::Prefix),
+            "columnar" => Some(LeafEncoding::Columnar),
             _ => None,
         }
     }
@@ -501,31 +509,20 @@ impl Storage {
     /// seek (if the head has to move) plus streaming transfer, with all
     /// pages admitted to the cache. This is how scans amortize seeks the
     /// way the paper's 4MB read-ahead does.
-    pub fn read_pages(&self, file: FileId, page: PageNo, count: u32) -> Result<()> {
+    ///
+    /// Returns the page handles from the same single file-table lookup, so
+    /// callers consume the burst directly instead of re-acquiring the file
+    /// lock once per page via [`Storage::page_data`] for bytes the call
+    /// just loaded.
+    pub fn read_pages(&self, file: FileId, page: PageNo, count: u32) -> Result<Vec<Arc<[u8]>>> {
         if count == 0 {
-            return Ok(());
+            return Ok(Vec::new());
         }
         self.fault_check(
             FaultOp::Read,
             &format!("read burst of {file:?}/{page}+{count}"),
         )?;
-        {
-            let files = self.files.read();
-            let state = files
-                .get(file.0 as usize)
-                .ok_or_else(|| Error::Storage(format!("no such file {file:?}")))?;
-            if state.deleted {
-                return Err(Error::Storage(format!("file {file:?} is deleted")));
-            }
-            if (page + count) as usize > state.pages.len() {
-                return Err(Error::Storage(format!(
-                    "read_pages past end of {file:?} ({}..{} of {})",
-                    page,
-                    page + count,
-                    state.pages.len()
-                )));
-            }
-        }
+        let pages = self.page_data_batch(file, page, count)?;
         // Admit all pages; charge only those not already resident. Each
         // page locks only its own cache shard, so a burst never holds the
         // whole cache against concurrent readers.
@@ -546,7 +543,7 @@ impl Storage {
         if misses > 0 {
             self.charge_read(file, first_miss, misses);
         }
-        Ok(())
+        Ok(pages)
     }
 
     /// Read-ahead window from the configuration.
@@ -570,6 +567,48 @@ impl Storage {
             .get(page as usize)
             .cloned()
             .ok_or_else(|| Error::Storage(format!("page {page} out of bounds in {file:?}")))
+    }
+
+    /// Returns `count` consecutive page handles from one file-table lookup,
+    /// without touching the cache or charging the device — the batched
+    /// sibling of [`Storage::page_data`] for readers consuming a burst that
+    /// [`Storage::read_pages`] already charged. Each page beyond the first
+    /// is a per-page lock acquisition the caller no longer pays; the saving
+    /// is counted in [`IoStats::batched_lookups_saved`].
+    pub fn page_data_batch(
+        &self,
+        file: FileId,
+        page: PageNo,
+        count: u32,
+    ) -> Result<Vec<Arc<[u8]>>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let pages = {
+            let files = self.files.read();
+            let state = files
+                .get(file.0 as usize)
+                .ok_or_else(|| Error::Storage(format!("no such file {file:?}")))?;
+            if state.deleted {
+                return Err(Error::Storage(format!("file {file:?} is deleted")));
+            }
+            state
+                .pages
+                .get(page as usize..(page + count) as usize)
+                .ok_or_else(|| {
+                    Error::Storage(format!(
+                        "page batch past end of {file:?} ({}..{} of {})",
+                        page,
+                        page + count,
+                        state.pages.len()
+                    ))
+                })?
+                .to_vec()
+        };
+        self.stats
+            .batched_lookups_saved
+            .fetch_add(u64::from(count - 1), std::sync::atomic::Ordering::Relaxed);
+        Ok(pages)
     }
 
     /// Deletes a file, dropping its pages and evicting its cached entries.

@@ -858,8 +858,12 @@ impl<'a> Harness<'a> {
     }
 }
 
-/// Both leaf-page encodings, in sweep order.
-pub const LEAF_ENCODINGS: [LeafEncoding; 2] = [LeafEncoding::Plain, LeafEncoding::Prefix];
+/// All leaf-page encodings, in sweep order.
+pub const LEAF_ENCODINGS: [LeafEncoding; 3] = [
+    LeafEncoding::Plain,
+    LeafEncoding::Prefix,
+    LeafEncoding::Columnar,
+];
 
 /// The full sweep: every strategy x maintenance mode x device x fault kind
 /// x leaf encoding.
@@ -888,7 +892,7 @@ pub fn full_sweep(seed: u64, records: usize) -> Vec<TortureCase> {
 }
 
 /// The CI smoke subset: two strategies on one device, all fault kinds,
-/// both maintenance modes, both leaf encodings.
+/// both maintenance modes, all leaf encodings.
 pub fn smoke_sweep(seed: u64, records: usize) -> Vec<TortureCase> {
     let mut cases = Vec::new();
     for strategy in [StrategyKind::Eager, StrategyKind::MutableBitmap] {
@@ -984,17 +988,19 @@ mod tests {
         }
     }
 
-    /// Crash recovery over prefix-compressed leaves: flushed components
-    /// written in the compressed format survive the install-window crash
+    /// Crash recovery over compressed leaves: flushed components written
+    /// in the prefix or columnar format survive the install-window crash
     /// and the recovered filter scans agree with the oracle.
     #[test]
-    fn prefix_encoded_cases_recover() {
-        for fault in [FaultKind::CrashFlushInstall, FaultKind::TornWalWrite] {
-            let c = TortureCase {
-                leaf_encoding: LeafEncoding::Prefix,
-                ..case(StrategyKind::Validation, fault)
-            };
-            run_case(&c).unwrap_or_else(|f| panic!("{f}"));
+    fn compressed_encoded_cases_recover() {
+        for leaf_encoding in [LeafEncoding::Prefix, LeafEncoding::Columnar] {
+            for fault in [FaultKind::CrashFlushInstall, FaultKind::TornWalWrite] {
+                let c = TortureCase {
+                    leaf_encoding,
+                    ..case(StrategyKind::Validation, fault)
+                };
+                run_case(&c).unwrap_or_else(|f| panic!("{f}"));
+            }
         }
     }
 
@@ -1010,16 +1016,20 @@ mod tests {
         assert_eq!(DeviceKind::parse("ssd"), Some(c.device));
         assert_eq!(LeafEncoding::parse("plain"), Some(c.leaf_encoding));
         assert_eq!(LeafEncoding::parse("prefix"), Some(LeafEncoding::Prefix));
+        assert_eq!(
+            LeafEncoding::parse("columnar"),
+            Some(LeafEncoding::Columnar)
+        );
     }
 
     #[test]
     fn sweeps_cover_the_advertised_matrix() {
-        assert_eq!(full_sweep(1, 100).len(), 4 * 2 * 3 * 9 * 2);
-        assert_eq!(smoke_sweep(1, 100).len(), 2 * 2 * 9 * 2);
+        assert_eq!(full_sweep(1, 100).len(), 4 * 2 * 3 * 9 * 3);
+        assert_eq!(smoke_sweep(1, 100).len(), 2 * 2 * 9 * 3);
         // Every repro line is unique — one line identifies one case.
         let mut lines: Vec<String> = full_sweep(1, 100).iter().map(|c| c.repro()).collect();
         lines.sort();
         lines.dedup();
-        assert_eq!(lines.len(), 4 * 2 * 3 * 9 * 2);
+        assert_eq!(lines.len(), 4 * 2 * 3 * 9 * 3);
     }
 }
